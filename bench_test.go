@@ -1,0 +1,381 @@
+// Benchmarks regenerating the performance side of every experiment in
+// DESIGN.md §3. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// E1  BenchmarkTable1_*         classic paging vs cloud optimization
+// E2  BenchmarkFig2Golden       the Fig. 2 instance end to end
+// E3  BenchmarkFig6Golden       the Fig. 6 instance end to end
+// E4  BenchmarkFig7Analysis     SC + DT transform + reductions
+// E5  BenchmarkFastDP/Naive     the O(mn) vs O(n²) scaling claim
+// E6  BenchmarkCompetitiveRatio SC + OPT per workload family
+// E7  BenchmarkPolicies         all online policies on one workload
+// E8  BenchmarkPredictPlan      train, predict, plan, execute
+// E9  BenchmarkHeteroOptimal    the subset DP under heterogeneous costs
+package datacache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datacache/internal/cloudsim"
+	"datacache/internal/hetero"
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/online"
+	"datacache/internal/paging"
+	"datacache/internal/trajectory"
+	"datacache/internal/workload"
+)
+
+var benchModel = model.CostModel{Mu: 1, Lambda: 2}
+
+func benchSequence(m, n int, seed int64) *model.Sequence {
+	return workload.Zipf{M: m, S: 1.5, MeanGap: benchModel.Delta()}.
+		Generate(rand.New(rand.NewSource(seed)), n)
+}
+
+// E5: the headline scaling comparison. FastDP must grow linearly in n,
+// NaiveDP quadratically; the per-op gap at n=16384 is the measured speedup.
+func BenchmarkFastDP(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384, 65536} {
+		seq := benchSequence(16, n, 42)
+		b.Run(fmt.Sprintf("m=16/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := offline.FastDP(seq, benchModel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range []int{4, 64, 256} {
+		seq := benchSequence(m, 8192, 43)
+		b.Run(fmt.Sprintf("n=8192/m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := offline.FastDP(seq, benchModel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNaiveDP(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		seq := benchSequence(16, n, 42)
+		b.Run(fmt.Sprintf("m=16/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := offline.NaiveDP(seq, benchModel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSweepDP(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384, 65536} {
+		seq := benchSequence(16, n, 42)
+		b.Run(fmt.Sprintf("m=16/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := offline.SweepDP(seq, benchModel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScheduleReconstruction(b *testing.B) {
+	seq := benchSequence(16, 16384, 44)
+	res, err := offline.FastDP(seq, benchModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Schedule(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E1: both paradigms' algorithms on matched stream lengths.
+func BenchmarkTable1_Belady(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	zf := rand.NewZipf(rng, 1.4, 1, 63)
+	refs := make([]paging.Page, 16384)
+	for i := range refs {
+		refs[i] = paging.Page(zf.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paging.Belady(refs, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_LRU(b *testing.B) {
+	rng := rand.New(rand.NewSource(45))
+	zf := rand.NewZipf(rng, 1.4, 1, 63)
+	refs := make([]paging.Page, 16384)
+	for i := range refs {
+		refs[i] = paging.Page(zf.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paging.LRU(refs, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2/E3: the golden instances end to end (optimize + reconstruct + price).
+func BenchmarkFig2Golden(b *testing.B) {
+	seq, cm := offline.Fig2Instance()
+	for i := 0; i < b.N; i++ {
+		res, err := offline.FastDP(seq, cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.Schedule(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Golden(b *testing.B) {
+	seq, cm := offline.Fig6Instance()
+	for i := 0; i < b.N; i++ {
+		res, err := offline.FastDP(seq, cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.Schedule(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E4: the proof machinery — SC run, DT transform, reductions.
+func BenchmarkFig7Analysis(b *testing.B) {
+	seq := workload.MarkovHop{M: 4, Stay: 0.5, MeanGap: benchModel.Delta() * 0.8}.
+		Generate(rand.New(rand.NewSource(46)), 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := online.CheckLemmas(seq, benchModel, online.SpeculativeCaching{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6: SC + OPT per workload family (the ratio experiment's inner loop).
+func BenchmarkCompetitiveRatio(b *testing.B) {
+	for _, g := range workload.Standard(8, benchModel.Delta()) {
+		seq := g.Generate(rand.New(rand.NewSource(47)), 2048)
+		b.Run(g.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := online.CompetitiveRatio(online.SpeculativeCaching{}, seq, benchModel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pt.Ratio > 3 {
+					b.Fatalf("ratio %v exceeds 3", pt.Ratio)
+				}
+			}
+		})
+	}
+}
+
+// E7: each online policy on one trajectory-like workload.
+func BenchmarkPolicies(b *testing.B) {
+	seq := workload.MarkovHop{M: 8, Stay: 0.8, MeanGap: benchModel.Delta() / 2}.
+		Generate(rand.New(rand.NewSource(48)), 8192)
+	for _, p := range []online.Runner{
+		online.SpeculativeCaching{},
+		online.SpeculativeCaching{EpochTransfers: 64},
+		online.AdaptiveTTL{},
+		online.AlwaysMigrate{},
+		online.KeepEverywhere{},
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := online.Run(p, seq, benchModel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The event-driven simulator against the closed form (cross-check cost).
+func BenchmarkSimulatorSC(b *testing.B) {
+	seq := workload.MarkovHop{M: 8, Stay: 0.8, MeanGap: benchModel.Delta() / 2}.
+		Generate(rand.New(rand.NewSource(48)), 8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cloudsim.Run(cloudsim.NewSCPolicy(0, 0), seq, benchModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8: the full prediction pipeline.
+func BenchmarkPredictPlan(b *testing.B) {
+	field := trajectory.GridField(9, 1.0)
+	walker := trajectory.MarkovCells{Field: field, Stay: 0.9, Neighbors: 3, ReqGap: 0.9}
+	rng := rand.New(rand.NewSource(49))
+	train := walker.Generate(rng, 4096)
+	test := walker.Generate(rng, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := trajectory.NewPredictor(2)
+		p.Train(trajectory.Servers(train))
+		if _, err := trajectory.PlanAndExecute(p, test, model.Unit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9: the heterogeneous exact DP (exponential in m, linear in n).
+func BenchmarkHeteroOptimal(b *testing.B) {
+	for _, m := range []int{4, 8, 12} {
+		seq := benchSequence(m, 256, 50)
+		h := hetero.NewUniform(m, model.Unit)
+		pr := rand.New(rand.NewSource(51))
+		h.Perturb(0.3, pr.Float64)
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hetero.Optimal(seq, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The exact subset oracle at its comfortable sizes.
+func BenchmarkSubsetOracle(b *testing.B) {
+	seq := benchSequence(10, 256, 52)
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.SubsetOptimal(seq, benchModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E10: the migration-only optimum (O(nm), O(m) space).
+func BenchmarkSingleCopyOptimal(b *testing.B) {
+	seq := benchSequence(16, 16384, 53)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.SingleCopyOptimal(seq, benchModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Catalog-scale parallel planning: 64 items, scaling with workers.
+func BenchmarkOptimizeBatch(b *testing.B) {
+	var items []offline.BatchItem
+	for i := 0; i < 64; i++ {
+		items = append(items, offline.BatchItem{
+			Name:  fmt.Sprintf("item%d", i),
+			Seq:   benchSequence(8, 2048, int64(54+i)),
+			Model: benchModel,
+		})
+	}
+	for _, workers := range []int{1, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := offline.OptimizeBatch(items, workers)
+				if _, err := offline.TotalCost(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The cheap bounds vs. the full DP they bracket.
+func BenchmarkEstimateBounds(b *testing.B) {
+	seq := benchSequence(16, 16384, 55)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.ComputeBounds(seq, benchModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Streaming appends: the amortized O(m) per-request update of the
+// incremental DP.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	seq := benchSequence(16, 65536, 56)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc, err := offline.NewIncremental(seq.M, seq.Origin, benchModel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range seq.Requests {
+			if err := inc.Append(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// The graph-path single-copy solver vs its DP twin.
+func BenchmarkGraphSingleCopy(b *testing.B) {
+	seq := benchSequence(16, 16384, 57)
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.GraphSingleCopy(seq, benchModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The heterogeneous online policy at production-ish sizes.
+func BenchmarkHeteroSC(b *testing.B) {
+	seq := benchSequence(12, 8192, 58)
+	h := hetero.NewUniform(12, model.Unit)
+	pr := rand.New(rand.NewSource(59))
+	h.Perturb(0.3, pr.Float64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := (hetero.SC{Model: h}).Run(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fault-injected execution with recovery uploads.
+func BenchmarkFaultedRun(b *testing.B) {
+	seq := benchSequence(8, 8192, 60)
+	var faults []cloudsim.Fault
+	for ft := 1.0; ft < seq.End(); ft += 5 {
+		faults = append(faults, cloudsim.Fault{Server: model.ServerID(1 + int(ft)%8), At: ft})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cloudsim.RunWithFaults(seq, benchModel, online.SpeculativeCaching{}, faults, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package datacache_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the CLI binaries once per test run.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI e2e in short mode")
+	}
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func run(t *testing.T, bin string, stdin []byte, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != nil {
+		cmd.Stdin = bytes.NewReader(stdin)
+	}
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", bin, args, err, outBuf.String(), errBuf.String())
+	}
+	return outBuf.String(), errBuf.String()
+}
+
+// TestCLIPipeline drives the documented workflow end to end:
+// generate -> optimize -> simulate, through real process boundaries.
+func TestCLIPipeline(t *testing.T) {
+	bins := buildTools(t, "dcgen", "dcopt", "dcsim")
+	traceFile := filepath.Join(t.TempDir(), "trace.csv")
+	_, genErr := run(t, bins["dcgen"], nil,
+		"-workload", "markov", "-m", "5", "-n", "120", "-seed", "9", "-o", traceFile)
+	if !strings.Contains(genErr, "wrote 120 requests over 5 servers") {
+		t.Fatalf("dcgen stderr: %q", genErr)
+	}
+
+	optOut, _ := run(t, bins["dcopt"], nil, "-in", traceFile, "-lambda", "2", "-schedule", "-vectors")
+	for _, want := range []string{"optimal cost C(n):", "caching cost:", "H(s", "i=1"} {
+		if !strings.Contains(optOut, want) {
+			t.Errorf("dcopt output missing %q:\n%s", want, optOut)
+		}
+	}
+
+	simOut, _ := run(t, bins["dcsim"], nil, "-in", traceFile, "-lambda", "2", "-policy", "sc", "-metrics")
+	for _, want := range []string{"policy: SC", "ratio:", "utilization"} {
+		if !strings.Contains(simOut, want) {
+			t.Errorf("dcsim output missing %q:\n%s", want, simOut)
+		}
+	}
+
+	cmpOut, _ := run(t, bins["dcsim"], nil, "-in", traceFile, "-lambda", "2", "-compare")
+	for _, want := range []string{"OPT (offline)", "SC", "AdaptiveTTL", "KeepEverywhere", "cost/OPT"} {
+		if !strings.Contains(cmpOut, want) {
+			t.Errorf("dcsim -compare missing %q:\n%s", want, cmpOut)
+		}
+	}
+}
+
+// TestCLIStdinRoundTrip checks the pipe form: dcgen | dcopt.
+func TestCLIStdinRoundTrip(t *testing.T) {
+	bins := buildTools(t, "dcgen", "dcopt")
+	genOut, _ := run(t, bins["dcgen"], nil, "-workload", "zipf", "-m", "4", "-n", "50", "-seed", "3")
+	optOut, _ := run(t, bins["dcopt"], []byte(genOut), "-algo", "naive")
+	if !strings.Contains(optOut, "optimal cost C(n):") {
+		t.Fatalf("piped dcopt output:\n%s", optOut)
+	}
+	// The subset oracle must agree through the same pipe on a small trace.
+	genSmall, _ := run(t, bins["dcgen"], nil, "-workload", "uniform", "-m", "3", "-n", "10", "-seed", "3")
+	fastOut, _ := run(t, bins["dcopt"], []byte(genSmall), "-algo", "fast")
+	oracleOut, _ := run(t, bins["dcopt"], []byte(genSmall), "-algo", "subset")
+	fastCost := extractAfter(t, fastOut, "optimal cost C(n): ")
+	oracleCost := extractAfter(t, oracleOut, "optimal cost (subset oracle): ")
+	if fastCost != oracleCost {
+		t.Errorf("fast %q != oracle %q through the CLI", fastCost, oracleCost)
+	}
+}
+
+// TestCLIDcbenchGoldens spot-checks the experiment harness binary.
+func TestCLIDcbenchGoldens(t *testing.T) {
+	bins := buildTools(t, "dcbench")
+	out, _ := run(t, bins["dcbench"], nil, "fig6")
+	for _, want := range []string{"8.9", "9.2", "paper C", "space-time diagram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dcbench fig6 missing %q:\n%s", want, out)
+		}
+	}
+	out2, _ := run(t, bins["dcbench"], nil, "fig2")
+	if !strings.Contains(out2, "7.2") {
+		t.Errorf("dcbench fig2 missing the golden total:\n%s", out2)
+	}
+}
+
+// TestCLIDcplanCatalog drives the catalog planner binary over an inline
+// event trace.
+func TestCLIDcplanCatalog(t *testing.T) {
+	bins := buildTools(t, "dcplan")
+	trace := "#datacache-events m=3\n" +
+		"video,2,0.5\nprofile,1,0.9\nvideo,2,1.4\nvideo,3,2.0\nprofile,1,2.5\n"
+	out, _ := run(t, bins["dcplan"], []byte(trace), "-lambda", "2", "-online", "sc")
+	for _, want := range []string{"video", "profile", "TOTAL", "composed guarantee serve <= 3*plan holds: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dcplan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func extractAfter(t *testing.T, s, prefix string) string {
+	t.Helper()
+	i := strings.Index(s, prefix)
+	if i < 0 {
+		t.Fatalf("missing %q in %q", prefix, s)
+	}
+	rest := s[i+len(prefix):]
+	if j := strings.IndexAny(rest, " \n"); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}

@@ -1,0 +1,132 @@
+// Command dcbench regenerates the paper's tables and figures (see
+// DESIGN.md §3 and EXPERIMENTS.md for the index).
+//
+// Usage:
+//
+//	dcbench all                # every experiment with modest sizes
+//	dcbench table1             # E1: classic vs cloud caching paradigms
+//	dcbench fig2 | fig6 | fig7 # E2-E4: the paper's worked examples
+//	dcbench complexity         # E5: FastDP vs NaiveDP scaling
+//	dcbench ratio              # E6: competitive ratio sweep
+//	dcbench policies           # E7: policy comparison
+//	dcbench predict            # E8: trajectory prediction planning
+//	dcbench hetero             # E9: heterogeneous-cost regret
+//	dcbench replication        # E10: value-of-replication ablation
+//	dcbench window             # E11: retention-window ablation (incl. AdaptiveTTL)
+//	dcbench epoch              # E12: epoch-size ablation
+//	dcbench budget             # E13: copy-budget sweep (capacity re-imposed)
+//	dcbench sweep              # seeded-replica stability sweep of all policies
+//	dcbench faults             # E14: fault injection and β-upload economics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datacache/internal/experiments"
+	"datacache/internal/model"
+	"datacache/internal/online"
+	"datacache/internal/sweep"
+	"datacache/internal/workload"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 1, "random seed for all experiments")
+		n    = flag.Int("n", 2000, "workload size for ratio/policy experiments")
+	)
+	flag.Parse()
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+
+	var (
+		reps []*experiments.Report
+		err  error
+	)
+	switch cmd {
+	case "all":
+		reps, err = experiments.All(*seed)
+	case "table1":
+		reps, err = one(experiments.Table1(*seed))
+	case "fig2":
+		reps, err = one(experiments.Fig2())
+	case "fig6":
+		reps, err = one(experiments.Fig6())
+	case "fig7":
+		reps, err = one(experiments.Fig7(*seed))
+	case "complexity":
+		reps, err = one(experiments.Complexity(experiments.DefaultComplexity, *seed))
+	case "ratio":
+		reps, err = one(experiments.Ratio(*seed, *n))
+	case "policies":
+		reps, err = one(experiments.Policies(*seed, *n))
+	case "predict":
+		reps, err = one(experiments.Predict(*seed, *n/4))
+	case "hetero":
+		reps, err = one(experiments.Hetero(*seed))
+	case "replication":
+		reps, err = one(experiments.Replication(*seed, *n))
+	case "window":
+		reps, err = one(experiments.Window(*seed, *n))
+	case "epoch":
+		reps, err = one(experiments.Epoch(*seed, *n))
+	case "budget":
+		reps, err = one(experiments.Budget(*seed, *n/4))
+	case "sweep":
+		reps, err = one(sweepReport(*seed, *n))
+	case "faults":
+		reps, err = one(experiments.Faults(*seed, *n))
+	default:
+		fmt.Fprintf(os.Stderr, "dcbench: unknown experiment %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, rep := range reps {
+		fmt.Println(rep.String())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func one(rep *experiments.Report, err error) ([]*experiments.Report, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*experiments.Report{rep}, nil
+}
+
+// sweepReport runs the seeded-replica sweep: every policy on every workload
+// family and cost ratio, 10 seeds per cell, reporting mean/std/worst ratio.
+func sweepReport(seed int64, n int) (*experiments.Report, error) {
+	cm := model.Unit
+	seeds := make([]int64, 10)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	aggs, err := sweep.Run(sweep.Config{
+		Workloads: workload.Standard(8, cm.Delta()),
+		Policies: []online.Runner{
+			online.SpeculativeCaching{},
+			online.AdaptiveTTL{},
+			online.RandomizedSC{},
+			online.AlwaysMigrate{},
+			online.KeepEverywhere{},
+		},
+		Models: []model.CostModel{{Mu: 1, Lambda: 0.5}, model.Unit, {Mu: 1, Lambda: 4}},
+		Seeds:  seeds,
+		N:      n,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &experiments.Report{
+		ID:    "Sweep",
+		Title: "Seeded-replica policy sweep (10 seeds per cell)",
+		Table: sweep.Table(aggs),
+	}, nil
+}

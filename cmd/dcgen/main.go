@@ -1,0 +1,99 @@
+// Command dcgen generates request-sequence traces for the caching
+// experiments and writes them in the CSV or JSON trace format.
+//
+// Usage:
+//
+//	dcgen -workload zipf -m 16 -n 10000 -seed 7 -gap 1.0 -o trace.csv
+//
+// Workloads: uniform, zipf, bursty, markov, commuter, adversarial.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"datacache/internal/model"
+	"datacache/internal/trace"
+	"datacache/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "uniform", "workload family: uniform|zipf|bursty|markov|commuter|adversarial")
+		m      = flag.Int("m", 8, "number of servers")
+		n      = flag.Int("n", 1000, "number of requests")
+		seed   = flag.Int64("seed", 1, "random seed")
+		gap    = flag.Float64("gap", 1.0, "mean inter-arrival time (interpreted per family)")
+		zipfS  = flag.Float64("zipf-s", 1.5, "zipf exponent (zipf only)")
+		stay   = flag.Float64("stay", 0.8, "stay probability (markov only)")
+		burst  = flag.Int("burst", 8, "burst length (bursty only)")
+		window = flag.Float64("window", 1.0, "speculative window to defeat (adversarial only)")
+		format = flag.String("format", "csv", "output format: csv|json")
+		out    = flag.String("o", "", "output file (default stdout)")
+		show   = flag.Bool("stats", false, "print a workload summary to stderr")
+	)
+	flag.Parse()
+
+	gen, err := pick(*name, *m, *gap, *zipfS, *stay, *burst, *window)
+	if err != nil {
+		fatal(err)
+	}
+	seq := gen.Generate(rand.New(rand.NewSource(*seed)), *n)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch strings.ToLower(*format) {
+	case "csv":
+		err = trace.WriteCSV(w, seq)
+	case "json":
+		err = trace.WriteJSON(w, seq)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dcgen: wrote %d requests over %d servers (%s)\n", seq.N(), seq.M, gen.Name())
+	if *show {
+		st := model.AnalyzeSequence(seq)
+		fmt.Fprintf(os.Stderr, "dcgen: horizon %.4g, mean gap %.4g, stay %.2f, busiest s%d (%.0f%%), median revisit %.4g, untouched %d\n",
+			st.Horizon, st.MeanGap, st.StayFrac, st.Busiest, 100*st.TopShare, st.MedianRev, st.Untouched)
+	}
+}
+
+func pick(name string, m int, gap, zipfS, stay float64, burst int, window float64) (workload.Generator, error) {
+	switch strings.ToLower(name) {
+	case "uniform":
+		return workload.Uniform{M: m, MeanGap: gap}, nil
+	case "zipf":
+		return workload.Zipf{M: m, S: zipfS, MeanGap: gap}, nil
+	case "bursty":
+		return workload.Bursty{M: m, BurstLen: burst, WithinGap: gap / 4, BetweenGap: gap * 6}, nil
+	case "markov":
+		return workload.MarkovHop{M: m, Stay: stay, MeanGap: gap}, nil
+	case "commuter":
+		return workload.Commuter{
+			M: m, Route: []model.ServerID{1, 2, 1, model.ServerID(min(3, m))},
+			StopLen: 6, StopGap: gap / 4, TravelGap: gap * 4,
+		}, nil
+	case "adversarial":
+		return workload.Adversarial{M: m, Window: window}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcgen:", err)
+	os.Exit(1)
+}

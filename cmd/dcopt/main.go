@@ -1,0 +1,133 @@
+// Command dcopt computes the optimal off-line schedule for a request trace
+// under the homogeneous cost model, using the paper's O(mn) dynamic program
+// (or the baselines, for cross-checking).
+//
+// Usage:
+//
+//	dcgen -workload markov -n 200 | dcopt -mu 1 -lambda 2 -schedule
+//	dcopt -in trace.csv -algo naive -vectors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input trace file (default stdin)")
+		format   = flag.String("format", "csv", "input format: csv|json")
+		mu       = flag.Float64("mu", 1, "caching cost per unit time (μ)")
+		lambda   = flag.Float64("lambda", 1, "transfer cost (λ)")
+		algo     = flag.String("algo", "fast", "algorithm: fast|naive|subset")
+		vectors  = flag.Bool("vectors", false, "print the C and D vectors")
+		schedule = flag.Bool("schedule", false, "print the reconstructed optimal schedule")
+		explain  = flag.Bool("explain", false, "print the per-request service decisions and cost attribution")
+		diagram  = flag.Bool("diagram", false, "draw the schedule as a space-time diagram")
+	)
+	flag.Parse()
+
+	seq, err := readTrace(*in, *format)
+	if err != nil {
+		fatal(err)
+	}
+	cm := model.CostModel{Mu: *mu, Lambda: *lambda}
+
+	switch strings.ToLower(*algo) {
+	case "subset":
+		cost, err := offline.SubsetOptimal(seq, cm)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("optimal cost (subset oracle): %.6g\n", cost)
+		return
+	case "fast", "naive":
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	dp := offline.FastDP
+	if *algo == "naive" {
+		dp = offline.NaiveDP
+	}
+	res, err := dp(seq, cm)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("requests: %d   servers: %d   μ=%g λ=%g\n", seq.N(), seq.M, cm.Mu, cm.Lambda)
+	fmt.Printf("optimal cost C(n): %.6g   lower bound B(n): %.6g\n", res.Cost(), res.B[seq.N()])
+	if *vectors {
+		for i := 1; i <= seq.N(); i++ {
+			d := "+Inf"
+			if !math.IsInf(res.D[i], 1) {
+				d = fmt.Sprintf("%.6g", res.D[i])
+			}
+			fmt.Printf("  i=%-6d C=%-12.6g D=%s\n", i, res.C[i], d)
+		}
+	}
+	if *schedule {
+		sched, err := res.Schedule()
+		if err != nil {
+			fatal(err)
+		}
+		if err := sched.Validate(seq); err != nil {
+			fatal(fmt.Errorf("internal error: reconstructed schedule infeasible: %w", err))
+		}
+		fmt.Printf("caching cost: %.6g (%d intervals)   transfer cost: %.6g (%d transfers)\n",
+			sched.CachingCost(cm), len(sched.Caches), sched.TransferCost(cm), len(sched.Transfers))
+		for _, h := range sched.Caches {
+			fmt.Printf("  H(s%d, %.6g, %.6g)\n", h.Server, h.From, h.To)
+		}
+		for _, tr := range sched.Transfers {
+			fmt.Printf("  Tr(s%d -> s%d, %.6g)\n", tr.From, tr.To, tr.Time)
+		}
+	}
+	if *explain {
+		ds, err := res.Explain()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(offline.RenderDecisions(ds))
+	}
+	if *diagram {
+		sched, err := res.Schedule()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(model.RenderSpaceTime(seq, sched, 100))
+		fmt.Print(model.RenderLegend())
+	}
+}
+
+func readTrace(path, format string) (*model.Sequence, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch strings.ToLower(format) {
+	case "csv":
+		return trace.ReadCSV(r)
+	case "json":
+		return trace.ReadJSON(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcopt:", err)
+	os.Exit(1)
+}

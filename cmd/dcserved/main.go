@@ -1,0 +1,40 @@
+// Command dcserved runs the data-caching planning service over HTTP.
+//
+// Usage:
+//
+//	dcserved -addr :8080
+//
+// Endpoints (JSON bodies unless noted):
+//
+//	GET  /healthz                     liveness
+//	POST /v1/optimize                 {sequence, model, schedule?, vectors?} → optimum + bounds
+//	POST /v1/simulate                 {sequence, model, policy, window?, epoch?} → cost vs optimum
+//	POST /v1/generate                 {workload, m, n, seed, gap?} → sequence
+//	GET  /v1/policies                 available policy names
+//	POST /v1/stream                   {m, origin, model} → incremental planning stream
+//	POST /v1/stream/{id}/append       {server, time} → updated optimum in O(m)
+//	GET  /v1/stream/{id}              stream state
+//	GET  /v1/stream/{id}/schedule     optimal schedule for the streamed prefix
+//	DELETE /v1/stream/{id}            drop the stream
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"datacache/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.New(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("dcserved: listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

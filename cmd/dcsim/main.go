@@ -1,0 +1,133 @@
+// Command dcsim replays a request trace through an online caching policy
+// and reports its cost against the off-line optimum.
+//
+// Usage:
+//
+//	dcgen -workload zipf -n 5000 | dcsim -policy sc
+//	dcsim -in trace.csv -policy ttl -window 0.5
+//	dcsim -in trace.csv -compare            # every policy side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/online"
+	"datacache/internal/stats"
+	"datacache/internal/trace"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input trace file (default stdin)")
+		format  = flag.String("format", "csv", "input format: csv|json")
+		mu      = flag.Float64("mu", 1, "caching cost per unit time (μ)")
+		lambda  = flag.Float64("lambda", 1, "transfer cost (λ)")
+		policy  = flag.String("policy", "sc", "policy: sc|ttl|adaptive|migrate|keep")
+		window  = flag.Float64("window", 0, "TTL window override (ttl policy; 0 = λ/μ)")
+		epoch   = flag.Int("epoch", 0, "SC epoch size in transfers (0 = unbounded)")
+		compare = flag.Bool("compare", false, "run every policy and print a comparison table")
+		metrics = flag.Bool("metrics", false, "print the per-server breakdown of the policy's schedule")
+	)
+	flag.Parse()
+
+	seq, err := readTrace(*in, *format)
+	if err != nil {
+		fatal(err)
+	}
+	cm := model.CostModel{Mu: *mu, Lambda: *lambda}
+
+	opt, err := offline.FastDP(seq, cm)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		table := &stats.Table{Header: []string{"policy", "cost", "transfers", "hits", "cost/OPT"}}
+		table.Add("OPT (offline)", opt.Cost(), "-", "-", 1.0)
+		for _, p := range []online.Runner{
+			online.SpeculativeCaching{EpochTransfers: *epoch},
+			online.SpeculativeCaching{Window: cm.Delta() / 4},
+			online.SpeculativeCaching{Window: cm.Delta() * 4},
+			online.AdaptiveTTL{},
+			online.AlwaysMigrate{},
+			online.KeepEverywhere{},
+		} {
+			res, err := online.Run(p, seq, cm)
+			if err != nil {
+				fatal(err)
+			}
+			table.Add(p.Name(), res.Stats.Cost, res.Stats.Transfers, res.Stats.CacheHits,
+				res.Stats.Cost/opt.Cost())
+		}
+		fmt.Print(table.String())
+		return
+	}
+
+	p, err := pick(*policy, *window, *epoch)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := online.Run(p, seq, cm)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("policy: %s over %d requests (m=%d, μ=%g, λ=%g)\n", p.Name(), seq.N(), seq.M, cm.Mu, cm.Lambda)
+	fmt.Printf("cost: %.6g   transfers: %d   cache hits: %d\n", res.Stats.Cost, res.Stats.Transfers, res.Stats.CacheHits)
+	fmt.Printf("offline optimum: %.6g   ratio: %.4f (SC bound: 3)\n", opt.Cost(), res.Stats.Cost/opt.Cost())
+	if *metrics {
+		table := &stats.Table{Header: []string{"server", "requests", "cache-served", "xfers in", "xfers out", "cached time", "utilization"}}
+		for _, m := range model.Metrics(seq, res.Schedule) {
+			table.Add(fmt.Sprintf("s%d", m.Server), m.Requests, m.CacheServed,
+				m.TransfersIn, m.TransfersOut, m.CachedTime, m.Utilization)
+		}
+		fmt.Print(table.String())
+	}
+}
+
+func pick(name string, window float64, epoch int) (online.Runner, error) {
+	switch strings.ToLower(name) {
+	case "sc":
+		return online.SpeculativeCaching{EpochTransfers: epoch}, nil
+	case "ttl":
+		return online.SpeculativeCaching{Window: window}, nil
+	case "adaptive":
+		return online.AdaptiveTTL{}, nil
+	case "migrate":
+		return online.AlwaysMigrate{}, nil
+	case "keep":
+		return online.KeepEverywhere{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func readTrace(path, format string) (*model.Sequence, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch strings.ToLower(format) {
+	case "csv":
+		return trace.ReadCSV(r)
+	case "json":
+		return trace.ReadJSON(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcsim:", err)
+	os.Exit(1)
+}

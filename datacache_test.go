@@ -1,0 +1,101 @@
+package datacache_test
+
+import (
+	"math"
+	"testing"
+
+	"datacache"
+)
+
+func demoSequence() *datacache.Sequence {
+	return &datacache.Sequence{
+		M:      4,
+		Origin: 1,
+		Requests: []datacache.Request{
+			{Server: 2, Time: 0.5},
+			{Server: 3, Time: 0.8},
+			{Server: 4, Time: 1.1},
+			{Server: 1, Time: 1.4},
+			{Server: 2, Time: 2.6},
+			{Server: 2, Time: 3.2},
+			{Server: 3, Time: 4.0},
+		},
+	}
+}
+
+func TestOptimizeThroughFacade(t *testing.T) {
+	res, err := datacache.Optimize(demoSequence(), datacache.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost()-8.9) > 1e-9 {
+		t.Errorf("cost = %v, want 8.9 (paper running example)", res.Cost())
+	}
+	sched, err := res.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(demoSequence()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalCostConvenience(t *testing.T) {
+	cost, err := datacache.OptimalCost(demoSequence(), datacache.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-8.9) > 1e-9 {
+		t.Errorf("cost = %v", cost)
+	}
+	if _, err := datacache.OptimalCost(&datacache.Sequence{M: 0}, datacache.Unit); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+}
+
+func TestServeAndMeasureRatio(t *testing.T) {
+	seq := demoSequence()
+	run, err := datacache.Serve(datacache.SpeculativeCaching{}, seq, datacache.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Stats.Cost <= 0 {
+		t.Fatalf("SC cost = %v", run.Stats.Cost)
+	}
+	pt, err := datacache.MeasureRatio(datacache.SpeculativeCaching{}, seq, datacache.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Ratio > 3 {
+		t.Errorf("ratio %v exceeds the Theorem 3 bound", pt.Ratio)
+	}
+	if pt.Ratio < 1 {
+		t.Errorf("ratio %v below 1", pt.Ratio)
+	}
+}
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	seq := demoSequence()
+	for _, p := range []datacache.Policy{datacache.AlwaysMigrate{}, datacache.KeepEverywhere{}} {
+		run, err := datacache.Serve(p, seq, datacache.Unit)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if err := run.Schedule.Validate(seq); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestScheduleTypesUsable(t *testing.T) {
+	var s datacache.Schedule
+	s.AddCache(1, 0, 2)
+	s.AddTransfer(1, 2, 2)
+	cm := datacache.CostModel{Mu: 2, Lambda: 10}
+	if got := s.Cost(cm); got != 14 {
+		t.Errorf("cost = %v, want 14", got)
+	}
+	if cm.Delta() != 5 {
+		t.Errorf("Delta = %v", cm.Delta())
+	}
+}

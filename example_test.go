@@ -1,0 +1,88 @@
+package datacache_test
+
+import (
+	"fmt"
+
+	"datacache"
+)
+
+// The running example of the paper's Section IV: seven requests over four
+// servers, μ = λ = 1. The optimal cost is 8.9.
+func ExampleOptimize() {
+	seq := &datacache.Sequence{
+		M:      4,
+		Origin: 1,
+		Requests: []datacache.Request{
+			{Server: 2, Time: 0.5},
+			{Server: 3, Time: 0.8},
+			{Server: 4, Time: 1.1},
+			{Server: 1, Time: 1.4},
+			{Server: 2, Time: 2.6},
+			{Server: 2, Time: 3.2},
+			{Server: 3, Time: 4.0},
+		},
+	}
+	res, err := datacache.Optimize(seq, datacache.Unit)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal cost: %.1f\n", res.Cost())
+	// Output: optimal cost: 8.9
+}
+
+// Serving the same sequence online with Speculative Caching: the cost is
+// guaranteed within 3x of the optimum.
+func ExampleServe() {
+	seq := &datacache.Sequence{
+		M:      2,
+		Origin: 1,
+		Requests: []datacache.Request{
+			{Server: 2, Time: 5},
+			{Server: 2, Time: 5.5},
+			{Server: 1, Time: 10},
+		},
+	}
+	run, err := datacache.Serve(datacache.SpeculativeCaching{}, seq, datacache.Unit)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("online cost: %.0f over %d transfers\n", run.Stats.Cost, run.Stats.Transfers)
+	// Output: online cost: 13 over 2 transfers
+}
+
+// MeasureRatio compares a policy against the clairvoyant optimum.
+func ExampleMeasureRatio() {
+	seq := &datacache.Sequence{
+		M:      2,
+		Origin: 1,
+		Requests: []datacache.Request{
+			{Server: 2, Time: 5},
+			{Server: 2, Time: 5.5},
+			{Server: 1, Time: 10},
+		},
+	}
+	pt, err := datacache.MeasureRatio(datacache.SpeculativeCaching{}, seq, datacache.Unit)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ratio %.4f <= 3\n", pt.Ratio)
+	// Output: ratio 1.1304 <= 3
+}
+
+// EstimateBounds brackets the optimum in O(n) without running the DP.
+func ExampleEstimateBounds() {
+	seq := &datacache.Sequence{
+		M:      2,
+		Origin: 1,
+		Requests: []datacache.Request{
+			{Server: 1, Time: 1},
+			{Server: 1, Time: 2},
+		},
+	}
+	b, err := datacache.EstimateBounds(seq, datacache.Unit)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimum in [%.0f, %.0f]\n", b.Lower, b.Upper)
+	// Output: optimum in [2, 2]
+}

@@ -1,0 +1,63 @@
+// Multi-item: a data service rarely hosts one object. Under the
+// homogeneous cost model, items are independent — each item's placement is
+// optimized (or served online) on its own — so a service planner simply
+// runs the machinery per item and aggregates. This example provisions a
+// catalog of items with different popularity profiles and cost rates,
+// compares the planned (off-line) bill with the online (SC) bill per item,
+// and totals the account.
+//
+//	go run ./examples/multiitem
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"datacache"
+	"datacache/internal/stats"
+	"datacache/internal/workload"
+)
+
+type item struct {
+	name string
+	cm   datacache.CostModel
+	gen  workload.Generator
+	n    int
+}
+
+func main() {
+	const m = 12
+	catalog := []item{
+		// A hot item: cheap to cache relative to moving it around.
+		{"hot-video", datacache.CostModel{Mu: 1, Lambda: 8}, workload.Zipf{M: m, S: 1.8, MeanGap: 0.5}, 3000},
+		// A warm item with commuter locality.
+		{"user-profile", datacache.CostModel{Mu: 1, Lambda: 2}, workload.Commuter{
+			M: m, Route: []datacache.ServerID{1, 4, 1, 9}, StopLen: 8, StopGap: 0.3, TravelGap: 6,
+		}, 2000},
+		// A cold item: caching is expensive, requests are scattered.
+		{"archive-blob", datacache.CostModel{Mu: 4, Lambda: 1}, workload.Uniform{M: m, MeanGap: 3}, 500},
+	}
+
+	table := &stats.Table{Header: []string{"item", "requests", "planned bill", "online bill", "online/planned"}}
+	var totalPlanned, totalOnline float64
+	rng := rand.New(rand.NewSource(7))
+	for _, it := range catalog {
+		seq := it.gen.Generate(rng, it.n)
+		planned, err := datacache.OptimalCost(seq, it.cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := datacache.Serve(datacache.SpeculativeCaching{}, seq, it.cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.Add(it.name, it.n, planned, run.Stats.Cost, run.Stats.Cost/planned)
+		totalPlanned += planned
+		totalOnline += run.Stats.Cost
+	}
+	table.Add("TOTAL", "", totalPlanned, totalOnline, totalOnline/totalPlanned)
+	fmt.Print(table.String())
+	fmt.Println("\nper-item independence under the homogeneous model means the service")
+	fmt.Println("bill is the sum of per-item optima; the online premium stays under 3x.")
+}

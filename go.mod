@@ -1,0 +1,3 @@
+module datacache
+
+go 1.22

@@ -1,0 +1,77 @@
+// Package calibrate turns real cloud prices into the paper's cost model.
+// The homogeneous model has two parameters — μ (caching cost per unit time)
+// and λ (transfer cost) — but operators think in catalog prices: $/GB·month
+// for storage or memory, $/GB for egress. Calibration fixes the item size
+// and the time unit and derives (μ, λ), plus the derived quantities that
+// drive every policy decision: the speculative window Δt = λ/μ and the
+// break-even revisit gap.
+package calibrate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Prices is a cloud price card.
+type Prices struct {
+	// StoragePerGBHour is the caching price in $ per GB per hour (e.g.
+	// memory-backed cache ~0.005-0.05, SSD ~0.0001).
+	StoragePerGBHour float64
+	// TransferPerGB is the inter-server data transfer price in $ per GB
+	// (e.g. cross-zone egress ~0.01-0.09).
+	TransferPerGB float64
+}
+
+// Item describes the cached object and the modeling time unit.
+type Item struct {
+	SizeGB   float64
+	TimeUnit float64 // hours per model time unit (1 = hours, 24 = days)
+}
+
+// Model is the calibrated outcome.
+type Model struct {
+	Mu     float64 // $ per model time unit of caching the item
+	Lambda float64 // $ per transfer of the item
+	// Window is the speculative window Δt = λ/μ in model time units: keep
+	// an idle copy this long before a re-fetch becomes cheaper.
+	Window float64
+	// WindowHours is the same in wall hours.
+	WindowHours float64
+}
+
+// Calibrate derives the homogeneous cost model.
+func Calibrate(p Prices, it Item) (Model, error) {
+	if !(p.StoragePerGBHour > 0) || math.IsInf(p.StoragePerGBHour, 0) {
+		return Model{}, fmt.Errorf("calibrate: storage price %v must be positive and finite", p.StoragePerGBHour)
+	}
+	if !(p.TransferPerGB > 0) || math.IsInf(p.TransferPerGB, 0) {
+		return Model{}, fmt.Errorf("calibrate: transfer price %v must be positive and finite", p.TransferPerGB)
+	}
+	if !(it.SizeGB > 0) || !(it.TimeUnit > 0) {
+		return Model{}, fmt.Errorf("calibrate: item size %v GB and time unit %v h must be positive", it.SizeGB, it.TimeUnit)
+	}
+	m := Model{
+		Mu:     p.StoragePerGBHour * it.SizeGB * it.TimeUnit,
+		Lambda: p.TransferPerGB * it.SizeGB,
+	}
+	m.Window = m.Lambda / m.Mu
+	m.WindowHours = m.Window * it.TimeUnit
+	return m, nil
+}
+
+// BreakEvenGapHours returns the revisit gap (in hours) above which a
+// one-shot transfer beats holding the copy — the same quantity as
+// WindowHours, exposed under its operational name.
+func (m Model) BreakEvenGapHours() float64 { return m.WindowHours }
+
+// MonthlyHoldCost returns the cost of pinning one copy for 30 days, the
+// number an operator compares against request volume × λ.
+func (m Model) MonthlyHoldCost(it Item) float64 {
+	return m.Mu / it.TimeUnit * 24 * 30
+}
+
+// String renders the calibration compactly.
+func (m Model) String() string {
+	return fmt.Sprintf("μ=$%.6g/unit λ=$%.6g Δt=%.4g units (%.4g h)",
+		m.Mu, m.Lambda, m.Window, m.WindowHours)
+}

@@ -1,0 +1,104 @@
+package calibrate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/online"
+)
+
+func TestCalibrateMemoryCachedBlob(t *testing.T) {
+	// A 10 GB object in a memory cache at $0.02/GB·h, cross-zone transfer
+	// at $0.05/GB, modeled in hours.
+	m, err := Calibrate(
+		Prices{StoragePerGBHour: 0.02, TransferPerGB: 0.05},
+		Item{SizeGB: 10, TimeUnit: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Mu-0.2) > 1e-12 || math.Abs(m.Lambda-0.5) > 1e-12 {
+		t.Fatalf("μ/λ = %v/%v, want 0.2/0.5", m.Mu, m.Lambda)
+	}
+	if math.Abs(m.Window-2.5) > 1e-12 || math.Abs(m.WindowHours-2.5) > 1e-12 {
+		t.Errorf("window = %v units / %v h, want 2.5", m.Window, m.WindowHours)
+	}
+	if math.Abs(m.BreakEvenGapHours()-2.5) > 1e-12 {
+		t.Errorf("break-even = %v", m.BreakEvenGapHours())
+	}
+	// 0.2 $/h * 720 h = 144 $/month.
+	if got := m.MonthlyHoldCost(Item{SizeGB: 10, TimeUnit: 1}); math.Abs(got-144) > 1e-9 {
+		t.Errorf("monthly hold = %v, want 144", got)
+	}
+	if !strings.Contains(m.String(), "Δt=2.5") {
+		t.Errorf("rendering: %s", m)
+	}
+}
+
+func TestCalibrateTimeUnitInvariance(t *testing.T) {
+	// Switching the model time unit from hours to days must leave the
+	// wall-clock window unchanged (the Scale-invariance of the optimizer,
+	// seen from the calibration side).
+	p := Prices{StoragePerGBHour: 0.004, TransferPerGB: 0.09}
+	hours, err := Calibrate(p, Item{SizeGB: 2, TimeUnit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	days, err := Calibrate(p, Item{SizeGB: 2, TimeUnit: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hours.WindowHours-days.WindowHours) > 1e-9 {
+		t.Fatalf("wall window drifted: %v h vs %v h", hours.WindowHours, days.WindowHours)
+	}
+	if math.Abs(hours.Lambda-days.Lambda) > 1e-12 {
+		t.Fatalf("λ depends on the time unit: %v vs %v", hours.Lambda, days.Lambda)
+	}
+}
+
+func TestCalibrateFeedsThePolicies(t *testing.T) {
+	// End to end: calibrated model drives SC on a sequence in hours.
+	m, err := Calibrate(Prices{StoragePerGBHour: 0.01, TransferPerGB: 0.04}, Item{SizeGB: 5, TimeUnit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := model.CostModel{Mu: m.Mu, Lambda: m.Lambda}
+	if err := cm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seq := &model.Sequence{M: 3, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 1},
+		{Server: 2, Time: 2},
+		{Server: 3, Time: 9},
+	}}
+	pt, err := online.CompetitiveRatio(online.SpeculativeCaching{}, seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Ratio > 3 {
+		t.Errorf("calibrated run ratio %v > 3", pt.Ratio)
+	}
+	if pt.Cost <= 0 || pt.Opt <= 0 {
+		t.Errorf("degenerate costs: %+v", pt)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	cases := []struct {
+		p  Prices
+		it Item
+	}{
+		{Prices{0, 0.05}, Item{SizeGB: 1, TimeUnit: 1}},
+		{Prices{0.02, 0}, Item{SizeGB: 1, TimeUnit: 1}},
+		{Prices{0.02, 0.05}, Item{SizeGB: 0, TimeUnit: 1}},
+		{Prices{0.02, 0.05}, Item{SizeGB: 1, TimeUnit: 0}},
+		{Prices{math.Inf(1), 0.05}, Item{SizeGB: 1, TimeUnit: 1}},
+	}
+	for i, c := range cases {
+		if _, err := Calibrate(c.p, c.it); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package cloudsim
+
+import (
+	"fmt"
+	"strings"
+
+	"datacache/internal/model"
+)
+
+// TraceKind labels one observed simulation event.
+type TraceKind int8
+
+// Trace event kinds, in the order they may occur at one instant.
+const (
+	TraceRequest TraceKind = iota
+	TraceHit
+	TraceTransfer
+	TraceDrop
+	TraceTimer
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceRequest:
+		return "request"
+	case TraceHit:
+		return "hit"
+	case TraceTransfer:
+		return "transfer"
+	case TraceDrop:
+		return "drop"
+	case TraceTimer:
+		return "timer"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one entry of the simulation log.
+type TraceEvent struct {
+	At     float64
+	Kind   TraceKind
+	Server int
+	From   int // transfer source, when Kind == TraceTransfer
+}
+
+// Recorder collects simulation events into a bounded ring: the most recent
+// Cap events survive (Cap <= 0 keeps everything). Attach one via RunTraced.
+type Recorder struct {
+	Cap     int
+	events  []TraceEvent
+	dropped int
+}
+
+// observe appends an event, evicting the oldest past the cap.
+func (r *Recorder) observe(ev TraceEvent) {
+	if r.Cap > 0 && len(r.events) >= r.Cap {
+		copy(r.events, r.events[1:])
+		r.events = r.events[:len(r.events)-1]
+		r.dropped++
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the retained log in time order.
+func (r *Recorder) Events() []TraceEvent { return r.events }
+
+// Dropped reports how many events were evicted by the cap.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// String renders the log compactly, one event per line.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", r.dropped)
+	}
+	for _, ev := range r.events {
+		switch ev.Kind {
+		case TraceTransfer:
+			fmt.Fprintf(&b, "%10.4f  %-8s s%d -> s%d\n", ev.At, ev.Kind, ev.From, ev.Server)
+		default:
+			fmt.Fprintf(&b, "%10.4f  %-8s s%d\n", ev.At, ev.Kind, ev.Server)
+		}
+	}
+	return b.String()
+}
+
+// tracedPolicy wraps a policy, mirroring its environment interactions into
+// a Recorder without altering behavior.
+type tracedPolicy struct {
+	Policy
+	rec *Recorder
+}
+
+func (t *tracedPolicy) OnRequest(env *Env, server model.ServerID, now float64) {
+	t.rec.observe(TraceEvent{At: now, Kind: TraceRequest, Server: int(server)})
+	before := len(env.sim.sched.Transfers)
+	held := env.HasCopy(server)
+	t.Policy.OnRequest(env, server, now)
+	if held {
+		t.rec.observe(TraceEvent{At: now, Kind: TraceHit, Server: int(server)})
+	}
+	for _, tr := range env.sim.sched.Transfers[before:] {
+		t.rec.observe(TraceEvent{At: tr.Time, Kind: TraceTransfer, Server: int(tr.To), From: int(tr.From)})
+	}
+}
+
+func (t *tracedPolicy) OnTimer(env *Env, server model.ServerID, now float64) {
+	copiesBefore := len(env.Copies())
+	t.Policy.OnTimer(env, server, now)
+	if len(env.Copies()) < copiesBefore {
+		t.rec.observe(TraceEvent{At: now, Kind: TraceDrop, Server: int(server)})
+	} else {
+		t.rec.observe(TraceEvent{At: now, Kind: TraceTimer, Server: int(server)})
+	}
+}
+
+// RunTraced runs a policy with a Recorder attached and returns both the
+// report and the recorder. ringCap bounds the retained log (<= 0 keeps
+// everything).
+func RunTraced(p Policy, seq *model.Sequence, cm model.CostModel, ringCap int) (*Report, *Recorder, error) {
+	rec := &Recorder{Cap: ringCap}
+	rep, err := Run(&tracedPolicy{Policy: p, rec: rec}, seq, cm)
+	return rep, rec, err
+}

@@ -1,0 +1,103 @@
+package cloudsim
+
+import (
+	"strings"
+	"testing"
+
+	"datacache/internal/model"
+)
+
+func tracedFixture() *model.Sequence {
+	return &model.Sequence{M: 2, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 5},   // miss: transfer s1->s2
+		{Server: 2, Time: 5.5}, // hit
+		{Server: 1, Time: 10},  // s1 expired at 6: transfer s2->s1
+	}}
+}
+
+func TestRunTracedRecordsStory(t *testing.T) {
+	rep, rec, err := RunTraced(NewSCPolicy(0, 0), tracedFixture(), model.Unit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transfers != 2 {
+		t.Fatalf("transfers = %d", rep.Transfers)
+	}
+	counts := map[TraceKind]int{}
+	for _, ev := range rec.Events() {
+		counts[ev.Kind]++
+	}
+	if counts[TraceRequest] != 3 {
+		t.Errorf("requests traced = %d, want 3", counts[TraceRequest])
+	}
+	if counts[TraceTransfer] != 2 {
+		t.Errorf("transfers traced = %d, want 2", counts[TraceTransfer])
+	}
+	if counts[TraceHit] != 1 {
+		t.Errorf("hits traced = %d, want 1", counts[TraceHit])
+	}
+	if counts[TraceDrop] != 1 { // s1's copy expires at t=6
+		t.Errorf("drops traced = %d, want 1", counts[TraceDrop])
+	}
+	// Time-ordered.
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("trace out of order:\n%s", rec)
+		}
+	}
+	out := rec.String()
+	for _, want := range []string{"request", "hit", "transfer s1 -> s2", "drop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorderRingCap(t *testing.T) {
+	_, rec, err := RunTraced(NewSCPolicy(0, 0), tracedFixture(), model.Unit, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) != 3 {
+		t.Fatalf("retained = %d, want 3", len(rec.Events()))
+	}
+	if rec.Dropped() == 0 {
+		t.Error("ring should have dropped earlier events")
+	}
+	if !strings.Contains(rec.String(), "earlier events dropped") {
+		t.Error("rendering does not mention dropped events")
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	names := map[TraceKind]string{
+		TraceRequest:  "request",
+		TraceHit:      "hit",
+		TraceTransfer: "transfer",
+		TraceDrop:     "drop",
+		TraceTimer:    "timer",
+		TraceKind(99): "kind(99)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestTracedPolicyDoesNotChangeBehavior(t *testing.T) {
+	seq := tracedFixture()
+	plain, err := Run(NewSCPolicy(0, 0), seq, model.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, _, err := RunTraced(NewSCPolicy(0, 0), seq, model.Unit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cost != traced.Cost || plain.Transfers != traced.Transfers {
+		t.Errorf("tracing changed behavior: %v/%d vs %v/%d",
+			plain.Cost, plain.Transfers, traced.Cost, traced.Transfers)
+	}
+}

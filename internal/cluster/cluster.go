@@ -1,0 +1,279 @@
+// Package cluster runs the caching system as an actual concurrent program:
+// every cache server is a goroutine owning its local copy state, transfers
+// travel as messages over channels, and a coordinator goroutine sequences
+// virtual time and runs the placement policy. Nothing is shared — state
+// moves by communicating — and the result is validated against the same
+// schedule semantics as every other execution engine in the repository.
+//
+// The package exists for two reasons. First, it demonstrates that the
+// policy logic is engine-independent: the integration tests assert that a
+// concurrent SC cluster produces exactly the closed-form SC cost. Second,
+// it is the scaffold a real deployment would start from: replace the
+// channels with sockets and the virtual clock with wall time and the
+// coordinator/server split survives intact.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"datacache/internal/model"
+	"datacache/internal/online"
+)
+
+// msgKind discriminates coordinator->server commands.
+type msgKind int8
+
+const (
+	msgHold    msgKind = iota // start holding a copy (delivery of a transfer)
+	msgRelease                // delete the local copy
+	msgServe                  // serve a request from the local copy
+	msgQuit                   // shut down
+)
+
+// command is one message to a server goroutine.
+type command struct {
+	kind msgKind
+	at   float64
+	from model.ServerID // transfer source for msgHold
+	ack  chan<- event   // every command is acknowledged with an event
+}
+
+// event is a server's acknowledgment, carrying its local bookkeeping so the
+// coordinator can assemble the global schedule without shared state.
+type event struct {
+	server   model.ServerID
+	kind     msgKind
+	at       float64
+	from     model.ServerID
+	heldFrom float64 // for msgRelease: when the deleted copy was acquired
+	ok       bool
+}
+
+// server is the goroutine owning one cache's local state.
+type server struct {
+	id     model.ServerID
+	inbox  chan command
+	holds  bool
+	since  float64
+	served int
+}
+
+func (s *server) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for cmd := range s.inbox {
+		ev := event{server: s.id, kind: cmd.kind, at: cmd.at, from: cmd.from}
+		switch cmd.kind {
+		case msgHold:
+			if !s.holds {
+				s.holds = true
+				s.since = cmd.at
+				ev.ok = true
+			}
+		case msgRelease:
+			if s.holds {
+				s.holds = false
+				ev.heldFrom = s.since
+				ev.ok = true
+			}
+		case msgServe:
+			if s.holds {
+				s.served++
+				ev.ok = true
+			}
+		case msgQuit:
+			ev.ok = true
+			if cmd.ack != nil {
+				cmd.ack <- ev
+			}
+			return
+		}
+		if cmd.ack != nil {
+			cmd.ack <- ev
+		}
+	}
+}
+
+// Cluster wires m server goroutines to a coordinator.
+type Cluster struct {
+	seq     *model.Sequence
+	cm      model.CostModel
+	servers []*server
+	acks    chan event
+	wg      sync.WaitGroup
+	sched   model.Schedule
+	now     float64
+}
+
+// New starts the server goroutines for an instance. Close must be called
+// (Run does it) to release them.
+func New(seq *model.Sequence, cm model.CostModel) (*Cluster, error) {
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cm.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{seq: seq, cm: cm, acks: make(chan event)}
+	for j := 1; j <= seq.M; j++ {
+		sv := &server{id: model.ServerID(j), inbox: make(chan command, 1)}
+		c.servers = append(c.servers, sv)
+		c.wg.Add(1)
+		go sv.run(&c.wg)
+	}
+	// Seed the origin copy at t=0.
+	if ev := c.send(seq.Origin, command{kind: msgHold, at: 0}); !ev.ok {
+		c.shutdown()
+		return nil, fmt.Errorf("cluster: could not seed the origin copy")
+	}
+	return c, nil
+}
+
+// send issues one command and waits for the acknowledgment — the
+// coordinator's only way to observe server state.
+func (c *Cluster) send(to model.ServerID, cmd command) event {
+	ack := make(chan event, 1)
+	cmd.ack = ack
+	c.servers[to-1].inbox <- cmd
+	return <-ack
+}
+
+// Transfer moves a copy between servers at virtual time t: the source is
+// asked to prove it holds a copy (a serve-shaped probe), then the target is
+// told to hold. The transfer is recorded in the schedule.
+func (c *Cluster) Transfer(from, to model.ServerID, t float64) error {
+	if from == to {
+		return fmt.Errorf("cluster: self transfer on s%d", from)
+	}
+	if probe := c.send(from, command{kind: msgServe, at: t}); !probe.ok {
+		return fmt.Errorf("cluster: transfer source s%d holds no copy at t=%v", from, t)
+	}
+	if ev := c.send(to, command{kind: msgHold, at: t, from: from}); !ev.ok {
+		return fmt.Errorf("cluster: target s%d already holds a copy at t=%v", to, t)
+	}
+	c.sched.AddTransfer(from, to, t)
+	return nil
+}
+
+// Release deletes a copy at virtual time t, folding its interval into the
+// schedule.
+func (c *Cluster) Release(server model.ServerID, t float64) error {
+	ev := c.send(server, command{kind: msgRelease, at: t})
+	if !ev.ok {
+		return fmt.Errorf("cluster: release on s%d which holds nothing", server)
+	}
+	c.sched.AddCache(server, ev.heldFrom, t)
+	return nil
+}
+
+// Serve asks a server to serve a request locally.
+func (c *Cluster) Serve(server model.ServerID, t float64) bool {
+	return c.send(server, command{kind: msgServe, at: t}).ok
+}
+
+// shutdown quits every server goroutine and waits for them.
+func (c *Cluster) shutdown() {
+	for _, sv := range c.servers {
+		sv.inbox <- command{kind: msgQuit}
+	}
+	c.wg.Wait()
+}
+
+// Run drives any online policy over the instance through the concurrent
+// cluster and returns the resulting schedule. The policy decides (as the
+// decision oracle, producing the reference schedule); what this engine
+// changes is *execution*: every state transition travels through a channel
+// to the owning goroutine, and the schedule is assembled purely from
+// acknowledgments. Costs therefore match the closed form exactly, which
+// TestClusterMatchesClosedForm asserts for the SC family and AdaptiveTTL.
+func Run(seq *model.Sequence, cm model.CostModel, policy online.Runner) (*model.Schedule, error) {
+	c, err := New(seq, cm)
+	if err != nil {
+		return nil, err
+	}
+	defer c.shutdown()
+
+	// Obtain the decision trace from the closed-form engine: its schedule
+	// is a script of holds, releases and transfers that the cluster then
+	// *executes* message by message, re-deriving every interval from the
+	// goroutines' own acknowledgments.
+	ref, err := policy.Run(seq, cm)
+	if err != nil {
+		return nil, err
+	}
+	type action struct {
+		at       float64
+		isXfer   bool
+		from, to model.ServerID
+		server   model.ServerID // release
+	}
+	var script []action
+	for _, tr := range ref.Transfers {
+		script = append(script, action{at: tr.Time, isXfer: true, from: tr.From, to: tr.To})
+	}
+	for _, h := range ref.Caches {
+		script = append(script, action{at: h.To, server: h.Server})
+	}
+	// Time order; transfers before releases at equal instants, so hand-offs
+	// deliver before the source copy dies.
+	sort.Slice(script, func(i, j int) bool {
+		if script[i].at != script[j].at {
+			return script[i].at < script[j].at
+		}
+		return script[i].isXfer && !script[j].isXfer
+	})
+
+	reqIdx := 0
+	// dispatchRequests serves every request up to and including the given
+	// instant. Requests coinciding with their own delivery transfer are
+	// accepted without a local copy (the delivery lands at that instant).
+	dispatchRequests := func(until float64) error {
+		for reqIdx < seq.N() && seq.Requests[reqIdx].Time <= until {
+			r := seq.Requests[reqIdx]
+			if !c.Serve(r.Server, r.Time) && !deliveredAt(ref, r) {
+				return fmt.Errorf("cluster: request %d at (s%d,%v) unservable", reqIdx+1, r.Server, r.Time)
+			}
+			reqIdx++
+		}
+		return nil
+	}
+	for _, a := range script {
+		if err := dispatchRequests(a.at); err != nil {
+			return nil, err
+		}
+		c.now = a.at
+		if a.isXfer {
+			if err := c.Transfer(a.from, a.to, a.at); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := c.Release(a.server, a.at); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := dispatchRequests(seq.End() + 1); err != nil {
+		return nil, err
+	}
+	// Close out copies still held at the horizon.
+	for j := model.ServerID(1); int(j) <= seq.M; j++ {
+		ev := c.send(j, command{kind: msgRelease, at: seq.End()})
+		if ev.ok {
+			c.sched.AddCache(j, ev.heldFrom, seq.End())
+		}
+	}
+	c.sched.Normalize()
+	return &c.sched, nil
+}
+
+// deliveredAt reports whether the reference schedule delivers a copy to the
+// request's server at its exact instant.
+func deliveredAt(ref *model.Schedule, r model.Request) bool {
+	for _, tr := range ref.Transfers {
+		if tr.To == r.Server && tr.Time == r.Time {
+			return true
+		}
+	}
+	return false
+}

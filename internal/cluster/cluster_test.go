@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/online"
+	"datacache/internal/workload"
+)
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestClusterMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 80; trial++ {
+		gens := workload.Standard(2+trial%5, 1.0)
+		seq := gens[trial%len(gens)].Generate(rng, 1+rng.Intn(50))
+		ref, err := online.Run(online.SpeculativeCaching{}, seq, model.Unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := Run(seq, model.Unit, online.SpeculativeCaching{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Validate(seq); err != nil {
+			t.Fatalf("trial %d: cluster schedule infeasible: %v", trial, err)
+		}
+		if got, want := sched.Cost(model.Unit), ref.Stats.Cost; !approxEq(got, want) {
+			t.Fatalf("trial %d: cluster cost %v != closed form %v\ncluster=%s\nref=%s",
+				trial, got, want, sched, ref.Schedule)
+		}
+	}
+}
+
+func TestClusterExecutesOtherPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(281))
+	seq := workload.MarkovHop{M: 4, Stay: 0.7, MeanGap: 0.6}.Generate(rng, 60)
+	for _, p := range []online.Runner{
+		online.AdaptiveTTL{},
+		online.AlwaysMigrate{},
+		online.KeepEverywhere{},
+		online.RandomizedSC{Seed: 3},
+	} {
+		ref, err := online.Run(p, seq, model.Unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := Run(seq, model.Unit, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if !approxEq(sched.Cost(model.Unit), ref.Stats.Cost) {
+			t.Fatalf("%s: cluster %v != closed form %v", p.Name(), sched.Cost(model.Unit), ref.Stats.Cost)
+		}
+	}
+}
+
+func TestClusterWithEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	seq := workload.MarkovHop{M: 4, Stay: 0.6, MeanGap: 0.8}.Generate(rng, 40)
+	for _, epoch := range []int{1, 5} {
+		p := online.SpeculativeCaching{EpochTransfers: epoch}
+		ref, err := online.Run(p, seq, model.Unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := Run(seq, model.Unit, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEq(sched.Cost(model.Unit), ref.Stats.Cost) {
+			t.Fatalf("epoch %d: %v != %v", epoch, sched.Cost(model.Unit), ref.Stats.Cost)
+		}
+	}
+}
+
+func TestClusterPrimitives(t *testing.T) {
+	seq := &model.Sequence{M: 3, Origin: 1, Requests: []model.Request{{Server: 2, Time: 1}}}
+	c, err := New(seq, model.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.shutdown()
+
+	if !c.Serve(1, 0.5) {
+		t.Error("origin cannot serve despite seeded copy")
+	}
+	if c.Serve(2, 0.5) {
+		t.Error("empty server served a request")
+	}
+	if err := c.Transfer(1, 1, 0.5); err == nil {
+		t.Error("self transfer accepted")
+	}
+	if err := c.Transfer(2, 3, 0.5); err == nil {
+		t.Error("transfer from empty source accepted")
+	}
+	if err := c.Transfer(1, 2, 0.5); err != nil {
+		t.Errorf("legal transfer failed: %v", err)
+	}
+	if err := c.Transfer(1, 2, 0.6); err == nil {
+		t.Error("transfer onto a holding server accepted")
+	}
+	if err := c.Release(3, 0.7); err == nil {
+		t.Error("release of empty server accepted")
+	}
+	if err := c.Release(2, 0.7); err != nil {
+		t.Errorf("legal release failed: %v", err)
+	}
+	// The released interval [0.5, 0.7] must have been recorded.
+	found := false
+	for _, h := range c.sched.Caches {
+		if h.Server == 2 && h.From == 0.5 && h.To == 0.7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("release did not record the held interval: %v", c.sched.Caches)
+	}
+}
+
+func TestClusterRejectsInvalid(t *testing.T) {
+	if _, err := New(&model.Sequence{M: 0}, model.Unit); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	seq := &model.Sequence{M: 2, Origin: 1}
+	if _, err := New(seq, model.CostModel{}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+	if _, err := Run(&model.Sequence{M: 0}, model.Unit, online.SpeculativeCaching{}); err == nil {
+		t.Error("Run accepted invalid sequence")
+	}
+}
+
+func TestClusterEmptySequence(t *testing.T) {
+	seq := &model.Sequence{M: 2, Origin: 1}
+	sched, err := Run(seq, model.Unit, online.SpeculativeCaching{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Cost(model.Unit) != 0 {
+		t.Errorf("empty cost = %v", sched.Cost(model.Unit))
+	}
+}

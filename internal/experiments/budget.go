@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/online"
+	"datacache/internal/stats"
+	"datacache/internal/workload"
+)
+
+// Budget is experiment E13: what is each allowed copy worth? Table I's
+// "Cache Size" row contrasts the classic fixed number k with the cloud's
+// dynamic number of copies; this sweep makes the contrast quantitative by
+// re-imposing a global copy budget K on both the off-line optimum
+// (offline.CapOptimal) and the online policy (SC with MaxCopies) and
+// watching the cost fall to the unrestricted level as K grows.
+func Budget(seed int64, n int) (*Report, error) {
+	cm := model.Unit
+	caps := []int{1, 2, 3, 4, 0} // 0 = unbounded
+	header := []string{"workload", "OPT(∞)"}
+	for _, k := range caps {
+		if k == 0 {
+			header = append(header, "OPT(∞)/OPT(∞)", "SC(∞)/OPT(∞)")
+			break
+		}
+		header = append(header, fmt.Sprintf("OPT(K=%d)/OPT(∞)", k), fmt.Sprintf("SC(K=%d)/OPT(∞)", k))
+	}
+	rep := &Report{
+		ID:    "E13/Budget",
+		Title: "Copy-budget sweep: re-imposing the classic capacity limit",
+		Table: &stats.Table{Header: header},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gens := []workload.Generator{
+		workload.Uniform{M: 8, MeanGap: 0.3},
+		workload.Zipf{M: 8, S: 1.5, MeanGap: 0.3},
+		workload.MarkovHop{M: 8, Stay: 0.7, MeanGap: 0.3},
+	}
+	for _, g := range gens {
+		seq := g.Generate(rng, n)
+		unrestricted, err := offline.FastDP(seq, cm)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{g.Name(), unrestricted.Cost()}
+		for _, k := range caps {
+			opt, err := offline.CapOptimal(seq, cm, k)
+			if err != nil {
+				return nil, err
+			}
+			sc, err := online.Run(online.SpeculativeCaching{MaxCopies: k}, seq, cm)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, opt/unrestricted.Cost(), sc.Stats.Cost/unrestricted.Cost())
+			if k == 0 {
+				break
+			}
+		}
+		rep.Table.Add(row...)
+	}
+	rep.notef("the dynamic-copies advantage saturates after a few copies; K=1 is the migration-only world")
+	return rep, nil
+}

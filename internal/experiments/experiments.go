@@ -1,0 +1,391 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation story (see DESIGN.md §3 for the experiment index E1–E14). Each
+// experiment returns a Report whose table holds the measured rows; the
+// cmd/dcbench tool prints them and EXPERIMENTS.md records paper-vs-measured
+// for each.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/online"
+	"datacache/internal/paging"
+	"datacache/internal/stats"
+	"datacache/internal/workload"
+)
+
+// Report is one regenerated artifact.
+type Report struct {
+	ID    string
+	Title string
+	Table *stats.Table
+	Notes []string
+}
+
+// String renders the report for terminal output.
+func (r *Report) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Table.String())
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+func (r *Report) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Table1 measures both columns of the paper's Table I on matched workloads:
+// the classic capacity-oriented problem (Belady's algorithm vs k-competitive
+// LRU, counting faults on a fixed cache) and the cloud data caching problem
+// (the O(mn) optimum vs the 3-competitive SC, counting monetary cost with a
+// dynamic number of copies).
+func Table1(seed int64) (*Report, error) {
+	rep := &Report{
+		ID:    "E1/TableI",
+		Title: "Classic network caching vs. cloud data caching, measured",
+		Table: &stats.Table{Header: []string{"paradigm", "offline alg", "offline result", "online alg", "online result", "ratio", "bound"}},
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Classic column: a Zipf page stream on a k-page cache.
+	const k, refsN = 8, 4000
+	zf := rand.NewZipf(rng, 1.4, 1, 63)
+	refs := make([]paging.Page, refsN)
+	for i := range refs {
+		refs[i] = paging.Page(zf.Uint64())
+	}
+	belady, err := paging.Belady(refs, k)
+	if err != nil {
+		return nil, err
+	}
+	lru, err := paging.LRU(refs, k)
+	if err != nil {
+		return nil, err
+	}
+	rep.Table.Add("classic (zipf refs)", "Belady MIN", fmt.Sprintf("%d faults", belady),
+		fmt.Sprintf("LRU k=%d", k), fmt.Sprintf("%d faults", lru),
+		float64(lru)/float64(belady), fmt.Sprintf("k=%d", k))
+
+	// Classic column, adversarial: the cyclic nemesis shows the Θ(k) gap.
+	adv := paging.CyclicAdversary(k, refsN)
+	beladyAdv, err := paging.Belady(adv, k)
+	if err != nil {
+		return nil, err
+	}
+	lruAdv, err := paging.LRU(adv, k)
+	if err != nil {
+		return nil, err
+	}
+	rep.Table.Add("classic (adversarial)", "Belady MIN", fmt.Sprintf("%d faults", beladyAdv),
+		fmt.Sprintf("LRU k=%d", k), fmt.Sprintf("%d faults", lruAdv),
+		float64(lruAdv)/float64(beladyAdv), fmt.Sprintf("k=%d", k))
+
+	// Cloud column: cost-driven caching of one item over m servers.
+	cm := model.Unit
+	seq := workload.Zipf{M: 16, S: 1.4, MeanGap: cm.Delta()}.Generate(rng, refsN)
+	pt, err := online.CompetitiveRatio(online.SpeculativeCaching{}, seq, cm)
+	if err != nil {
+		return nil, err
+	}
+	rep.Table.Add("cloud (zipf requests)", "O(mn) FastDP", fmt.Sprintf("cost %.1f", pt.Opt),
+		"SC", fmt.Sprintf("cost %.1f", pt.Cost), pt.Ratio, "3")
+
+	advSeq := workload.Adversarial{M: 16, Window: cm.Delta()}.Generate(rng, refsN)
+	ptAdv, err := online.CompetitiveRatio(online.SpeculativeCaching{}, advSeq, cm)
+	if err != nil {
+		return nil, err
+	}
+	rep.Table.Add("cloud (adversarial)", "O(mn) FastDP", fmt.Sprintf("cost %.1f", ptAdv.Opt),
+		"SC", fmt.Sprintf("cost %.1f", ptAdv.Cost), ptAdv.Ratio, "3")
+
+	rep.notef("classic online ratio grows with k; cloud online ratio stays under the constant 3")
+	return rep, nil
+}
+
+// Fig2 regenerates the standard-form optimal schedule of Fig. 2: caching
+// cost 3.2μ, transfer cost 4λ, total 7.2.
+func Fig2() (*Report, error) {
+	seq, cm := offline.Fig2Instance()
+	res, err := offline.FastDP(seq, cm)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := res.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:    "E2/Fig2",
+		Title: "Standard-form optimal schedule (caption: 3.2μ + 4λ = 7.2)",
+		Table: &stats.Table{Header: []string{"quantity", "paper", "measured"}},
+	}
+	rep.Table.Add("caching cost", offline.Fig2CachingCost, sched.CachingCost(cm))
+	rep.Table.Add("transfer cost", offline.Fig2TransferCost, sched.TransferCost(cm))
+	rep.Table.Add("total cost", offline.Fig2Cost, res.Cost())
+	rep.notef("schedule: %s", sched)
+	rep.notef("space-time diagram (cf. the paper's Fig. 2):\n%s%s",
+		model.RenderSpaceTime(seq, sched, 72), model.RenderLegend())
+	return rep, nil
+}
+
+// Fig6 regenerates the DP trace table printed under Fig. 6: the b, B, C and
+// D vectors of the running example, matched entry by entry against the
+// paper's printed values.
+func Fig6() (*Report, error) {
+	seq, cm := offline.Fig6Instance()
+	res, err := offline.FastDP(seq, cm)
+	if err != nil {
+		return nil, err
+	}
+	b := model.MarginalBounds(seq, cm)
+	rep := &Report{
+		ID:    "E3/Fig6",
+		Title: "DP trace of the Section IV running example",
+		Table: &stats.Table{Header: []string{"i", "server", "t_i", "b_i", "B_i", "C(i)", "D(i)", "paper C", "paper D"}},
+	}
+	for i := 1; i <= seq.N(); i++ {
+		d := "+Inf"
+		if !math.IsInf(res.D[i], 1) {
+			d = fmt.Sprintf("%.4g", res.D[i])
+		}
+		paperD := "+Inf"
+		if offline.Fig6D[i] != offline.Fig6Inf {
+			paperD = fmt.Sprintf("%.4g", offline.Fig6D[i])
+		}
+		rep.Table.Add(i, fmt.Sprintf("s%d", seq.Requests[i-1].Server), seq.Requests[i-1].Time,
+			b[i], res.B[i], res.C[i], d, offline.Fig6C[i], paperD)
+	}
+	sched, err := res.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	rep.notef("optimal cost C(7) = %.4g (paper: 8.9); schedule: %s", res.Cost(), sched)
+	rep.notef("space-time diagram (cf. the paper's Fig. 6):\n%s%s",
+		model.RenderSpaceTime(seq, sched, 72), model.RenderLegend())
+	return rep, nil
+}
+
+// Fig7 reproduces the online-section machinery on an SC epoch: the schedule
+// of Fig. 7, the cost-preserving DT transform of Fig. 8 (Definition 10),
+// and the V-/H-reductions of Fig. 8/9 feeding the Lemma 7/8 bounds.
+func Fig7(seed int64) (*Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	// An epoch-shaped workload: hops and revisits around the speculative
+	// window so that transfers, hits, expirations and extensions all occur.
+	cm := model.Unit
+	seq := workload.MarkovHop{M: 4, Stay: 0.5, MeanGap: cm.Delta() * 0.8}.Generate(rng, 40)
+	lc, err := online.CheckLemmas(seq, cm, online.SpeculativeCaching{})
+	if err != nil {
+		return nil, err
+	}
+	run, err := online.Run(online.SpeculativeCaching{EpochTransfers: 5}, seq, cm)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:    "E4/Fig7-9",
+		Title: "SC epoch, DT transform, and the reduction bounds",
+		Table: &stats.Table{Header: []string{"check", "left", "relation", "right", "holds"}},
+	}
+	rep.Table.Add("Π(DT) = Π(SC) (Def. 10)", lc.DTTotal, "=", lc.SC, lc.DTEqualsSC)
+	rep.Table.Add("Lemma 7: Π(SC)−V−H ≤ 3n'λ", lc.SC-lc.Red.V-lc.Red.H, "<=", 3*float64(lc.Red.NPrime)*cm.Lambda, lc.SCUpper)
+	rep.Table.Add("Lemma 8: Π(OPT)−V−H ≥ n'λ", lc.Opt-lc.Red.V-lc.Red.H, ">=", float64(lc.Red.NPrime)*cm.Lambda, lc.OptLower)
+	rep.Table.Add("Theorem 3: Π(SC) ≤ 3·Π(OPT)", lc.SC, "<=", 3*lc.Opt, lc.Theorem3)
+	rep.notef("epoch variant SC(epoch=5): cost %.4g over %d transfers and %d hits",
+		run.Stats.Cost, run.Stats.Transfers, run.Stats.CacheHits)
+	rep.notef("reductions: V=%.4g H=%.4g n'=%d", lc.Red.V, lc.Red.H, lc.Red.NPrime)
+	return rep, nil
+}
+
+// ComplexityConfig sizes experiment E5.
+type ComplexityConfig struct {
+	Ns      []int // request-count sweep at fixed M
+	M       int
+	MSweep  []int // server-count sweep at fixed NFixed
+	NFixed  int
+	Repeats int
+}
+
+// DefaultComplexity is the configuration used by dcbench.
+var DefaultComplexity = ComplexityConfig{
+	Ns:      []int{1000, 2000, 4000, 8000, 16000},
+	M:       16,
+	MSweep:  []int{4, 8, 16, 32, 64, 128},
+	NFixed:  4000,
+	Repeats: 3,
+}
+
+// Complexity measures FastDP against the paper's Θ(n²) "straightforward"
+// NaiveDP and the amortized-O(mn) SweepDP middle ground (experiment E5):
+// wall time across an n-sweep and an m-sweep, empirical log-log growth
+// exponents, and the speedup factor. The paper's claim is that the pointer
+// structure removes the super-linear term in n; the fitted exponents make
+// the claim quantitative — and the SweepDP column records the honest
+// finding that bounding the scan at p(i) already restores O(mn) amortized
+// (see EXPERIMENTS.md).
+func Complexity(cfg ComplexityConfig, seed int64) (*Report, error) {
+	rep := &Report{
+		ID:    "E5/Complexity",
+		Title: "O(mn) FastDP vs Θ(n²) NaiveDP vs amortized SweepDP",
+		Table: &stats.Table{Header: []string{"sweep", "m", "n", "fast", "sweep", "naive", "naive/fast"}},
+	}
+	cm := model.CostModel{Mu: 1, Lambda: 2}
+	var ns, fastTimes, sweepTimes, naiveTimes []float64
+	for _, n := range cfg.Ns {
+		seq := workload.Uniform{M: cfg.M, MeanGap: 1}.Generate(rand.New(rand.NewSource(seed)), n)
+		fast, err := timeDP(offline.FastDP, seq, cm, cfg.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		sweep, err := timeDP(offline.SweepDP, seq, cm, cfg.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := timeDP(offline.NaiveDP, seq, cm, cfg.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		ns = append(ns, float64(n))
+		fastTimes = append(fastTimes, fast.Seconds())
+		sweepTimes = append(sweepTimes, sweep.Seconds())
+		naiveTimes = append(naiveTimes, naive.Seconds())
+		rep.Table.Add("n", cfg.M, n, fast.String(), sweep.String(), naive.String(),
+			naive.Seconds()/fast.Seconds())
+	}
+	for _, m := range cfg.MSweep {
+		seq := workload.Uniform{M: m, MeanGap: 1}.Generate(rand.New(rand.NewSource(seed)), cfg.NFixed)
+		fast, err := timeDP(offline.FastDP, seq, cm, cfg.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		sweep, err := timeDP(offline.SweepDP, seq, cm, cfg.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := timeDP(offline.NaiveDP, seq, cm, cfg.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table.Add("m", m, cfg.NFixed, fast.String(), sweep.String(), naive.String(),
+			naive.Seconds()/fast.Seconds())
+	}
+	fastSlope, err := stats.LogLogSlope(ns, fastTimes)
+	if err != nil {
+		return nil, err
+	}
+	sweepSlope, err := stats.LogLogSlope(ns, sweepTimes)
+	if err != nil {
+		return nil, err
+	}
+	naiveSlope, err := stats.LogLogSlope(ns, naiveTimes)
+	if err != nil {
+		return nil, err
+	}
+	rep.notef("empirical growth in n: FastDP ~ n^%.2f (theory 1), SweepDP ~ n^%.2f (amortized 1), NaiveDP ~ n^%.2f (theory 2)",
+		fastSlope, sweepSlope, naiveSlope)
+	return rep, nil
+}
+
+func timeDP(dp func(*model.Sequence, model.CostModel) (*offline.Result, error),
+	seq *model.Sequence, cm model.CostModel, repeats int) (time.Duration, error) {
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		if _, err := dp(seq, cm); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Ratio sweeps the competitive ratio of SC across cost models and workload
+// families (experiment E6). Every measured ratio must respect Theorem 3's
+// bound of 3.
+func Ratio(seed int64, n int) (*Report, error) {
+	rep := &Report{
+		ID:    "E6/Ratio",
+		Title: "Measured competitive ratio of SC (Theorem 3 bound: 3)",
+		Table: &stats.Table{Header: []string{"workload", "λ/μ", "SC cost", "OPT cost", "ratio"}},
+	}
+	worst := 0.0
+	series := map[string][]float64{}
+	var order []string
+	for _, lambda := range []float64{0.1, 0.3, 1, 3, 10} {
+		cm := model.CostModel{Mu: 1, Lambda: lambda}
+		rng := rand.New(rand.NewSource(seed))
+		for _, g := range workload.Standard(8, cm.Delta()) {
+			seq := g.Generate(rng, n)
+			pt, err := online.CompetitiveRatio(online.SpeculativeCaching{}, seq, cm)
+			if err != nil {
+				return nil, err
+			}
+			if pt.Ratio > worst {
+				worst = pt.Ratio
+			}
+			rep.Table.Add(g.Name(), lambda, pt.Cost, pt.Opt, pt.Ratio)
+			if _, seen := series[g.Name()]; !seen {
+				order = append(order, g.Name())
+			}
+			series[g.Name()] = append(series[g.Name()], pt.Ratio)
+			if pt.Ratio > 3+1e-9 {
+				return nil, fmt.Errorf("experiments: ratio %v exceeds 3 on %s (λ=%v)", pt.Ratio, g.Name(), lambda)
+			}
+		}
+	}
+	rep.notef("worst observed ratio: %.4f <= 3", worst)
+	for _, name := range order {
+		rep.notef("ratio across λ/μ ∈ {0.1..10} for %-24s %s", name, stats.Sparkline(series[name]))
+	}
+	return rep, nil
+}
+
+// Policies compares SC with the baselines and a TTL(τ) ablation across the
+// workload suite (experiment E7), normalizing every cost to the off-line
+// optimum.
+func Policies(seed int64, n int) (*Report, error) {
+	cm := model.Unit
+	policies := []online.Runner{
+		online.SpeculativeCaching{},
+		online.SpeculativeCaching{Window: cm.Delta() / 4},
+		online.SpeculativeCaching{Window: cm.Delta() * 4},
+		online.AlwaysMigrate{},
+		online.KeepEverywhere{},
+	}
+	header := []string{"workload", "OPT"}
+	for _, p := range policies {
+		header = append(header, p.Name()+"/OPT")
+	}
+	rep := &Report{
+		ID:    "E7/Policies",
+		Title: "Online policies normalized to the off-line optimum",
+		Table: &stats.Table{Header: header},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, g := range workload.Standard(8, cm.Delta()) {
+		seq := g.Generate(rng, n)
+		opt, err := offline.FastDP(seq, cm)
+		if err != nil {
+			return nil, err
+		}
+		row := []interface{}{g.Name(), opt.Cost()}
+		for _, p := range policies {
+			res, err := online.Run(p, seq, cm)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Stats.Cost/opt.Cost())
+		}
+		rep.Table.Add(row...)
+	}
+	rep.notef("TTL(Δt/4) under-caches and TTL(4Δt) over-caches; SC's window λ/μ balances both")
+	return rep, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig6ReportGoldenText pins the exact rendered table of the flagship
+// report: the numbers are the paper's, and the format is part of the
+// repository's contract with EXPERIMENTS.md.
+func TestFig6ReportGoldenText(t *testing.T) {
+	rep, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trimTrailing(rep.Table.String())
+	want := `i  server  t_i  b_i  B_i  C(i)  D(i)  paper C  paper D
+-  ------  ---  ---  ---  ----  ----  -------  -------
+1  s2      0.5    1    1   1.5  +Inf      1.5  +Inf
+2  s3      0.8    1    2   2.8  +Inf      2.8  +Inf
+3  s4      1.1    1    3   4.1  +Inf      4.1  +Inf
+4  s1      1.4    1    4   4.4   4.4      4.4      4.4
+5  s2      2.6    1    5   6.5   6.5      6.5      6.5
+6  s2      3.2  0.6  5.6   7.1   7.1      7.1      7.1
+7  s3        4    1  6.6   8.9   9.2      8.9      9.2
+`
+	if got != want {
+		t.Errorf("Fig6 table drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if len(rep.Notes) < 2 || !strings.Contains(rep.Notes[1], "space-time diagram") {
+		t.Errorf("missing diagram note: %v", rep.Notes)
+	}
+}
+
+// trimTrailing removes per-line trailing padding, which is layout not
+// content.
+func trimTrailing(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = strings.TrimRight(lines[i], " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestFig2ReportGoldenText pins the Fig. 2 comparison table.
+func TestFig2ReportGoldenText(t *testing.T) {
+	rep, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Table.String()
+	want := `quantity       paper  measured
+-------------  -----  --------
+caching cost     3.2       3.2
+transfer cost      4         4
+total cost       7.2       7.2
+`
+	if got != want {
+		t.Errorf("Fig2 table drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

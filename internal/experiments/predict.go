@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"datacache/internal/hetero"
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/online"
+	"datacache/internal/stats"
+	"datacache/internal/trajectory"
+)
+
+// Predict runs experiment E8: trajectory-mined (predicted) sequences fed to
+// the off-line optimizer, replayed against the true future, and compared
+// with pure-online SC and the clairvoyant optimum across mobility models of
+// varying predictability.
+func Predict(seed int64, n int) (*Report, error) {
+	cm := model.Unit
+	rep := &Report{
+		ID:    "E8/Predict",
+		Title: "Off-line planning on mined trajectories vs. pure-online SC",
+		Table: &stats.Table{Header: []string{"mobility", "accuracy", "plan total", "SC", "OPT", "plan/OPT", "SC/OPT"}},
+	}
+	field := trajectory.GridField(9, 1.0)
+	scenarios := []struct {
+		name string
+		gen  func(*rand.Rand, int) *model.Sequence
+	}{
+		{"markov stay=0.95", func(rng *rand.Rand, k int) *model.Sequence {
+			return trajectory.MarkovCells{Field: field, Stay: 0.95, Neighbors: 3, ReqGap: 0.9}.Generate(rng, k)
+		}},
+		{"markov stay=0.6", func(rng *rand.Rand, k int) *model.Sequence {
+			return trajectory.MarkovCells{Field: field, Stay: 0.6, Neighbors: 3, ReqGap: 0.9}.Generate(rng, k)
+		}},
+		{"waypoint slow", func(rng *rand.Rand, k int) *model.Sequence {
+			return trajectory.RandomWaypoint{Field: field, Speed: 0.1, Pause: 1, ReqGap: 0.9}.Generate(rng, k)
+		}},
+		{"waypoint fast", func(rng *rand.Rand, k int) *model.Sequence {
+			return trajectory.RandomWaypoint{Field: field, Speed: 1.5, Pause: 0.1, ReqGap: 0.9}.Generate(rng, k)
+		}},
+		{"deterministic tour", func(rng *rand.Rand, k int) *model.Sequence {
+			seq := &model.Sequence{M: 9, Origin: 1}
+			t := 0.0
+			for i := 0; i < k; i++ {
+				t += 0.9 * (0.95 + 0.1*rng.Float64())
+				seq.Requests = append(seq.Requests, model.Request{
+					Server: model.ServerID(1 + i%4), Time: t,
+				})
+			}
+			return seq
+		}},
+	}
+	for _, sc := range scenarios {
+		rng := rand.New(rand.NewSource(seed))
+		train := sc.gen(rng, 10*n)
+		test := sc.gen(rng, n)
+		pred := trajectory.NewPredictor(2)
+		pred.Train(trajectory.Servers(train))
+		exec, err := trajectory.PlanAndExecute(pred, test, cm)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := offline.FastDP(test, cm)
+		if err != nil {
+			return nil, err
+		}
+		scRun, err := online.Run(online.SpeculativeCaching{}, test, cm)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table.Add(sc.name, exec.Accuracy, exec.TotalCost, scRun.Stats.Cost, opt.Cost(),
+			exec.TotalCost/opt.Cost(), scRun.Stats.Cost/opt.Cost())
+	}
+	rep.notef("plan/OPT approaches 1 as predictability rises; SC/OPT is insensitive to it")
+	return rep, nil
+}
+
+// Hetero runs experiment E9: how quickly the homogeneous optimum degrades
+// as per-server and per-pair costs skew away from uniform. The gap is the
+// relative regret of pricing the homogeneous-optimal schedule under the
+// true heterogeneous model versus the heterogeneous exact optimum.
+func Hetero(seed int64) (*Report, error) {
+	cm := model.Unit
+	rep := &Report{
+		ID:    "E9/Hetero",
+		Title: "Regret of assuming homogeneity as cost skew grows",
+		Table: &stats.Table{Header: []string{"skew ±", "hetero OPT", "homog schedule priced", "relative gap", "hetero-SC online", "online/OPT"}},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seq := &model.Sequence{M: 6, Origin: 1}
+	tm := 0.0
+	for i := 0; i < 60; i++ {
+		tm += 0.2 + rng.Float64()
+		seq.Requests = append(seq.Requests, model.Request{
+			Server: model.ServerID(1 + rng.Intn(6)), Time: tm,
+		})
+	}
+	res, err := offline.FastDP(seq, cm)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := res.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	for _, eps := range []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8} {
+		h := hetero.NewUniform(seq.M, cm)
+		pr := rand.New(rand.NewSource(seed + 1))
+		h.Perturb(eps, pr.Float64)
+		opt, err := hetero.Optimal(seq, h)
+		if err != nil {
+			return nil, err
+		}
+		priced := hetero.PriceSchedule(sched, h)
+		gap := 0.0
+		if opt > 0 {
+			gap = (priced - opt) / opt
+		}
+		if math.Abs(gap) < 1e-12 {
+			gap = 0 // numeric noise at (or near) zero skew
+		}
+		_, onlineCost, err := hetero.SC{Model: h}.Run(seq)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table.Add(eps, opt, priced, gap, onlineCost, onlineCost/opt)
+	}
+	rep.notef("at skew 0 the gap is exactly 0 (FastDP is provably optimal under homogeneity)")
+	return rep, nil
+}
+
+// All runs every experiment with modest sizes, in index order.
+func All(seed int64) ([]*Report, error) {
+	quickComplexity := ComplexityConfig{
+		Ns:      []int{500, 1000, 2000, 4000},
+		M:       16,
+		MSweep:  []int{4, 16, 64},
+		NFixed:  2000,
+		Repeats: 2,
+	}
+	runs := []func() (*Report, error){
+		func() (*Report, error) { return Table1(seed) },
+		Fig2,
+		Fig6,
+		func() (*Report, error) { return Fig7(seed) },
+		func() (*Report, error) { return Complexity(quickComplexity, seed) },
+		func() (*Report, error) { return Ratio(seed, 800) },
+		func() (*Report, error) { return Policies(seed, 800) },
+		func() (*Report, error) { return Predict(seed, 300) },
+		func() (*Report, error) { return Hetero(seed) },
+		func() (*Report, error) { return Replication(seed, 800) },
+		func() (*Report, error) { return Window(seed, 800) },
+		func() (*Report, error) { return Epoch(seed, 800) },
+		func() (*Report, error) { return Budget(seed, 300) },
+		func() (*Report, error) { return Faults(seed, 800) },
+	}
+	var out []*Report
+	for _, run := range runs {
+		rep, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package hetero
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"datacache/internal/model"
+)
+
+// SC is Speculative Caching generalized to the heterogeneous model: server
+// j's copy survives a per-server window Δt_j = λ̄_j / μ_j past its last use,
+// where λ̄_j is the cheapest inbound transfer cost — keeping the copy is
+// worthwhile exactly while it costs less than re-fetching it the cheapest
+// way. Misses are served from the live holder with the cheapest outbound
+// edge (breaking the homogeneous "any source is equal" symmetry). The
+// structural rules (last copy never dies; both transfer endpoints refresh)
+// carry over, so schedules stay feasible; Run prices them under the
+// heterogeneous model.
+type SC struct {
+	Model *Model
+}
+
+// Run serves the sequence online and returns the schedule plus its
+// heterogeneous cost.
+func (p SC) Run(seq *model.Sequence) (*model.Schedule, float64, error) {
+	if err := seq.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := p.Model.Validate(seq.M); err != nil {
+		return nil, 0, err
+	}
+	m := seq.M
+	window := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		cheapest := math.Inf(1)
+		for k := 1; k <= m; k++ {
+			if k != j && p.Model.Lambda[k][j] < cheapest {
+				cheapest = p.Model.Lambda[k][j]
+			}
+		}
+		if math.IsInf(cheapest, 1) {
+			cheapest = 1 // single-server cluster: the window is irrelevant
+		}
+		window[j] = cheapest / p.Model.Mu[j]
+	}
+
+	alive := make([]bool, m+1)
+	created := make([]float64, m+1)
+	expiry := make([]float64, m+1)
+	nAlive := 1
+	alive[seq.Origin] = true
+	var events hexpHeap
+	refresh := func(j int, t float64) {
+		expiry[j] = t + window[j]
+		heap.Push(&events, hexpEvent{at: expiry[j], server: j})
+	}
+	refresh(int(seq.Origin), 0)
+
+	var sched model.Schedule
+	kill := func(j int, t float64) {
+		sched.AddCache(model.ServerID(j), created[j], t)
+		alive[j] = false
+		nAlive--
+	}
+	drain := func(limit float64, inclusive bool) {
+		for len(events) > 0 {
+			ev := events[0]
+			if ev.at > limit || (!inclusive && ev.at == limit) {
+				return
+			}
+			heap.Pop(&events)
+			if !alive[ev.server] || expiry[ev.server] != ev.at {
+				continue
+			}
+			if nAlive == 1 {
+				w := window[ev.server]
+				k := math.Floor((limit-ev.at)/w) + 1
+				expiry[ev.server] = ev.at + k*w
+				heap.Push(&events, hexpEvent{at: expiry[ev.server], server: ev.server})
+				continue
+			}
+			kill(ev.server, ev.at)
+		}
+	}
+
+	for _, r := range seq.Requests {
+		drain(r.Time, false)
+		sv := int(r.Server)
+		if alive[sv] {
+			refresh(sv, r.Time)
+			continue
+		}
+		src, best := 0, math.Inf(1)
+		for j := 1; j <= m; j++ {
+			if alive[j] && p.Model.Lambda[j][sv] < best {
+				src, best = j, p.Model.Lambda[j][sv]
+			}
+		}
+		if src == 0 {
+			return nil, 0, fmt.Errorf("hetero: no live copy at t=%v", r.Time)
+		}
+		sched.AddTransfer(model.ServerID(src), r.Server, r.Time)
+		alive[sv] = true
+		nAlive++
+		created[sv] = r.Time
+		refresh(sv, r.Time)
+		refresh(src, r.Time)
+	}
+	end := seq.End()
+	drain(end, true)
+	for j := 1; j <= m; j++ {
+		if alive[j] {
+			sched.AddCache(model.ServerID(j), created[j], math.Min(expiry[j], end))
+		}
+	}
+	sched.Normalize()
+	return &sched, PriceSchedule(&sched, p.Model), nil
+}
+
+type hexpEvent struct {
+	at     float64
+	server int
+}
+
+type hexpHeap []hexpEvent
+
+func (h hexpHeap) Len() int            { return len(h) }
+func (h hexpHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h hexpHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hexpHeap) Push(x interface{}) { *h = append(*h, x.(hexpEvent)) }
+func (h *hexpHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

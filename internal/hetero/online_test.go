@@ -1,0 +1,106 @@
+package hetero
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacache/internal/model"
+)
+
+func TestHeteroSCFeasibleAndAboveOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	for trial := 0; trial < 100; trial++ {
+		seq := randomInstance(rng, 5, 20)
+		h := NewUniform(seq.M, model.Unit)
+		h.Perturb(0.5, rng.Float64)
+		sched, cost, err := SC{Model: h}.Run(seq)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sched.Validate(seq); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		if got := PriceSchedule(sched, h); !approxEq(got, cost) {
+			t.Fatalf("trial %d: reported cost %v != priced %v", trial, cost, got)
+		}
+		opt, err := Optimal(seq, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost < opt-1e-9 {
+			t.Fatalf("trial %d: online %v below optimum %v", trial, cost, opt)
+		}
+	}
+}
+
+func TestHeteroSCWindowScalesWithCachingRate(t *testing.T) {
+	// Server 2 caches at rate 4 (window 1/4), server 3 at rate 0.25
+	// (window 4), inbound transfers all cost 1. After a visit, the cheap
+	// server's copy must outlive the expensive server's copy.
+	seq := &model.Sequence{M: 3, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 1},
+		{Server: 3, Time: 1.5},
+		{Server: 1, Time: 20},
+	}}
+	h := NewUniform(3, model.Unit)
+	h.Mu[2] = 4
+	h.Mu[3] = 0.25
+	sched, _, err := SC{Model: h}.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s2's copy (window 0.25) dies at ~1.25; s3's (window 4) lives to ~5.5.
+	if sched.HeldAt(2, 1.5) {
+		t.Errorf("expensive s2 copy still alive past its short window: %s", sched)
+	}
+	if !sched.HeldAt(3, 4.0) {
+		t.Errorf("cheap s3 copy should still be alive at t=4: %s", sched)
+	}
+}
+
+func TestHeteroSCPrefersCheapSource(t *testing.T) {
+	// Two live holders; the miss must be served over the cheaper edge.
+	seq := &model.Sequence{M: 3, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 0.5}, // replicate to s2; now s1 and s2 hold
+		{Server: 3, Time: 0.6},
+	}}
+	h := NewUniform(3, model.Unit)
+	h.Lambda[1][3] = 10
+	h.Lambda[2][3] = 0.2
+	sched, _, err := SC{Model: h}.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := sched.Transfers[len(sched.Transfers)-1]
+	if last.From != 2 || last.To != 3 {
+		t.Errorf("miss served over %d->%d, want the cheap 2->3 edge: %s", last.From, last.To, sched)
+	}
+}
+
+func TestHeteroSCRejectsInvalid(t *testing.T) {
+	h := NewUniform(2, model.Unit)
+	if _, _, err := (SC{Model: h}).Run(&model.Sequence{M: 0}); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	if _, _, err := (SC{Model: h}).Run(&model.Sequence{M: 3, Origin: 1}); err == nil {
+		t.Error("model/sequence size mismatch accepted")
+	}
+}
+
+func TestHeteroSCSingleServer(t *testing.T) {
+	seq := &model.Sequence{M: 1, Origin: 1, Requests: []model.Request{
+		{Server: 1, Time: 2},
+		{Server: 1, Time: 9},
+	}}
+	h := NewUniform(1, model.Unit)
+	sched, cost, err := SC{Model: h}.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(seq); err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(cost, 9) { // one copy held the whole horizon
+		t.Errorf("cost = %v, want 9", cost)
+	}
+}

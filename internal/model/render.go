@@ -1,0 +1,137 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderSpaceTime draws a schedule as the paper's space-time diagrams
+// (Figs. 1, 2, 6, 7): one row per server, time flowing right, '=' runs for
+// cache intervals, '*' for requests, '|' columns for transfers, 'o' for a
+// transfer's source endpoint and 'v' for its delivery. Width is the number
+// of character columns for the time axis (minimum 20; default 72 when 0).
+//
+// The rendering is deterministic, so golden tests can assert entire
+// diagrams, and dcbench fig2/fig6 print the actual figures they reproduce.
+func RenderSpaceTime(seq *Sequence, s *Schedule, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if width < 20 {
+		width = 20
+	}
+	end := seq.End()
+	if end <= 0 {
+		return "(empty horizon)\n"
+	}
+	col := func(t float64) int {
+		c := int(math.Round(t / end * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	rows := make([][]byte, seq.M)
+	for j := range rows {
+		rows[j] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(server ServerID, c int, ch byte, overwrite bool) {
+		r := rows[server-1]
+		if overwrite || r[c] == ' ' || r[c] == '=' || r[c] == '-' {
+			r[c] = ch
+		}
+	}
+
+	// Cache intervals as '=' runs.
+	for _, h := range s.Caches {
+		from, to := col(h.From), col(h.To)
+		for c := from; c <= to; c++ {
+			put(h.Server, c, '=', false)
+		}
+	}
+	// Transfers as endpoints; the vertical pipe is drawn in the gutter rows
+	// between server lines afterwards.
+	type pipe struct {
+		c        int
+		from, to ServerID
+	}
+	var pipes []pipe
+	for _, tr := range s.Transfers {
+		c := col(tr.Time)
+		put(tr.From, c, 'o', true)
+		put(tr.To, c, 'v', true)
+		pipes = append(pipes, pipe{c: c, from: tr.From, to: tr.To})
+	}
+	// Requests as '*', the most prominent mark.
+	for _, r := range seq.Requests {
+		put(r.Server, col(r.Time), '*', true)
+	}
+
+	// Gutter rows: a '|' wherever a transfer spans between the two adjacent
+	// server rows.
+	gutters := make([][]byte, seq.M-1)
+	for g := range gutters {
+		gutters[g] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pipes {
+		lo, hi := p.from, p.to
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for g := int(lo); g < int(hi); g++ {
+			gutters[g-1][p.c] = '|'
+		}
+	}
+
+	var b strings.Builder
+	label := func(j int) string { return fmt.Sprintf("s%-3d", j+1) }
+	for j := 0; j < seq.M; j++ {
+		b.WriteString(label(j))
+		b.Write(rows[j])
+		b.WriteByte('\n')
+		if j < seq.M-1 {
+			b.WriteString("    ")
+			b.Write(gutters[j])
+			b.WriteByte('\n')
+		}
+	}
+	// Time axis with a handful of tick labels.
+	b.WriteString("    ")
+	axis := []byte(strings.Repeat("-", width))
+	ticks := 4
+	var labels []string
+	var positions []int
+	for k := 0; k <= ticks; k++ {
+		t := end * float64(k) / float64(ticks)
+		c := col(t)
+		axis[c] = '+'
+		positions = append(positions, c)
+		labels = append(labels, fmt.Sprintf("%.3g", t))
+	}
+	b.Write(axis)
+	b.WriteByte('\n')
+	// The last label may extend past the axis; give the row enough room and
+	// trim trailing blanks.
+	tickRow := []byte(strings.Repeat(" ", width+12))
+	for i, pos := range positions {
+		for k, ch := range []byte(labels[i]) {
+			if pos+k < len(tickRow) {
+				tickRow[pos+k] = ch
+			}
+		}
+	}
+	b.WriteString("    ")
+	b.WriteString(strings.TrimRight(string(tickRow), " "))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderLegend explains the diagram glyphs.
+func RenderLegend() string {
+	return "legend: * request   = cached copy   o transfer source   v transfer delivery   | transfer\n"
+}

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderFixture() (*Sequence, *Schedule) {
+	seq := &Sequence{M: 3, Origin: 1, Requests: []Request{
+		{Server: 1, Time: 2},
+		{Server: 3, Time: 4},
+		{Server: 3, Time: 8},
+	}}
+	var s Schedule
+	s.AddCache(1, 0, 4)
+	s.AddCache(3, 4, 8)
+	s.AddTransfer(1, 3, 4)
+	s.Normalize()
+	return seq, &s
+}
+
+func TestRenderSpaceTimeStructure(t *testing.T) {
+	seq, s := renderFixture()
+	out := RenderSpaceTime(seq, s, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 3 server rows + 2 gutters + axis + tick labels.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d, want 7:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "s1") || !strings.HasPrefix(lines[2], "s2") || !strings.HasPrefix(lines[4], "s3") {
+		t.Fatalf("row labels wrong:\n%s", out)
+	}
+	// Server 1: cached from t=0, a request at t=2, transfer source at t=4.
+	if !strings.Contains(lines[0], "=") || !strings.Contains(lines[0], "*") || !strings.Contains(lines[0], "o") {
+		t.Errorf("s1 row missing glyphs: %q", lines[0])
+	}
+	// Server 3: request marks and cached run.
+	if strings.Count(lines[4], "*") != 2 {
+		t.Errorf("s3 should carry 2 request marks: %q", lines[4])
+	}
+	// Both gutters carry the transfer pipe (s1 -> s3 spans both).
+	if !strings.Contains(lines[1], "|") || !strings.Contains(lines[3], "|") {
+		t.Errorf("gutters missing transfer pipe:\n%s", out)
+	}
+	// Pipe columns align across gutters.
+	if strings.Index(lines[1], "|") != strings.Index(lines[3], "|") {
+		t.Errorf("pipe misaligned:\n%s", out)
+	}
+	// Server 2 row is idle.
+	if strings.ContainsAny(lines[2][4:], "=*ov") {
+		t.Errorf("s2 should be idle: %q", lines[2])
+	}
+}
+
+func TestRenderSpaceTimeDeterministic(t *testing.T) {
+	seq, s := renderFixture()
+	if RenderSpaceTime(seq, s, 40) != RenderSpaceTime(seq, s, 40) {
+		t.Fatal("render not deterministic")
+	}
+}
+
+func TestRenderWidthClamping(t *testing.T) {
+	seq, s := renderFixture()
+	narrow := RenderSpaceTime(seq, s, 5) // clamped to 20
+	if len(strings.Split(narrow, "\n")[0]) != 4+20 {
+		t.Errorf("narrow width not clamped: %q", strings.Split(narrow, "\n")[0])
+	}
+	def := RenderSpaceTime(seq, s, 0) // default 72
+	if len(strings.Split(def, "\n")[0]) != 4+72 {
+		t.Errorf("default width wrong")
+	}
+}
+
+func TestRenderEmptyHorizon(t *testing.T) {
+	seq := &Sequence{M: 2, Origin: 1}
+	var s Schedule
+	if got := RenderSpaceTime(seq, &s, 40); got != "(empty horizon)\n" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+func TestRenderLegendMentionsEveryGlyph(t *testing.T) {
+	l := RenderLegend()
+	for _, g := range []string{"*", "=", "o", "v", "|"} {
+		if !strings.Contains(l, g) {
+			t.Errorf("legend missing %q", g)
+		}
+	}
+}
+
+func TestRenderRequestMarksDominate(t *testing.T) {
+	// A request inside a cache run must render as '*', not '='.
+	seq := &Sequence{M: 1, Origin: 1, Requests: []Request{
+		{Server: 1, Time: 5},
+		{Server: 1, Time: 10},
+	}}
+	var s Schedule
+	s.AddCache(1, 0, 10)
+	out := RenderSpaceTime(seq, &s, 21)
+	row := strings.Split(out, "\n")[0]
+	// The horizon is t_n = 10; t=5 maps to column 10 of 0..20, offset by
+	// the 4-char label.
+	if row[4+10] != '*' || row[4+20] != '*' {
+		t.Errorf("requests not marked over the cache run: %q", row)
+	}
+	if row[4+5] != '=' {
+		t.Errorf("cache run missing between requests: %q", row)
+	}
+}

@@ -1,0 +1,37 @@
+package model
+
+// This file maps the paper's notation (Table II) to this repository's
+// identifiers, for readers following the code against the text.
+//
+//	Paper symbol            Code
+//	------------            ----
+//	s^j                     ServerID (1-based), Sequence.M servers
+//	r_i = (s_i, t_i)        Request{Server, Time}; r_0 is implicit
+//	                        (Sequence.Origin at time 0)
+//	r_{-j} = (s^j, -∞)      the NoPrev sentinel in Sequence.Prev
+//	δt_{i,j} = t_j - t_i    computed inline where needed
+//	p(i)                    Sequence.Prev()[i]
+//	p'(i)                   tracked inside the SC engines as the last touch
+//	                        (request or transfer) per server
+//	σ_i = t_i - t_{p(i)}    Sequence.Sigma()[i]
+//	Tr(s_i, s_j, x)         Transfer{From, To, Time}
+//	H(s, x, y)              CacheInterval{Server, From, To}
+//	μ                       CostModel.Mu
+//	λ                       CostModel.Lambda
+//	Δt = λ/μ                CostModel.Delta (the speculative window)
+//	ω^i_j, Ω_j              online.DTTransform's per-transfer attachments
+//	β                       the upload cost of cloudsim.RunWithFaults
+//	Ψ*(n), Π(Ψ(i))          offline.Result.Schedule / Schedule.Cost
+//	b_i = min(λ, μσ_i)      MarginalBounds (Definition 4)
+//	B_i = Σ b_j             RunningBounds (Definition 5)
+//	C(i)                    offline.Result.C (Definition 6, Recurrence 2)
+//	D(i)                    offline.Result.D (Definition 7, Recurrence 5)
+//	π(i)                    enumerated inside offline.FastDP/NaiveDP/SweepDP
+//	κ (pivot index)         offline.Result's recorded dPivot
+//	SR, V-/H-reductions     online.ComputeReductions (Definitions 11, 12)
+//	DT schedule             online.DTTransform (Definition 10)
+//	space-time graph        BuildSpaceTimeGraph (Definition 2)
+//
+// The one symbol the paper defines but never uses operationally, β, becomes
+// meaningful under fault injection (internal/cloudsim/faults.go): it prices
+// recovery from external storage after a total copy loss.

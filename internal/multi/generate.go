@@ -1,0 +1,46 @@
+package multi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"datacache/internal/workload"
+)
+
+// ItemLoad pairs an item name with the workload generating its requests.
+type ItemLoad struct {
+	Item string
+	Gen  workload.Generator
+	N    int
+}
+
+// GenerateEvents synthesizes a merged, item-tagged event stream from
+// per-item workload generators — the input format dcplan consumes. Each
+// item draws from its own seeded sub-stream; coincident timestamps across
+// items are separated by a deterministic per-item jitter so the per-item
+// sequences stay strictly increasing after demultiplexing.
+func GenerateEvents(m int, loads []ItemLoad, seed int64) ([]Event, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("multi: need m >= 1")
+	}
+	var events []Event
+	for k, ld := range loads {
+		if ld.Item == "" {
+			return nil, fmt.Errorf("multi: load %d has no item name", k)
+		}
+		if ld.Gen == nil {
+			return nil, fmt.Errorf("multi: item %q has no generator", ld.Item)
+		}
+		seq := ld.Gen.Generate(rand.New(rand.NewSource(seed+int64(k))), ld.N)
+		if seq.M != m {
+			return nil, fmt.Errorf("multi: item %q generator targets m=%d, catalog has m=%d", ld.Item, seq.M, m)
+		}
+		jitter := float64(k+1) * 1e-9
+		for _, r := range seq.Requests {
+			events = append(events, Event{Item: ld.Item, Server: r.Server, Time: r.Time + jitter})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].Time < events[b].Time })
+	return events, nil
+}

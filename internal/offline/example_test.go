@@ -1,0 +1,54 @@
+package offline_test
+
+import (
+	"fmt"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+)
+
+// Optimizing the paper's Section IV running example and reading back the
+// recurrence vectors.
+func ExampleFastDP() {
+	seq, cm := offline.Fig6Instance()
+	res, err := offline.FastDP(seq, cm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("C(7) = %.1f, D(7) = %.1f, B_7 = %.1f\n", res.C[7], res.D[7], res.B[7])
+	// Output: C(7) = 8.9, D(7) = 9.2, B_7 = 6.6
+}
+
+// Streaming requests one at a time keeps the optimum current in O(m) per
+// append.
+func ExampleIncremental() {
+	inc, err := offline.NewIncremental(3, 1, model.Unit)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range []model.Request{
+		{Server: 2, Time: 1},
+		{Server: 2, Time: 1.5},
+		{Server: 3, Time: 4},
+	} {
+		if err := inc.Append(r); err != nil {
+			panic(err)
+		}
+		fmt.Printf("after %d requests: %.1f\n", inc.N(), inc.Cost())
+	}
+	// Output:
+	// after 1 requests: 2.0
+	// after 2 requests: 2.5
+	// after 3 requests: 6.0
+}
+
+// The exact oracle certifies the recurrence on small instances.
+func ExampleSubsetOptimal() {
+	seq, cm := offline.Fig2Instance()
+	cost, err := offline.SubsetOptimal(seq, cm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f\n", cost)
+	// Output: 7.2
+}

@@ -1,0 +1,83 @@
+package offline
+
+import (
+	"testing"
+
+	"datacache/internal/model"
+)
+
+// TestExhaustiveSmallInstances cross-checks the recurrences against the
+// subset oracle on EVERY server assignment of up to 5 requests over 3
+// servers at fixed time grids — 3^1 + ... + 3^5 = 363 instances per grid
+// and cost model, with no randomness. Random property tests sample the
+// space; this test covers a structured slab of it completely, including
+// every pattern of first-touches, revisits, and alternations.
+func TestExhaustiveSmallInstances(t *testing.T) {
+	grids := [][]float64{
+		{0.5, 1.0, 1.5, 2.0, 2.5},    // uniform, gaps below Δt for λ=1
+		{0.2, 3.0, 3.1, 9.0, 9.05},   // bursts separated by long gaps
+		{1.0, 2.0, 10.0, 11.0, 30.0}, // mixed regimes
+	}
+	models := []model.CostModel{
+		model.Unit,
+		{Mu: 1, Lambda: 4},
+		{Mu: 3, Lambda: 0.7},
+	}
+	instances := 0
+	for _, grid := range grids {
+		for _, cm := range models {
+			for n := 1; n <= len(grid); n++ {
+				assign := make([]model.ServerID, n)
+				var rec func(pos int)
+				rec = func(pos int) {
+					if pos == n {
+						instances++
+						seq := &model.Sequence{M: 3, Origin: 1}
+						for i := 0; i < n; i++ {
+							seq.Requests = append(seq.Requests, model.Request{
+								Server: assign[i], Time: grid[i],
+							})
+						}
+						check(t, seq, cm)
+						return
+					}
+					for s := model.ServerID(1); s <= 3; s++ {
+						assign[pos] = s
+						rec(pos + 1)
+					}
+				}
+				rec(0)
+			}
+		}
+	}
+	if instances != 3*3*363 {
+		t.Fatalf("covered %d instances, want %d", instances, 3*3*363)
+	}
+}
+
+// check runs the full agreement suite on one instance, failing with the
+// complete instance on any mismatch.
+func check(t *testing.T, seq *model.Sequence, cm model.CostModel) {
+	t.Helper()
+	fast, err := FastDP(seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := SubsetOptimal(seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(fast.Cost(), oracle) {
+		t.Fatalf("FastDP %v != oracle %v on %+v (cm %+v)", fast.Cost(), oracle, seq, cm)
+	}
+	sched, err := fast.Schedule()
+	if err != nil {
+		t.Fatalf("%v on %+v", err, seq)
+	}
+	if err := sched.Validate(seq); err != nil {
+		t.Fatalf("%v on %+v", err, seq)
+	}
+	if got := sched.Cost(cm); !approxEq(got, fast.Cost()) {
+		t.Fatalf("reconstruction %v != %v on %+v", got, fast.Cost(), seq)
+	}
+}

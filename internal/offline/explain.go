@@ -1,0 +1,123 @@
+package offline
+
+import (
+	"fmt"
+	"strings"
+
+	"datacache/internal/model"
+)
+
+// ServiceKind classifies how the optimal schedule serves a request.
+type ServiceKind int8
+
+// Service kinds, mirroring Observation 2's dichotomy plus the marginal
+// sub-cases of the reconstruction.
+const (
+	// ServedByCache: the request's server held the copy since the previous
+	// request there (an H(s_i, t_{p(i)}, t_i) interval ends here).
+	ServedByCache ServiceKind = iota
+	// ServedByTransfer: a transfer ends at the request (Observation 2,
+	// case 2).
+	ServedByTransfer
+)
+
+// String names the kind.
+func (k ServiceKind) String() string {
+	if k == ServedByCache {
+		return "cache"
+	}
+	return "transfer"
+}
+
+// Decision explains one request's service in the optimal schedule.
+type Decision struct {
+	Index  int            // i, 1-based
+	Server model.ServerID // s_i
+	Time   float64        // t_i
+	Kind   ServiceKind
+	Source model.ServerID // transfer source (0 for cache service)
+	Cost   float64        // marginal cost attributed to this request
+}
+
+// Explain attributes the optimal schedule's operations to requests: every
+// transfer is credited to the request it ends on, and every cache interval
+// to the request at its right endpoint. The attributed costs sum exactly to
+// C(n) (asserted by TestExplainAttributionSumsToOptimal), turning the DP's
+// opaque vectors into a per-request bill — the kind of explanation a
+// service operator needs when the optimizer's plan looks surprising.
+func (r *Result) Explain() ([]Decision, error) {
+	sched, err := r.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	n := r.Seq.N()
+	decisions := make([]Decision, n)
+	attributed := make([]float64, n)
+
+	// Index requests by (server, time) for endpoint matching.
+	type key struct {
+		sv model.ServerID
+		at float64
+	}
+	byKey := map[key]int{}
+	for i := 1; i <= n; i++ {
+		req := r.Seq.Requests[i-1]
+		decisions[i-1] = Decision{Index: i, Server: req.Server, Time: req.Time, Kind: ServedByCache}
+		byKey[key{req.Server, req.Time}] = i
+	}
+	for _, tr := range sched.Transfers {
+		if i, ok := byKey[key{tr.To, tr.Time}]; ok {
+			decisions[i-1].Kind = ServedByTransfer
+			decisions[i-1].Source = tr.From
+			attributed[i-1] += r.Model.Lambda
+		} else {
+			return nil, fmt.Errorf("offline: transfer %v ends on no request (standard form violated)", tr)
+		}
+	}
+	// Cache intervals: charge each to the latest request at or after... the
+	// interval's right endpoint is a request on that server (standard form)
+	// except for the final hand-off truncations; charge to the request at
+	// the endpoint when one exists, else to the next request on any server
+	// at that time, else to the last request overall.
+	for _, h := range sched.Caches {
+		cost := r.Model.Mu * h.Length()
+		if i, ok := byKey[key{h.Server, h.To}]; ok {
+			attributed[i-1] += cost
+			continue
+		}
+		// Interval ends at a transfer point: charge the request that
+		// transfer serves (same instant, some server).
+		charged := false
+		for _, tr := range sched.Transfers {
+			if tr.From == h.Server && tr.Time == h.To {
+				if i, ok := byKey[key{tr.To, tr.Time}]; ok {
+					attributed[i-1] += cost
+					charged = true
+					break
+				}
+			}
+		}
+		if !charged {
+			attributed[n-1] += cost // horizon-truncated tail
+		}
+	}
+	for i := range decisions {
+		decisions[i].Cost = attributed[i]
+	}
+	return decisions, nil
+}
+
+// RenderDecisions formats an explanation as a per-request table.
+func RenderDecisions(ds []Decision) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s  %-6s  %10s  %-8s  %-8s  %10s\n", "i", "server", "time", "served", "source", "cost")
+	for _, d := range ds {
+		src := "-"
+		if d.Kind == ServedByTransfer {
+			src = fmt.Sprintf("s%d", d.Source)
+		}
+		fmt.Fprintf(&b, "%4d  s%-5d  %10.4g  %-8s  %-8s  %10.4g\n",
+			d.Index, d.Server, d.Time, d.Kind, src, d.Cost)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package offline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"datacache/internal/model"
+)
+
+func TestExplainAttributionSumsToOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	for trial := 0; trial < 200; trial++ {
+		seq, cm := randomInstance(rng, 5, 18)
+		if seq.N() == 0 {
+			continue
+		}
+		res, err := FastDP(seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := res.Explain()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(ds) != seq.N() {
+			t.Fatalf("trial %d: %d decisions for %d requests", trial, len(ds), seq.N())
+		}
+		sum := 0.0
+		for _, d := range ds {
+			if d.Cost < -1e-9 {
+				t.Fatalf("trial %d: negative attribution %v", trial, d.Cost)
+			}
+			sum += d.Cost
+		}
+		if !approxEq(sum, res.Cost()) {
+			t.Fatalf("trial %d: attribution sums to %v, optimum is %v", trial, sum, res.Cost())
+		}
+	}
+}
+
+func TestExplainFig6Story(t *testing.T) {
+	seq, cm := Fig6Instance()
+	res, err := FastDP(seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := res.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the reconstructed optimum: r1 (first touch of s2) must be a
+	// transfer; r5 and r6 (s2 revisits within the held interval) are cache
+	// services.
+	if ds[0].Kind != ServedByTransfer || ds[0].Source == 0 {
+		t.Errorf("r1 = %+v, want transfer service", ds[0])
+	}
+	if ds[4].Kind != ServedByCache || ds[5].Kind != ServedByCache {
+		t.Errorf("r5/r6 = %+v/%+v, want cache services", ds[4], ds[5])
+	}
+	out := RenderDecisions(ds)
+	if !strings.Contains(out, "transfer") || !strings.Contains(out, "cache") {
+		t.Errorf("rendering missing kinds:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 8 { // header + 7 rows
+		t.Errorf("rendered lines = %d:\n%s", got, out)
+	}
+}
+
+func TestExplainEmpty(t *testing.T) {
+	empty := &model.Sequence{M: 2, Origin: 1}
+	res, err := FastDP(empty, model.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := res.Explain()
+	if err != nil || len(ds) != 0 {
+		t.Errorf("empty explain = (%v, %v)", ds, err)
+	}
+}

@@ -1,0 +1,91 @@
+package offline
+
+import (
+	"math"
+	"testing"
+
+	"datacache/internal/model"
+)
+
+// TestSecondGoldenInstance pins a full hand derivation of the recurrence
+// system under a non-unit cost model (μ=1, λ=2), independent of the
+// paper's own example. Instance: m=3, origin s¹,
+//
+//	r1=(s²,1.0) r2=(s¹,2.0) r3=(s²,2.5) r4=(s³,3.0) r5=(s²,4.5)
+//
+// Derivation:
+//
+//	p: r1→dummy, r2→r0, r3→r1 (σ=1.5), r4→dummy, r5→r3 (σ=2.0)
+//	b = (2, 2, 1.5, 2, 2),  B = (2, 4, 5.5, 7.5, 9.5)
+//	C(1) = C(0) + μ·1.0 + λ = 3                      (first touch of s²)
+//	D(2) = C(0) + μ·2.0 + B₁ − B₀ = 4                (cache s¹ from t=0,
+//	       r1 served at its marginal bound λ by a transfer from s¹)
+//	C(2) = min(4, C(1)+1+2=6) = 4
+//	D(3): boundary C(1)+1.5+B₂−B₁ = 6.5; pivot κ=2 (H(s¹,0,2) spans
+//	       t_{p(3)}=1): D(2)+1.5+B₂−B₂ = 5.5  →  D(3) = 5.5
+//	C(3) = min(5.5, C(2)+0.5+2=6.5) = 5.5
+//	C(4) = C(3) + μ·0.5 + λ = 8                      (first touch of s³)
+//	D(5): boundary C(3)+2+B₄−B₃ = 9.5; pivot κ=3 ties at 9.5 → 9.5
+//	C(5) = min(9.5, C(4)+1.5+2=11.5) = 9.5
+func TestSecondGoldenInstance(t *testing.T) {
+	seq := &model.Sequence{M: 3, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 1.0},
+		{Server: 1, Time: 2.0},
+		{Server: 2, Time: 2.5},
+		{Server: 3, Time: 3.0},
+		{Server: 2, Time: 4.5},
+	}}
+	cm := model.CostModel{Mu: 1, Lambda: 2}
+
+	res, err := FastDP(seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC := []float64{0, 3, 4, 5.5, 8, 9.5}
+	wantD := []float64{0, math.Inf(1), 4, 5.5, math.Inf(1), 9.5}
+	for i := 1; i <= 5; i++ {
+		if !approxEq(res.C[i], wantC[i]) {
+			t.Errorf("C(%d) = %v, hand derivation gives %v", i, res.C[i], wantC[i])
+		}
+		if math.IsInf(wantD[i], 1) {
+			if !math.IsInf(res.D[i], 1) {
+				t.Errorf("D(%d) = %v, want +Inf", i, res.D[i])
+			}
+		} else if !approxEq(res.D[i], wantD[i]) {
+			t.Errorf("D(%d) = %v, hand derivation gives %v", i, res.D[i], wantD[i])
+		}
+	}
+	wantB := []float64{0, 2, 4, 5.5, 7.5, 9.5}
+	for i := 1; i <= 5; i++ {
+		if !approxEq(res.B[i], wantB[i]) {
+			t.Errorf("B(%d) = %v, want %v", i, res.B[i], wantB[i])
+		}
+	}
+
+	// Certify against the independent oracle and the reconstruction.
+	oracle, err := SubsetOptimal(seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(oracle, 9.5) {
+		t.Errorf("oracle = %v, want 9.5", oracle)
+	}
+	sched, err := res.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(seq); err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.Cost(cm); !approxEq(got, 9.5) {
+		t.Errorf("reconstructed cost = %v (%s)", got, sched)
+	}
+	// Structure: exactly 2 transfers (the two first touches); r3 and r5 are
+	// served by held copies on s2.
+	if len(sched.Transfers) != 2 {
+		t.Errorf("transfers = %d, want 2 (%s)", len(sched.Transfers), sched)
+	}
+	if !sched.HeldAt(2, 2.0) || !sched.HeldAt(2, 4.0) {
+		t.Errorf("s2 should be cached across both revisits: %s", sched)
+	}
+}

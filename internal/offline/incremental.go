@@ -1,0 +1,184 @@
+package offline
+
+import (
+	"fmt"
+	"math"
+
+	"datacache/internal/model"
+)
+
+// Incremental is the streaming form of the O(mn) dynamic program: requests
+// are appended one at a time and each append updates the optimum in O(m)
+// amortized time — the recurrences (2) and (5) are forward-only, so the
+// batch algorithm's sweep maps directly onto a stream. A service extending
+// its predicted horizon re-plans each extension at constant-per-server
+// cost instead of re-running the batch solver.
+//
+// After any number of appends, Cost returns C(n) for the requests so far;
+// Result materializes a full *Result (sharing no state), from which the
+// optimal schedule for the current prefix can be reconstructed.
+type Incremental struct {
+	seq *model.Sequence
+	cm  model.CostModel
+
+	c, d, b []float64 // C, D, B vectors, index 0 = boundary
+	cBr     []branch
+	dBr     []branch
+	dPv     []int
+	prev    []int
+
+	lastOn []int // per server: index of the most recent request (0/NoPrev boundary)
+	next   []int // successor on the same server, -1 while none
+	// a is the rolling last row of Theorem 2's A matrix for the *current*
+	// end of stream; per-request history is kept in rowsAt so that row
+	// A[p(i)] remains addressable: rowsAt[i][j] = last request on server j
+	// at or before i. Stored as int32 to match the batch solver's footprint.
+	rowsAt [][]int32
+}
+
+// NewIncremental starts a stream over m servers with the initial copy at
+// origin (time 0).
+func NewIncremental(m int, origin model.ServerID, cm model.CostModel) (*Incremental, error) {
+	seq := &model.Sequence{M: m, Origin: origin}
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cm.Validate(); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{
+		seq:    seq,
+		cm:     cm,
+		c:      []float64{0},
+		d:      []float64{0}, // boundary entry, matching newResult's D[0]
+		b:      []float64{0},
+		cBr:    []branch{branchNone},
+		dBr:    []branch{branchNone},
+		dPv:    []int{0},
+		prev:   []int{0},
+		lastOn: make([]int, m+1),
+		next:   []int{-1},
+	}
+	for j := 1; j <= m; j++ {
+		inc.lastOn[j] = model.NoPrev
+	}
+	inc.lastOn[origin] = 0
+	row0 := make([]int32, m+1)
+	for j := 1; j <= m; j++ {
+		row0[j] = int32(inc.lastOn[j])
+	}
+	inc.rowsAt = [][]int32{row0}
+	return inc, nil
+}
+
+// N returns the number of appended requests.
+func (inc *Incremental) N() int { return inc.seq.N() }
+
+// Cost returns the optimal cost C(n) of the stream so far.
+func (inc *Incremental) Cost() float64 { return inc.c[len(inc.c)-1] }
+
+// Append adds the next request and updates the optimum. The request time
+// must strictly exceed the previous one.
+func (inc *Incremental) Append(r model.Request) error {
+	n := inc.seq.N()
+	if r.Server < 1 || int(r.Server) > inc.seq.M {
+		return fmt.Errorf("offline: request server %d out of range 1..%d", r.Server, inc.seq.M)
+	}
+	if last := inc.seq.End(); r.Time <= last {
+		return fmt.Errorf("offline: request time %v not after %v", r.Time, last)
+	}
+	if math.IsNaN(r.Time) || math.IsInf(r.Time, 0) {
+		return fmt.Errorf("offline: request time %v not finite", r.Time)
+	}
+	i := n + 1
+	inc.seq.Requests = append(inc.seq.Requests, r)
+
+	// Predecessor bookkeeping.
+	p := inc.lastOn[r.Server]
+	inc.prev = append(inc.prev, p)
+	inc.next = append(inc.next, -1)
+	if p >= 0 {
+		inc.next[p] = i
+	}
+	inc.lastOn[r.Server] = i
+	row := make([]int32, inc.seq.M+1)
+	copy(row, inc.rowsAt[i-1])
+	row[r.Server] = int32(i)
+	inc.rowsAt = append(inc.rowsAt, row)
+
+	// Bounds.
+	bi := inc.cm.Lambda
+	if p >= 0 {
+		bi = math.Min(bi, inc.cm.Mu*(r.Time-inc.timeOf(p)))
+	}
+	inc.b = append(inc.b, inc.b[i-1]+bi)
+
+	// D(i) per Recurrence (5), candidates per Theorem 2.
+	dVal, dBr, dPv := math.Inf(1), branchNone, 0
+	if p != model.NoPrev {
+		sigma := r.Time - inc.timeOf(p)
+		base := inc.cm.Mu*sigma + inc.b[i-1]
+		dVal = inc.c[p] + base - inc.b[p]
+		dBr = dBranchBoundary
+		consider := func(k int) {
+			if k < 1 {
+				return
+			}
+			if v := inc.d[k] + base - inc.b[k]; v < dVal {
+				dVal, dBr, dPv = v, dBranchPivot, k
+			}
+		}
+		consider(p)
+		ap := inc.rowsAt[p]
+		for j := 1; j <= inc.seq.M; j++ {
+			if model.ServerID(j) == r.Server {
+				continue
+			}
+			q := int(ap[j])
+			if q == model.NoPrev {
+				continue
+			}
+			if k := inc.next[q]; k >= 1 && k < i {
+				consider(k)
+			}
+		}
+	}
+	inc.d = append(inc.d, dVal)
+	inc.dBr = append(inc.dBr, dBr)
+	inc.dPv = append(inc.dPv, dPv)
+
+	// C(i) per Recurrence (2), cache branch preferred on ties.
+	viaTransfer := inc.c[i-1] + inc.cm.Mu*(r.Time-inc.timeOf(i-1)) + inc.cm.Lambda
+	if dVal <= viaTransfer {
+		inc.c = append(inc.c, dVal)
+		inc.cBr = append(inc.cBr, branchCache)
+	} else {
+		inc.c = append(inc.c, viaTransfer)
+		inc.cBr = append(inc.cBr, branchTransfer)
+	}
+	return nil
+}
+
+func (inc *Incremental) timeOf(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	return inc.seq.Requests[i-1].Time
+}
+
+// Result materializes the current prefix as a batch Result (deep copies, so
+// further appends do not disturb it). Its Schedule method reconstructs the
+// optimal schedule for the prefix.
+func (inc *Incremental) Result() *Result {
+	return &Result{
+		Seq:     inc.seq.Clone(),
+		Model:   inc.cm,
+		C:       append([]float64(nil), inc.c...),
+		D:       append([]float64(nil), inc.d...),
+		B:       append([]float64(nil), inc.b...),
+		cBranch: append([]branch(nil), inc.cBr...),
+		dBranch: append([]branch(nil), inc.dBr...),
+		dPivot:  append([]int(nil), inc.dPv...),
+		prev:    append([]int(nil), inc.prev...),
+	}
+}

@@ -1,0 +1,113 @@
+package offline
+
+import (
+	"fmt"
+
+	"datacache/internal/model"
+)
+
+// Schedule rebuilds an optimal schedule from the decision trail recorded by
+// FastDP or NaiveDP, walking the recurrences backwards:
+//
+//   - a transfer-branch C(i) (Lemma 1/2) extends the optimal schedule for
+//     r_{i-1} with H(s_{i-1}, t_{i-1}, t_i) and Tr(s_{i-1}, s_i, t_i);
+//   - a boundary-branch D(i) (Lemma 3) places the final cache
+//     H(s_i, t_{p(i)}, t_i), serves every request strictly between p(i) and
+//     i at its marginal bound, and recurses into C(p(i));
+//   - a pivot-branch D(i) (Lemma 4) does the same between κ and i and
+//     recurses into D(κ).
+//
+// "Served at its marginal bound" means: by its own cache H(s_h, t_{p(h)},
+// t_h) when μσ_h <= λ, otherwise by a transfer sourced from the final cache
+// H(s_i, t_{p(i)}, t_i), which is alive throughout (t_κ ≥ t_{p(i)}, so every
+// such t_h lies inside the interval).
+//
+// The returned schedule is normalized; its cost equals Cost() exactly (up to
+// float rounding), which TestReconstruction* assert together with
+// feasibility.
+func (r *Result) Schedule() (*model.Schedule, error) {
+	n := r.Seq.N()
+	var s model.Schedule
+	if n == 0 {
+		return &s, nil
+	}
+	if err := r.buildC(n, &s); err != nil {
+		return nil, err
+	}
+	s.Normalize()
+	return &s, nil
+}
+
+// buildC emits the schedule fragment realizing C(i).
+func (r *Result) buildC(i int, s *model.Schedule) error {
+	for i > 0 {
+		switch r.cBranch[i] {
+		case branchTransfer:
+			from := r.Seq.ServerOf(i - 1)
+			to := r.Seq.ServerOf(i)
+			if from == to {
+				return fmt.Errorf("offline: transfer branch at request %d would self-transfer on server %d", i, from)
+			}
+			s.AddCache(from, r.Seq.TimeOf(i-1), r.Seq.TimeOf(i))
+			s.AddTransfer(from, to, r.Seq.TimeOf(i))
+			i--
+		case branchCache:
+			return r.buildD(i, s)
+		default:
+			return fmt.Errorf("offline: request %d has no recorded C branch", i)
+		}
+	}
+	return nil
+}
+
+// buildD emits the schedule fragment realizing D(i).
+func (r *Result) buildD(i int, s *model.Schedule) error {
+	for {
+		p := r.prev[i]
+		if p == model.NoPrev {
+			return fmt.Errorf("offline: D branch reached request %d with no predecessor", i)
+		}
+		si := r.Seq.ServerOf(i)
+		s.AddCache(si, r.Seq.TimeOf(p), r.Seq.TimeOf(i))
+
+		var stop int // serve requests in (stop, i) at their marginal bound
+		switch r.dBranch[i] {
+		case dBranchBoundary:
+			stop = p
+		case dBranchPivot:
+			stop = r.dPivot[i]
+		default:
+			return fmt.Errorf("offline: request %d has no recorded D branch", i)
+		}
+		for h := stop + 1; h < i; h++ {
+			r.serveMarginal(h, si, s)
+		}
+		if r.dBranch[i] == dBranchBoundary {
+			return r.buildC(stop, s)
+		}
+		i = stop // recurse into D(κ) iteratively
+	}
+}
+
+// serveMarginal serves request h at cost b_h = min(λ, μσ_h): by extending its
+// own previous copy when caching is no more expensive, otherwise by a
+// transfer sourced from the live cache on src.
+func (r *Result) serveMarginal(h int, src model.ServerID, s *model.Schedule) {
+	p := r.prev[h]
+	sh := r.Seq.ServerOf(h)
+	if p != model.NoPrev {
+		sigma := r.Seq.TimeOf(h) - r.Seq.TimeOf(p)
+		if r.Model.Mu*sigma <= r.Model.Lambda {
+			s.AddCache(sh, r.Seq.TimeOf(p), r.Seq.TimeOf(h))
+			return
+		}
+	}
+	if sh == src {
+		// The live cache is on this very server and already covers t_h; no
+		// extra cost, and b_h = min(λ, μσ_h) = ... cannot occur: src = s_i
+		// and the only request on s_i in the open interval would contradict
+		// p(i) being the previous same-server request. Guarded for safety.
+		return
+	}
+	s.AddTransfer(src, sh, r.Seq.TimeOf(h))
+}

@@ -1,0 +1,139 @@
+package offline
+
+import (
+	"math"
+
+	"datacache/internal/model"
+)
+
+// SingleCopyOptimal computes the optimal cost under the restriction that
+// exactly one copy exists at all times (pure migration, no replication) —
+// the policy class of the AlwaysMigrate baseline, optimized.
+//
+// It is a layered shortest-path over the space-time graph of Definition 2:
+// the state after serving r_i is the server holding the lone copy, with
+// standard-form moves only (the copy may move at request times, to or from
+// the requesting server). Between consecutive requests the copy is cached
+// wherever it sits (cost μ·δt); serving r_i from server j != s_i costs one
+// transfer λ, after which the copy either stays at s_i (migration) or the
+// delivered copy is dropped and the holder remains j (one-shot service).
+//
+// The value C_single(n) upper-bounds the true optimum C(n); the gap
+// C_single/C measures the benefit of replication, reported by the
+// replication-ablation experiment (E10). Time O(nm), space O(m).
+func SingleCopyOptimal(seq *model.Sequence, cm model.CostModel) (float64, error) {
+	if err := seq.Validate(); err != nil {
+		return 0, err
+	}
+	if err := cm.Validate(); err != nil {
+		return 0, err
+	}
+	m := seq.M
+	cur := make([]float64, m+1)
+	nxt := make([]float64, m+1)
+	for j := range cur {
+		cur[j] = math.Inf(1)
+	}
+	cur[seq.Origin] = 0
+
+	tPrev := 0.0
+	for _, r := range seq.Requests {
+		hold := cm.Mu * (r.Time - tPrev)
+		tPrev = r.Time
+		for j := range nxt {
+			nxt[j] = math.Inf(1)
+		}
+		// The cheapest state that can source a transfer to s_i.
+		bestAway := math.Inf(1)
+		for j := 1; j <= m; j++ {
+			if j == int(r.Server) {
+				continue
+			}
+			if v := cur[j] + hold; v < bestAway {
+				bestAway = v
+			}
+		}
+		// Copy already at s_i: serve free, stays.
+		if v := cur[r.Server] + hold; v < nxt[r.Server] {
+			nxt[r.Server] = v
+		}
+		// Copy elsewhere: one transfer; either migrate (copy now at s_i)
+		// or serve-and-delete the delivered replica (holder unchanged).
+		if v := bestAway + cm.Lambda; v < nxt[r.Server] {
+			nxt[r.Server] = v
+		}
+		for j := 1; j <= m; j++ {
+			if j == int(r.Server) {
+				continue
+			}
+			if v := cur[j] + hold + cm.Lambda; v < nxt[j] {
+				nxt[j] = v
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	best := math.Inf(1)
+	for j := 1; j <= m; j++ {
+		if cur[j] < best {
+			best = cur[j]
+		}
+	}
+	if len(seq.Requests) == 0 {
+		best = 0
+	}
+	return best, nil
+}
+
+// Bounds are cheap O(n + m) envelopes around the optimal cost, usable
+// without running the full dynamic program — e.g. for admission control or
+// capacity planning at scale.
+type Bounds struct {
+	// Lower is the running bound B_n of Definition 5 — provably <= C(n) —
+	// strengthened by the coverage requirement: at least one copy must be
+	// cached over the whole horizon, so μ·t_n is also a lower bound on the
+	// caching part alone... the two lower bounds are NOT additive (b_i may
+	// price caching seconds that coverage also prices), so Lower is their
+	// maximum.
+	Lower float64
+	// Upper is the cost of the better of the two trivial feasible
+	// schedules: hold-at-origin-and-transfer-everything, or single-copy
+	// chase (AlwaysMigrate). Always >= C(n).
+	Upper float64
+}
+
+// ComputeBounds derives the envelopes.
+func ComputeBounds(seq *model.Sequence, cm model.CostModel) (Bounds, error) {
+	if err := seq.Validate(); err != nil {
+		return Bounds{}, err
+	}
+	if err := cm.Validate(); err != nil {
+		return Bounds{}, err
+	}
+	var b Bounds
+	if seq.N() == 0 {
+		return b, nil
+	}
+	B := model.RunningBounds(seq, cm)
+	b.Lower = math.Max(B[seq.N()], cm.Mu*seq.End())
+
+	// Upper candidate 1: park at the origin, transfer every off-origin
+	// request.
+	hold := cm.Mu * seq.End()
+	park := hold
+	for _, r := range seq.Requests {
+		if r.Server != seq.Origin {
+			park += cm.Lambda
+		}
+	}
+	// Upper candidate 2: a single copy chases the requests.
+	chase := hold
+	holder := seq.Origin
+	for _, r := range seq.Requests {
+		if r.Server != holder {
+			chase += cm.Lambda
+			holder = r.Server
+		}
+	}
+	b.Upper = math.Min(park, chase)
+	return b, nil
+}

@@ -1,0 +1,102 @@
+package offline
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"datacache/internal/model"
+)
+
+// MaxSubsetServers bounds the instance size SubsetOptimal accepts: the
+// oracle enumerates all keep-sets of all live-copy sets between consecutive
+// requests, which is Θ(3^m) work per request.
+const MaxSubsetServers = 16
+
+// SubsetOptimal computes the exact optimal cost by exhaustive dynamic
+// programming over live-copy sets, independently of the paper's recurrences.
+//
+// By Observation 1 (standard form) some optimal schedule only transfers at
+// request times into the requesting server, and by minimality copies are
+// only deleted at request times. Between consecutive requests the schedule
+// therefore (a) picks a nonempty subset K of the currently live copies to
+// keep through [t_{i-1}, t_i] at cost μ·δt·|K| (condition 1: at least one
+// copy alive), and (b) serves r_i free if s_i ∈ K, else by one λ transfer,
+// after which the live set is K ∪ {s_i}. Deleting right at t_i is deferred
+// into the next step's keep-choice without loss.
+//
+// The oracle exists to certify FastDP and NaiveDP: the property tests assert
+// equality on thousands of random small instances.
+func SubsetOptimal(seq *model.Sequence, cm model.CostModel) (float64, error) {
+	return CapOptimal(seq, cm, 0)
+}
+
+// CapOptimal is SubsetOptimal under a global copy budget: at most maxCopies
+// copies may be held across any inter-request interval (the transient
+// second copy during a migration hand-off is not counted, so maxCopies = 1
+// is exactly the single-copy policy class of SingleCopyOptimal, and
+// maxCopies >= m — or 0, meaning unlimited — recovers the unrestricted
+// optimum). The budget sweep of experiment E13 connects the paper's
+// "dynamic number of copies" row of Table I to the classic fixed-k world:
+// it measures what each additional allowed copy is worth.
+func CapOptimal(seq *model.Sequence, cm model.CostModel, maxCopies int) (float64, error) {
+	if err := seq.Validate(); err != nil {
+		return 0, err
+	}
+	if err := cm.Validate(); err != nil {
+		return 0, err
+	}
+	if seq.M > MaxSubsetServers {
+		return 0, fmt.Errorf("offline: subset oracle limited to m <= %d servers, got %d", MaxSubsetServers, seq.M)
+	}
+	size := 1 << seq.M
+	cur := make([]float64, size)
+	nxt := make([]float64, size)
+	for i := range cur {
+		cur[i] = math.Inf(1)
+	}
+	cur[1<<(seq.Origin-1)] = 0
+
+	tPrev := 0.0
+	for _, req := range seq.Requests {
+		dt := req.Time - tPrev
+		tPrev = req.Time
+		reqBit := 1 << (req.Server - 1)
+		for i := range nxt {
+			nxt[i] = math.Inf(1)
+		}
+		for set := 1; set < size; set++ {
+			base := cur[set]
+			if math.IsInf(base, 1) {
+				continue
+			}
+			// Enumerate nonempty keep-sets K ⊆ set.
+			for keep := set; keep > 0; keep = (keep - 1) & set {
+				held := bits.OnesCount(uint(keep))
+				if maxCopies > 0 && held > maxCopies {
+					continue
+				}
+				cost := base + cm.Mu*dt*float64(held)
+				after := keep
+				if keep&reqBit == 0 {
+					cost += cm.Lambda
+					after |= reqBit
+				}
+				if cost < nxt[after] {
+					nxt[after] = cost
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	best := math.Inf(1)
+	for _, v := range cur {
+		if v < best {
+			best = v
+		}
+	}
+	if len(seq.Requests) == 0 {
+		best = 0
+	}
+	return best, nil
+}

@@ -1,0 +1,169 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+)
+
+func TestBestWindowSkiRental(t *testing.T) {
+	cm := model.Unit // Δt = 1
+	cases := []struct {
+		name string
+		gaps []float64
+		want float64
+	}{
+		// All gaps tiny: retaining through them costs far less than λ.
+		{"all tiny", []float64{0.1, 0.1, 0.2}, 0.2},
+		// All gaps huge: caching anything is wasted; drop instantly.
+		{"all huge", []float64{5, 8, 13}, 0},
+		// Bimodal: keep through the short mode, give up on the long one.
+		{"bimodal", []float64{0.1, 0.1, 0.1, 9, 9}, 0.1},
+		// Gaps right at Δt: indifferent, any candidate ties; cost(0) = nλ
+		// equals cost(Δt) = nμΔt, and ties keep the first minimum 0.
+		{"at the window", []float64{1, 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := bestWindow(tc.gaps, cm); got != tc.want {
+				t.Errorf("bestWindow(%v) = %v, want %v", tc.gaps, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBestWindowNeverExceedsDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		cm := model.CostModel{Mu: 0.2 + rng.Float64()*3, Lambda: 0.2 + rng.Float64()*3}
+		gaps := make([]float64, 1+rng.Intn(32))
+		for i := range gaps {
+			gaps[i] = rng.Float64() * 4 * cm.Delta()
+		}
+		w := bestWindow(gaps, cm)
+		if w < 0 || w > cm.Delta()+1e-12 {
+			t.Fatalf("window %v outside [0, Δt=%v]", w, cm.Delta())
+		}
+	}
+}
+
+func TestAdaptiveTTLFeasibleEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 150; trial++ {
+		seq := randomSequence(rng, 2+rng.Intn(5), rng.Intn(50), 1)
+		if _, err := Run(AdaptiveTTL{}, seq, model.Unit); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestAdaptiveTTLBeatsSCOnBimodalGaps(t *testing.T) {
+	// Server 1 carries a steady anchor stream (a copy always worth
+	// keeping), while server 2 is visited in tight triples separated by
+	// long silences. SC retains server 2's copy for a full Δt = 1 after
+	// every burst, pure waste; AdaptiveTTL learns the bimodal gap
+	// distribution and drops it right after the burst. (With no anchor the
+	// burst copy would be the last one alive and the coverage rule would
+	// retain it either way — the waste only exists for non-last copies.)
+	cm := model.Unit
+	seq := &model.Sequence{M: 2, Origin: 1}
+	const bursts = 40
+	for burst := 0; burst < bursts; burst++ {
+		base := float64(burst) * 12.5
+		for k := 1; k <= 3; k++ {
+			seq.Requests = append(seq.Requests, model.Request{Server: 2, Time: base + 0.05*float64(k)})
+		}
+	}
+	for k := 0; float64(k)*0.5+0.25 < bursts*12.5; k++ {
+		seq.Requests = append(seq.Requests, model.Request{Server: 1, Time: 0.25 + 0.5*float64(k)})
+	}
+	model.SortRequests(seq.Requests)
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Run(SpeculativeCaching{}, seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := Run(AdaptiveTTL{}, seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Stats.Cost >= sc.Stats.Cost {
+		t.Errorf("AdaptiveTTL %v should beat SC %v on bimodal gaps", ad.Stats.Cost, sc.Stats.Cost)
+	}
+	opt, err := offline.FastDP(seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Stats.Cost < opt.Cost()-1e-9 {
+		t.Fatalf("AdaptiveTTL %v below the optimum %v: accounting bug", ad.Stats.Cost, opt.Cost())
+	}
+}
+
+func TestAdaptiveTTLFallsBackToSCWhenDataStarved(t *testing.T) {
+	// With fewer arrivals than MinSamples per server, the adaptive policy
+	// must behave exactly like SC (same windows throughout).
+	seq := &model.Sequence{M: 3, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 0.4},
+		{Server: 3, Time: 1.9},
+		{Server: 1, Time: 4.0},
+	}}
+	cm := model.CostModel{Mu: 1, Lambda: 2}
+	sc, err := Run(SpeculativeCaching{}, seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := Run(AdaptiveTTL{MinSamples: 10}, seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(sc.Stats.Cost, ad.Stats.Cost) {
+		t.Errorf("data-starved AdaptiveTTL %v != SC %v", ad.Stats.Cost, sc.Stats.Cost)
+	}
+}
+
+func TestAdaptiveTTLSampleCap(t *testing.T) {
+	// A long run with a tiny cap must still work (exercises the sliding
+	// window path) and track the recent regime after a distribution shift.
+	cm := model.Unit
+	seq := &model.Sequence{M: 2, Origin: 1}
+	tm := 0.0
+	// Regime 1: server 2 revisited every 0.2 (worth caching).
+	for i := 0; i < 50; i++ {
+		tm += 0.2
+		seq.Requests = append(seq.Requests, model.Request{Server: 2, Time: tm})
+	}
+	// Regime 2: revisits every 6 (worth dropping).
+	for i := 0; i < 30; i++ {
+		tm += 6
+		seq.Requests = append(seq.Requests, model.Request{Server: 2, Time: tm})
+	}
+	ad, err := Run(AdaptiveTTL{MaxSamples: 8}, seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Run(SpeculativeCaching{}, seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In regime 2, SC wastes ~Δt=1 of caching per silence on the s2 copy
+	// only when another copy exists; here s2's copy is usually the last one
+	// alive, so the two policies land close — the point of this test is
+	// the shift is survived and costs stay sane.
+	if ad.Stats.Cost > 2*sc.Stats.Cost {
+		t.Errorf("AdaptiveTTL %v wildly above SC %v after regime shift", ad.Stats.Cost, sc.Stats.Cost)
+	}
+}
+
+func TestAdaptiveTTLRejectsInvalid(t *testing.T) {
+	if _, err := (AdaptiveTTL{}).Run(&model.Sequence{M: 0}, model.Unit); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	seq := &model.Sequence{M: 2, Origin: 1}
+	if _, err := (AdaptiveTTL{}).Run(seq, model.CostModel{}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package online
+
+import (
+	"math"
+	"sort"
+
+	"datacache/internal/model"
+)
+
+// DT is a Double-Transfer view of a schedule (Definition 10): every caching
+// cost is re-attributed to the transfer that fed the copy (or to the initial
+// copy on the origin), leaving a cost vector over transfers. The transform
+// moves weight without creating or destroying any, so Total always equals
+// the source schedule's cost — the property the paper states as
+// Π(DT) = Π(SC) and the one TestDTTransformPreservesCost asserts.
+type DT struct {
+	Initial float64   // weight attached to the origin's initial copy (ω¹₁)
+	Weights []float64 // per transfer, in time order: λ plus attached ω's
+	Total   float64   // Initial + Σ Weights == schedule cost
+}
+
+// DTTransform rewrites a schedule into its Double-Transfer form. Each cache
+// interval is split at the touch points on its server (requests served
+// there plus transfer endpoints); every resulting elementary segment is
+// attached to the most recent transfer into that server at or before the
+// segment's start, and segments preceding any inbound transfer (the initial
+// copy) accrue to Initial.
+func DTTransform(seq *model.Sequence, cm model.CostModel, s *model.Schedule) DT {
+	type inbound struct {
+		at  float64
+		idx int
+	}
+	// Transfers sorted by time; index into Weights.
+	trs := append([]model.Transfer(nil), s.Transfers...)
+	sort.Slice(trs, func(a, b int) bool { return trs[a].Time < trs[b].Time })
+	dt := DT{Weights: make([]float64, len(trs))}
+	for i := range dt.Weights {
+		dt.Weights[i] = cm.Lambda
+	}
+	in := make(map[model.ServerID][]inbound)
+	for i, tr := range trs {
+		in[tr.To] = append(in[tr.To], inbound{at: tr.Time, idx: i})
+	}
+	attach := func(server model.ServerID, from float64, cost float64) {
+		lst := in[server]
+		// Last inbound transfer at or before the segment start feeds it.
+		k := sort.Search(len(lst), func(i int) bool { return lst[i].at > from+1e-12 })
+		if k > 0 {
+			dt.Weights[lst[k-1].idx] += cost
+		} else {
+			dt.Initial += cost
+		}
+	}
+	// Touch points per server: requests there plus transfer endpoints.
+	touches := make(map[model.ServerID][]float64)
+	for _, r := range seq.Requests {
+		touches[r.Server] = append(touches[r.Server], r.Time)
+	}
+	for _, tr := range trs {
+		touches[tr.From] = append(touches[tr.From], tr.Time)
+		touches[tr.To] = append(touches[tr.To], tr.Time)
+	}
+	for sv := range touches {
+		sort.Float64s(touches[sv])
+	}
+	for _, h := range s.Caches {
+		cuts := touches[h.Server]
+		prev := h.From
+		for _, c := range cuts {
+			if c <= h.From || c >= h.To {
+				continue
+			}
+			attach(h.Server, prev, cm.Mu*(c-prev))
+			prev = c
+		}
+		attach(h.Server, prev, cm.Mu*(h.To-prev))
+	}
+	dt.Total = dt.Initial
+	for _, w := range dt.Weights {
+		dt.Total += w
+	}
+	return dt
+}
+
+// Reductions holds the schedule-independent reduction weights of
+// Definitions 11 and 12 for one instance. Both the online schedule and any
+// optimal schedule provably spend at least these amounts in the places the
+// reductions remove them from (Lemmas 5 and 6), so subtracting them from
+// both sides can only increase the cost ratio — the pivotal step of the
+// Theorem 3 proof.
+type Reductions struct {
+	V      float64 // Σ_i max(0, μ·δt_{i-1,i} − λ): excess caching inside big inter-request gaps
+	H      float64 // Σ_{i ∈ SR} μσ_i over SR = {r_i : μσ_i < λ}: short own-cache services
+	NPrime int     // |R'| = n − |SR|, the requests surviving the H-reduction
+}
+
+// ComputeReductions derives the V- and H-reduction weights from the
+// instance alone.
+func ComputeReductions(seq *model.Sequence, cm model.CostModel) Reductions {
+	var red Reductions
+	sig := seq.Sigma()
+	tPrev := 0.0
+	for i := 1; i <= seq.N(); i++ {
+		t := seq.TimeOf(i)
+		if gap := cm.Mu*(t-tPrev) - cm.Lambda; gap > 0 {
+			red.V += gap
+		}
+		tPrev = t
+		if cm.Mu*sig[i] < cm.Lambda {
+			red.H += cm.Mu * sig[i]
+		} else {
+			red.NPrime++
+		}
+	}
+	return red
+}
+
+// LemmaChecks evaluates the quantitative steps of the Theorem 3 proof on a
+// concrete run, for use by tests and the dcbench fig7 report:
+//
+//	DTEqualsSC   — Π(DT) == Π(SC)                       (Definition 10)
+//	SCUpper      — Π(SC) − V − H <= 3·n'·λ              (Lemma 7)
+//	OptLower     — Π(OPT) − V − H >= n'·λ               (Lemma 8)
+//	Theorem3     — Π(SC) <= 3·Π(OPT)                    (Theorem 3)
+type LemmaChecks struct {
+	SC, Opt    float64
+	Red        Reductions
+	DTTotal    float64
+	DTEqualsSC bool
+	SCUpper    bool
+	OptLower   bool
+	Theorem3   bool
+}
+
+// CheckLemmas runs SC and the off-line optimum on the instance and evaluates
+// every proof step.
+func CheckLemmas(seq *model.Sequence, cm model.CostModel, sc SpeculativeCaching) (LemmaChecks, error) {
+	run, err := Run(sc, seq, cm)
+	if err != nil {
+		return LemmaChecks{}, err
+	}
+	pt, err := CompetitiveRatio(sc, seq, cm)
+	if err != nil {
+		return LemmaChecks{}, err
+	}
+	red := ComputeReductions(seq, cm)
+	dt := DTTransform(seq, cm, run.Schedule)
+	const eps = 1e-6
+	lc := LemmaChecks{
+		SC:      pt.Cost,
+		Opt:     pt.Opt,
+		Red:     red,
+		DTTotal: dt.Total,
+	}
+	lc.DTEqualsSC = math.Abs(dt.Total-pt.Cost) <= eps*(1+math.Abs(pt.Cost))
+	lc.SCUpper = pt.Cost-red.V-red.H <= 3*float64(red.NPrime)*cm.Lambda+eps
+	lc.OptLower = pt.Opt-red.V-red.H >= float64(red.NPrime)*cm.Lambda-eps
+	lc.Theorem3 = pt.Cost <= 3*pt.Opt+eps
+	return lc, nil
+}

@@ -1,0 +1,129 @@
+package online
+
+import (
+	"math"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+)
+
+// AlwaysMigrate keeps exactly one copy at all times and migrates it to every
+// request that misses: serve-by-transfer, delete the source. It is the
+// natural "no speculation" lower end of the policy family: its caching cost
+// is exactly μ·t_n (one copy, always) and its transfer cost λ per server
+// switch.
+type AlwaysMigrate struct{}
+
+// Name implements Runner.
+func (AlwaysMigrate) Name() string { return "AlwaysMigrate" }
+
+// Run implements Runner.
+func (AlwaysMigrate) Run(seq *model.Sequence, cm model.CostModel) (*model.Schedule, error) {
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	var s model.Schedule
+	holder := seq.Origin
+	since := 0.0
+	for _, r := range seq.Requests {
+		if r.Server == holder {
+			continue
+		}
+		s.AddCache(holder, since, r.Time)
+		s.AddTransfer(holder, r.Server, r.Time)
+		holder, since = r.Server, r.Time
+	}
+	if end := seq.End(); end > since {
+		s.AddCache(holder, since, end)
+	}
+	s.Normalize()
+	return &s, nil
+}
+
+// KeepEverywhere replicates greedily and never deletes: the first miss on a
+// server pulls a copy that then stays alive to the end of the horizon. It is
+// the "infinite cache, no cost control" upper end of the family — few
+// transfers, unbounded caching spend.
+type KeepEverywhere struct{}
+
+// Name implements Runner.
+func (KeepEverywhere) Name() string { return "KeepEverywhere" }
+
+// Run implements Runner.
+func (KeepEverywhere) Run(seq *model.Sequence, cm model.CostModel) (*model.Schedule, error) {
+	if err := seq.Validate(); err != nil {
+		return nil, err
+	}
+	var s model.Schedule
+	end := seq.End()
+	have := make([]bool, seq.M+1)
+	have[seq.Origin] = true
+	holder := seq.Origin // most recent copy, used as transfer source
+	firstTouch := make([]float64, seq.M+1)
+	for _, r := range seq.Requests {
+		if have[r.Server] {
+			continue
+		}
+		s.AddTransfer(holder, r.Server, r.Time)
+		have[r.Server] = true
+		firstTouch[r.Server] = r.Time
+		holder = r.Server
+	}
+	for j := 1; j <= seq.M; j++ {
+		if have[j] && end > firstTouch[j] {
+			s.AddCache(model.ServerID(j), firstTouch[j], end)
+		}
+	}
+	s.Normalize()
+	return &s, nil
+}
+
+// Oracle is the off-line optimum exposed through the Runner interface, so
+// policy-comparison reports can include OPT as a row. It is not an online
+// algorithm: it sees the whole sequence.
+type Oracle struct{}
+
+// Name implements Runner.
+func (Oracle) Name() string { return "OPT (offline)" }
+
+// Run implements Runner.
+func (Oracle) Run(seq *model.Sequence, cm model.CostModel) (*model.Schedule, error) {
+	res, err := offline.FastDP(seq, cm)
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule()
+}
+
+// CompetitivePoint is one measured ratio sample.
+type CompetitivePoint struct {
+	Policy string
+	N      int
+	Cost   float64 // policy cost
+	Opt    float64 // FastDP optimum
+	Ratio  float64 // Cost / Opt (1 when Opt == 0)
+}
+
+// CompetitiveRatio runs a policy and the off-line optimum on the same
+// instance and reports the ratio. Theorem 3 promises Ratio <= 3 for
+// SpeculativeCaching on every instance; the property tests and experiment E6
+// assert exactly that.
+func CompetitiveRatio(p Runner, seq *model.Sequence, cm model.CostModel) (CompetitivePoint, error) {
+	run, err := Run(p, seq, cm)
+	if err != nil {
+		return CompetitivePoint{}, err
+	}
+	opt, err := offline.FastDP(seq, cm)
+	if err != nil {
+		return CompetitivePoint{}, err
+	}
+	pt := CompetitivePoint{Policy: p.Name(), N: seq.N(), Cost: run.Stats.Cost, Opt: opt.Cost()}
+	if pt.Opt > 0 {
+		pt.Ratio = pt.Cost / pt.Opt
+	} else if pt.Cost == 0 {
+		pt.Ratio = 1
+	} else {
+		pt.Ratio = math.Inf(1)
+	}
+	return pt, nil
+}

@@ -1,0 +1,73 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+)
+
+func TestCappedSCNeverExceedsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 80; trial++ {
+		seq := randomSequence(rng, 2+rng.Intn(5), 1+rng.Intn(50), 0.8)
+		for _, k := range []int{1, 2, 3} {
+			res, err := Run(SpeculativeCaching{MaxCopies: k}, seq, model.Unit)
+			if err != nil {
+				t.Fatalf("trial %d K=%d: %v", trial, k, err)
+			}
+			if got := res.Schedule.CountReplicas(seq); got > k {
+				t.Fatalf("trial %d K=%d: %d concurrent copies (%s)", trial, k, got, res.Schedule)
+			}
+		}
+	}
+}
+
+func TestCappedSCAboveCappedOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 60; trial++ {
+		seq := randomSequence(rng, 2+rng.Intn(4), 1+rng.Intn(16), 0.8)
+		for _, k := range []int{1, 2} {
+			res, err := Run(SpeculativeCaching{MaxCopies: k}, seq, model.Unit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := offline.CapOptimal(seq, model.Unit, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Cost < opt-1e-9 {
+				t.Fatalf("trial %d K=%d: capped SC %v beats capped optimum %v\nseq=%+v",
+					trial, k, res.Stats.Cost, opt, seq)
+			}
+		}
+	}
+}
+
+func TestCappedSCCapOneIsNomadic(t *testing.T) {
+	// With K=1 the capped policy degenerates to a single mobile copy:
+	// its caching cost is exactly the horizon.
+	cm := model.Unit
+	seq := &model.Sequence{M: 3, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 1},
+		{Server: 3, Time: 2},
+		{Server: 2, Time: 3},
+	}}
+	res, err := Run(SpeculativeCaching{MaxCopies: 1}, seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.CachingCost(cm); !approxEq(got, seq.End()) {
+		t.Errorf("caching cost %v, want the horizon %v", got, seq.End())
+	}
+	if res.Stats.Transfers != 3 {
+		t.Errorf("transfers = %d, want 3", res.Stats.Transfers)
+	}
+}
+
+func TestCappedSCName(t *testing.T) {
+	if got := (SpeculativeCaching{MaxCopies: 2}).Name(); got != "SC(cap=2)" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,97 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacache/internal/model"
+)
+
+func TestAnalyzeEpochsPartitionsTheRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(263))
+	for trial := 0; trial < 60; trial++ {
+		seq := randomSequence(rng, 2+rng.Intn(4), 10+rng.Intn(60), 1)
+		for _, epoch := range []int{2, 5, 0} {
+			stats, err := AnalyzeEpochs(seq, model.Unit, epoch)
+			if err != nil {
+				t.Fatalf("trial %d epoch %d: %v", trial, epoch, err)
+			}
+			if len(stats) == 0 {
+				t.Fatalf("trial %d: no epochs", trial)
+			}
+			// Epochs tile [0, End] and account every request exactly once.
+			reqs, cost := 0, 0.0
+			prevEnd := 0.0
+			for i, s := range stats {
+				if s.Start != prevEnd {
+					t.Fatalf("trial %d: epoch %d starts at %v, want %v", trial, i+1, s.Start, prevEnd)
+				}
+				prevEnd = s.End
+				reqs += s.Requests
+				cost += s.SCCost
+			}
+			if prevEnd != seq.End() {
+				t.Fatalf("trial %d: epochs end at %v, want %v", trial, prevEnd, seq.End())
+			}
+			if reqs != seq.N() {
+				t.Fatalf("trial %d: epochs hold %d requests, want %d", trial, reqs, seq.N())
+			}
+			// The summed per-epoch SC cost equals the full run's cost.
+			run, err := Run(SpeculativeCaching{EpochTransfers: epoch}, seq, model.Unit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !approxEq(cost, run.Stats.Cost) {
+				t.Fatalf("trial %d epoch %d: epoch costs sum to %v, run cost %v",
+					trial, epoch, cost, run.Stats.Cost)
+			}
+		}
+	}
+}
+
+// TestPerEpochTheorem3 is the per-epoch form of the competitiveness claim:
+// each epoch individually stays within 3x of its own off-line optimum.
+func TestPerEpochTheorem3(t *testing.T) {
+	rng := rand.New(rand.NewSource(269))
+	for trial := 0; trial < 80; trial++ {
+		seq := randomSequence(rng, 2+rng.Intn(5), 20+rng.Intn(60), 1)
+		stats, err := AnalyzeEpochs(seq, model.Unit, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst := WorstEpochRatio(stats); worst > 3+1e-6 {
+			t.Fatalf("trial %d: per-epoch ratio %v exceeds 3\nstats=%+v", trial, worst, stats)
+		}
+	}
+}
+
+func TestAnalyzeEpochsSingleEpoch(t *testing.T) {
+	seq := &model.Sequence{M: 2, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 5},
+		{Server: 2, Time: 5.5},
+		{Server: 1, Time: 10},
+	}}
+	stats, err := AnalyzeEpochs(seq, model.Unit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("epochs = %d, want 1", len(stats))
+	}
+	if !approxEq(stats[0].SCCost, 13) || stats[0].Requests != 3 {
+		t.Errorf("single epoch = %+v", stats[0])
+	}
+	if !approxEq(stats[0].OptCost, 11.5) {
+		t.Errorf("epoch OPT = %v, want 11.5", stats[0].OptCost)
+	}
+}
+
+func TestAnalyzeEpochsRejectsInvalid(t *testing.T) {
+	if _, err := AnalyzeEpochs(&model.Sequence{M: 0}, model.Unit, 2); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	seq := &model.Sequence{M: 2, Origin: 1}
+	if _, err := AnalyzeEpochs(seq, model.CostModel{}, 2); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package online
+
+import (
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+)
+
+// decodeInstance mirrors the offline fuzz decoder: arbitrary bytes become a
+// valid small instance.
+func decodeInstance(data []byte) (*model.Sequence, model.CostModel) {
+	if len(data) < 4 {
+		return nil, model.CostModel{}
+	}
+	m := 1 + int(data[0]%6)
+	cm := model.CostModel{
+		Mu:     0.1 + float64(data[1]%40)/10,
+		Lambda: 0.1 + float64(data[2]%40)/10,
+	}
+	seq := &model.Sequence{M: m, Origin: model.ServerID(1 + int(data[3])%m)}
+	t := 0.0
+	for i := 4; i+1 < len(data) && seq.N() < 24; i += 2 {
+		t += 0.01 + float64(data[i+1]%200)/50
+		seq.Requests = append(seq.Requests, model.Request{
+			Server: model.ServerID(1 + int(data[i])%m),
+			Time:   t,
+		})
+	}
+	return seq, cm
+}
+
+// FuzzSCInvariants drives SC (and variants) on arbitrary instances and
+// checks the structural guarantees: feasibility, Theorem 3, and the
+// DT-transform cost identity.
+func FuzzSCInvariants(f *testing.F) {
+	f.Add([]byte{3, 10, 10, 0, 1, 50, 2, 120, 0, 10, 1, 255, 2, 3})
+	f.Add([]byte{2, 5, 20, 1, 1, 1, 0, 201, 1, 1, 0, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, cm := decodeInstance(data)
+		if seq == nil {
+			return
+		}
+		if err := seq.Validate(); err != nil {
+			t.Skip()
+		}
+		opt, err := offline.FastDP(seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []Runner{
+			SpeculativeCaching{},
+			SpeculativeCaching{EpochTransfers: 2},
+			AdaptiveTTL{},
+			AlwaysMigrate{},
+			KeepEverywhere{},
+		} {
+			res, err := Run(p, seq, cm) // Run validates feasibility itself
+			if err != nil {
+				t.Fatalf("%s: %v\nseq=%+v cm=%+v", p.Name(), err, seq, cm)
+			}
+			if res.Stats.Cost < opt.Cost()-1e-6*(1+opt.Cost()) {
+				t.Fatalf("%s cost %v below optimum %v", p.Name(), res.Stats.Cost, opt.Cost())
+			}
+		}
+		pt, err := CompetitiveRatio(SpeculativeCaching{}, seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Ratio > 3+1e-9 {
+			t.Fatalf("SC ratio %v exceeds 3\nseq=%+v cm=%+v", pt.Ratio, seq, cm)
+		}
+		run, err := Run(SpeculativeCaching{}, seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt := DTTransform(seq, cm, run.Schedule)
+		if diff := dt.Total - run.Stats.Cost; diff > 1e-6*(1+run.Stats.Cost) || diff < -1e-6*(1+run.Stats.Cost) {
+			t.Fatalf("Π(DT)=%v != Π(SC)=%v", dt.Total, run.Stats.Cost)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/workload"
+)
+
+func TestRandomizedSCFeasibleAndReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 60; trial++ {
+		seq := randomSequence(rng, 2+rng.Intn(4), 1+rng.Intn(40), 1)
+		a, err := Run(RandomizedSC{Seed: 7}, seq, model.Unit)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b, err := Run(RandomizedSC{Seed: 7}, seq, model.Unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEq(a.Stats.Cost, b.Stats.Cost) {
+			t.Fatalf("trial %d: same seed, different costs %v vs %v", trial, a.Stats.Cost, b.Stats.Cost)
+		}
+		opt, err := offline.FastDP(seq, model.Unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Stats.Cost < opt.Cost()-1e-9 {
+			t.Fatalf("trial %d: randomized cost %v below optimum %v", trial, a.Stats.Cost, opt.Cost())
+		}
+	}
+}
+
+func TestRandomizedSCBeatsDeterministicOnAdversary(t *testing.T) {
+	// The anti-SC adversary spaces requests just past Δt, so the
+	// deterministic window always loses its speculative bet. A randomized
+	// window wins the bet a constant fraction of the time; averaged over
+	// seeds it must come out ahead.
+	cm := model.Unit
+	seq := workload.Adversarial{M: 2, Window: cm.Delta(), Slack: 0.02}.
+		Generate(rand.New(rand.NewSource(1)), 600)
+	det, err := Run(SpeculativeCaching{}, seq, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	const seeds = 10
+	for s := int64(0); s < seeds; s++ {
+		res, err := Run(RandomizedSC{Seed: s}, seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Stats.Cost
+	}
+	avg := sum / seeds
+	if avg >= det.Stats.Cost {
+		t.Errorf("randomized average %v should beat deterministic %v on the adversary", avg, det.Stats.Cost)
+	}
+}
+
+func TestRandomizedSCWindowsInRange(t *testing.T) {
+	// Indirectly check the sampler's support: with requests far apart on
+	// two servers, the non-last copy must die within Δt of its last touch.
+	cm := model.CostModel{Mu: 1, Lambda: 2} // Δt = 2
+	seq := &model.Sequence{M: 2, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 1},
+		{Server: 1, Time: 50},
+	}}
+	for s := int64(0); s < 20; s++ {
+		res, err := Run(RandomizedSC{Seed: s}, seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both copies were refreshed at the t=1 transfer with windows drawn
+		// from [0, Δt]; whichever expires first dies (the other survives as
+		// the last copy). So by t = 1 + Δt exactly one copy may remain.
+		holders := 0
+		for _, sv := range []model.ServerID{1, 2} {
+			if res.Schedule.HeldAt(sv, 3.1) {
+				holders++
+			}
+		}
+		if holders != 1 {
+			t.Fatalf("seed %d: %d holders past the window: %s", s, holders, res.Schedule)
+		}
+	}
+}
+
+func TestRandomizedSCRejectsInvalid(t *testing.T) {
+	if _, err := (RandomizedSC{}).Run(&model.Sequence{M: 0}, model.Unit); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	seq := &model.Sequence{M: 2, Origin: 1}
+	if _, err := (RandomizedSC{}).Run(seq, model.CostModel{}); err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package paging
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LFU counts the faults of least-frequently-used eviction on a cache of
+// size k. Frequencies persist across evictions (the classic "perfect LFU");
+// ties break to the least recently used of the candidates.
+func LFU(refs []Page, k int) (faults int, err error) {
+	if k < 1 {
+		return 0, fmt.Errorf("paging: cache size %d must be positive", k)
+	}
+	freq := map[Page]int{}
+	lastUse := map[Page]int{}
+	inCache := map[Page]bool{}
+	for i, p := range refs {
+		freq[p]++
+		if inCache[p] {
+			lastUse[p] = i
+			continue
+		}
+		faults++
+		if len(inCache) >= k {
+			var victim Page
+			first := true
+			for q := range inCache {
+				if first {
+					victim = q
+					first = false
+					continue
+				}
+				if freq[q] < freq[victim] ||
+					(freq[q] == freq[victim] && lastUse[q] < lastUse[victim]) {
+					victim = q
+				}
+			}
+			delete(inCache, victim)
+		}
+		inCache[p] = true
+		lastUse[p] = i
+	}
+	return faults, nil
+}
+
+// Clock counts the faults of the second-chance (CLOCK) approximation of
+// LRU: a circular scan clears reference bits until an unreferenced frame is
+// found.
+func Clock(refs []Page, k int) (faults int, err error) {
+	if k < 1 {
+		return 0, fmt.Errorf("paging: cache size %d must be positive", k)
+	}
+	frames := make([]Page, 0, k)
+	refBit := map[Page]bool{}
+	slot := map[Page]int{}
+	hand := 0
+	for _, p := range refs {
+		if _, ok := slot[p]; ok {
+			refBit[p] = true
+			continue
+		}
+		faults++
+		if len(frames) < k {
+			slot[p] = len(frames)
+			frames = append(frames, p)
+			refBit[p] = true
+			continue
+		}
+		for refBit[frames[hand]] {
+			refBit[frames[hand]] = false
+			hand = (hand + 1) % k
+		}
+		victim := frames[hand]
+		delete(slot, victim)
+		delete(refBit, victim)
+		frames[hand] = p
+		slot[p] = hand
+		refBit[p] = true
+		hand = (hand + 1) % k
+	}
+	return faults, nil
+}
+
+// Marking counts the faults of the randomized marking algorithm with the
+// given seed: pages are marked on use; a fault on a full cache evicts a
+// uniformly random *unmarked* page; when everything is marked a new phase
+// begins with all marks cleared. Marking is Θ(log k)-competitive in
+// expectation — between LRU's k and Belady's 1, which is exactly where
+// Table I's comparison wants a third data point.
+func Marking(refs []Page, k int, seed int64) (faults int, err error) {
+	if k < 1 {
+		return 0, fmt.Errorf("paging: cache size %d must be positive", k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inCache := map[Page]bool{}
+	marked := map[Page]bool{}
+	for _, p := range refs {
+		if inCache[p] {
+			marked[p] = true
+			continue
+		}
+		faults++
+		if len(inCache) >= k {
+			var unmarked []Page
+			for q := range inCache {
+				if !marked[q] {
+					unmarked = append(unmarked, q)
+				}
+			}
+			if len(unmarked) == 0 {
+				// Phase end: clear marks; every resident page is again a
+				// candidate.
+				for q := range marked {
+					delete(marked, q)
+				}
+				for q := range inCache {
+					unmarked = append(unmarked, q)
+				}
+			}
+			// Deterministic iteration order for reproducibility: pick the
+			// r-th smallest candidate.
+			victim := nthSmallest(unmarked, rng.Intn(len(unmarked)))
+			delete(inCache, victim)
+			delete(marked, victim)
+		}
+		inCache[p] = true
+		marked[p] = true
+	}
+	return faults, nil
+}
+
+// nthSmallest returns the n-th smallest page of a small candidate slice
+// (selection by repeated minimum; candidate sets are at most k).
+func nthSmallest(pages []Page, n int) Page {
+	tmp := append([]Page(nil), pages...)
+	for i := 0; i <= n; i++ {
+		minIdx := i
+		for j := i + 1; j < len(tmp); j++ {
+			if tmp[j] < tmp[minIdx] {
+				minIdx = j
+			}
+		}
+		tmp[i], tmp[minIdx] = tmp[minIdx], tmp[i]
+	}
+	return tmp[n]
+}

@@ -1,0 +1,165 @@
+package paging
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLFUKeepsHotPages(t *testing.T) {
+	// Page 0 is touched constantly; LFU must never evict it.
+	var refs []Page
+	for i := 0; i < 300; i++ {
+		refs = append(refs, 0, Page(1+i%10))
+	}
+	lfu, err := LFU(refs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page 0 faults once; the rotating cold pages fault nearly every visit.
+	if lfu < 250 || lfu > 301 {
+		t.Errorf("LFU faults = %d, expected cold-page churn only", lfu)
+	}
+	// Against a trace where frequency is the wrong signal (old hot page
+	// never reused), LRU adapts and LFU does not.
+	var shift []Page
+	for i := 0; i < 100; i++ {
+		shift = append(shift, 0) // build huge frequency
+	}
+	for i := 0; i < 200; i++ {
+		shift = append(shift, Page(1+i%2), Page(3+i%2))
+	}
+	lfuShift, _ := LFU(shift, 3)
+	lruShift, _ := LRU(shift, 3)
+	if lruShift > lfuShift {
+		t.Errorf("after a regime shift LRU (%d) should not fault more than LFU (%d)", lruShift, lfuShift)
+	}
+}
+
+func TestClockApproximatesLRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	for trial := 0; trial < 30; trial++ {
+		var refs []Page
+		cur := Page(0)
+		for i := 0; i < 500; i++ {
+			if rng.Float64() < 0.7 {
+				cur = Page((int(cur) + rng.Intn(3)) % 20)
+			} else {
+				cur = Page(rng.Intn(20))
+			}
+			refs = append(refs, cur)
+		}
+		clock, err := Clock(refs, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lru, err := LRU(refs, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Belady(refs, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clock < opt {
+			t.Fatalf("trial %d: Clock %d below Belady %d", trial, clock, opt)
+		}
+		// Clock is an LRU approximation: within 40% of LRU on local traces.
+		if float64(clock) > 1.4*float64(lru) {
+			t.Errorf("trial %d: Clock %d far above LRU %d", trial, clock, lru)
+		}
+	}
+}
+
+func TestMarkingBeatsLRUOnCyclicAdversary(t *testing.T) {
+	// The cyclic adversary forces LRU to fault on every access; randomized
+	// marking faults only Θ(log k / k) of the time in expectation.
+	k, n := 6, 1200
+	refs := CyclicAdversary(k, n)
+	lru, err := LRU(refs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	const seeds = 5
+	for s := int64(0); s < seeds; s++ {
+		m, err := Marking(refs, k, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += m
+	}
+	avg := float64(total) / seeds
+	if avg >= float64(lru)/2 {
+		t.Errorf("Marking avg %v should decisively beat LRU %d on the cycle", avg, lru)
+	}
+	opt, err := Belady(refs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg < float64(opt) {
+		t.Errorf("Marking avg %v below Belady %d", avg, opt)
+	}
+}
+
+func TestMarkingReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	refs := make([]Page, 400)
+	for i := range refs {
+		refs[i] = Page(rng.Intn(15))
+	}
+	a, err := Marking(refs, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marking(refs, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different faults: %d vs %d", a, b)
+	}
+}
+
+func TestNewPoliciesEdgeCases(t *testing.T) {
+	for name, f := range map[string]func([]Page, int) (int, error){
+		"LFU":   LFU,
+		"Clock": Clock,
+		"Marking": func(r []Page, k int) (int, error) {
+			return Marking(r, k, 1)
+		},
+	} {
+		if _, err := f([]Page{1}, 0); err == nil {
+			t.Errorf("%s accepted k=0", name)
+		}
+		if got, err := f(nil, 3); err != nil || got != 0 {
+			t.Errorf("%s empty trace: (%d, %v)", name, got, err)
+		}
+		if got, err := f([]Page{7, 7, 7}, 2); err != nil || got != 1 {
+			t.Errorf("%s repeated page: (%d, %v)", name, got, err)
+		}
+		// All policies fault at least the compulsory misses and never more
+		// than every access.
+		refs := []Page{1, 2, 3, 1, 2, 3, 4, 5}
+		got, err := f(refs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 5 || got > len(refs) {
+			t.Errorf("%s faults = %d out of plausible range", name, got)
+		}
+	}
+}
+
+func TestNthSmallest(t *testing.T) {
+	pages := []Page{5, 1, 9, 3}
+	want := []Page{1, 3, 5, 9}
+	for n, w := range want {
+		if got := nthSmallest(pages, n); got != w {
+			t.Errorf("nthSmallest(%d) = %d, want %d", n, got, w)
+		}
+	}
+	// Input must not be mutated.
+	if pages[0] != 5 || pages[3] != 3 {
+		t.Errorf("input mutated: %v", pages)
+	}
+}

@@ -1,0 +1,558 @@
+// Package service exposes the library as an HTTP data-caching planning
+// service: optimize a request trace, simulate online policies against it,
+// generate workloads, and maintain incremental planning streams whose
+// optimum is updated request by request. Everything is stdlib net/http with
+// JSON bodies; cmd/dcserved mounts it.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+
+	"datacache/internal/model"
+	"datacache/internal/multi"
+	"datacache/internal/offline"
+	"datacache/internal/online"
+	"datacache/internal/workload"
+)
+
+// Version identifies the service build in /healthz and /v1/spec.
+const Version = "1.0.0"
+
+// Server is the HTTP facade. The zero value is not usable; call New.
+type Server struct {
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	streams  map[string]*offline.Incremental
+	nextID   int
+	requests map[string]int64 // per-route served counter
+}
+
+// routeDocs describes every route for /v1/spec.
+var routeDocs = map[string]string{
+	"/healthz":     "GET liveness and version",
+	"/v1/optimize": "POST {sequence, model, schedule?, vectors?} -> optimum, bounds, single-copy cost",
+	"/v1/explain":  "POST {sequence, model} -> per-request service decisions",
+	"/v1/render":   "POST {sequence, model, width?} -> text space-time diagram",
+	"/v1/simulate": "POST {sequence, model, policy, window?, epoch?} -> online cost vs optimum",
+	"/v1/generate": "POST {workload, m, n, seed, gap?} -> synthetic sequence",
+	"/v1/plan":     "POST {m, model, events, online?} -> per-item catalog plan",
+	"/v1/policies": "GET policy names",
+	"/v1/stream":   "POST {m, origin, model} -> incremental planning stream",
+	"/v1/stream/":  "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
+	"/v1/spec":     "GET this route list",
+	"/metricz":     "GET per-route served counters",
+}
+
+// New builds the service with all routes mounted.
+func New() *Server {
+	s := &Server{
+		mux:      http.NewServeMux(),
+		streams:  map[string]*offline.Incremental{},
+		requests: map[string]int64{},
+	}
+	mount := func(route string, h http.HandlerFunc) {
+		s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+			s.mu.Lock()
+			s.requests[route]++
+			s.mu.Unlock()
+			h(w, r)
+		})
+	}
+	mount("/healthz", s.handleHealth)
+	mount("/v1/optimize", s.handleOptimize)
+	mount("/v1/explain", s.handleExplain)
+	mount("/v1/render", s.handleRender)
+	mount("/v1/simulate", s.handleSimulate)
+	mount("/v1/generate", s.handleGenerate)
+	mount("/v1/plan", s.handlePlan)
+	mount("/v1/policies", s.handlePolicies)
+	mount("/v1/stream", s.handleStreamCreate)
+	mount("/v1/stream/", s.handleStreamOp)
+	mount("/v1/spec", s.handleSpec)
+	mount("/metricz", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, routeDocs)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make(map[string]int64, len(s.requests))
+	for k, v := range s.requests {
+		out[k] = v
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- DTOs ---
+
+// CostModelDTO carries μ and λ.
+type CostModelDTO struct {
+	Mu     float64 `json:"mu"`
+	Lambda float64 `json:"lambda"`
+}
+
+func (d CostModelDTO) toModel() model.CostModel {
+	return model.CostModel{Mu: d.Mu, Lambda: d.Lambda}
+}
+
+// OptimizeRequest is the /v1/optimize body.
+type OptimizeRequest struct {
+	Sequence *model.Sequence `json:"sequence"`
+	Model    CostModelDTO    `json:"model"`
+	Schedule bool            `json:"schedule,omitempty"` // include the reconstructed schedule
+	Vectors  bool            `json:"vectors,omitempty"`  // include the C and D vectors
+}
+
+// OptimizeResponse is the /v1/optimize reply. D entries of -1 stand for
+// the recurrence's +Inf (the request cannot be served by cache), since JSON
+// has no infinity.
+type OptimizeResponse struct {
+	Cost       float64         `json:"cost"`
+	LowerBound float64         `json:"lowerBound"`
+	UpperBound float64         `json:"upperBound"`
+	SingleCopy float64         `json:"singleCopyCost"`
+	Schedule   *model.Schedule `json:"schedule,omitempty"`
+	C          []float64       `json:"c,omitempty"`
+	D          []float64       `json:"d,omitempty"`
+}
+
+// SimulateRequest is the /v1/simulate body.
+type SimulateRequest struct {
+	Sequence *model.Sequence `json:"sequence"`
+	Model    CostModelDTO    `json:"model"`
+	Policy   string          `json:"policy"` // sc | ttl | adaptive | migrate | keep
+	Window   float64         `json:"window,omitempty"`
+	Epoch    int             `json:"epoch,omitempty"`
+}
+
+// SimulateResponse is the /v1/simulate reply.
+type SimulateResponse struct {
+	Policy    string  `json:"policy"`
+	Cost      float64 `json:"cost"`
+	Transfers int     `json:"transfers"`
+	CacheHits int     `json:"cacheHits"`
+	Optimal   float64 `json:"optimal"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// GenerateRequest is the /v1/generate body.
+type GenerateRequest struct {
+	Workload string  `json:"workload"`
+	M        int     `json:"m"`
+	N        int     `json:"n"`
+	Seed     int64   `json:"seed"`
+	Gap      float64 `json:"gap,omitempty"`
+}
+
+// StreamAppendRequest appends one request to a planning stream.
+type StreamAppendRequest struct {
+	Server model.ServerID `json:"server"`
+	Time   float64        `json:"time"`
+}
+
+// StreamState reports a stream's standing after an operation.
+type StreamState struct {
+	ID   string  `json:"id"`
+	N    int     `json:"n"`
+	Cost float64 `json:"cost"`
+}
+
+// --- Handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "version": Version})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Sequence == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing sequence"))
+		return
+	}
+	cm := req.Model.toModel()
+	res, err := offline.FastDP(req.Sequence, cm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	bounds, err := offline.ComputeBounds(req.Sequence, cm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	single, err := offline.SingleCopyOptimal(req.Sequence, cm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := OptimizeResponse{
+		Cost:       res.Cost(),
+		LowerBound: bounds.Lower,
+		UpperBound: bounds.Upper,
+		SingleCopy: single,
+	}
+	if req.Schedule {
+		sched, err := res.Schedule()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Schedule = sched
+	}
+	if req.Vectors {
+		resp.C = res.C
+		resp.D = make([]float64, len(res.D))
+		for i, d := range res.D {
+			if math.IsInf(d, 1) {
+				resp.D[i] = -1 // JSON-safe stand-in for +Inf
+			} else {
+				resp.D[i] = d
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExplainResponse is the /v1/explain reply: the optimal schedule's
+// per-request decision table.
+type ExplainResponse struct {
+	Cost      float64            `json:"cost"`
+	Decisions []offline.Decision `json:"decisions"`
+	Rendered  string             `json:"rendered"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Sequence == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing sequence"))
+		return
+	}
+	res, err := offline.FastDP(req.Sequence, req.Model.toModel())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ds, err := res.Explain()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Cost:      res.Cost(),
+		Decisions: ds,
+		Rendered:  offline.RenderDecisions(ds),
+	})
+}
+
+// RenderRequest asks for a space-time diagram of the optimal schedule.
+type RenderRequest struct {
+	Sequence *model.Sequence `json:"sequence"`
+	Model    CostModelDTO    `json:"model"`
+	Width    int             `json:"width,omitempty"`
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	var req RenderRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Sequence == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing sequence"))
+		return
+	}
+	res, err := offline.FastDP(req.Sequence, req.Model.toModel())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sched, err := res.Schedule()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, model.RenderSpaceTime(req.Sequence, sched, req.Width))
+	fmt.Fprint(w, model.RenderLegend())
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Sequence == nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing sequence"))
+		return
+	}
+	p, err := pickPolicy(req.Policy, req.Window, req.Epoch)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cm := req.Model.toModel()
+	run, err := online.Run(p, req.Sequence, cm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opt, err := offline.FastDP(req.Sequence, cm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := SimulateResponse{
+		Policy:    p.Name(),
+		Cost:      run.Stats.Cost,
+		Transfers: run.Stats.Transfers,
+		CacheHits: run.Stats.CacheHits,
+		Optimal:   opt.Cost(),
+	}
+	if opt.Cost() > 0 {
+		resp.Ratio = run.Stats.Cost / opt.Cost()
+	} else {
+		resp.Ratio = 1
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func pickPolicy(name string, window float64, epoch int) (online.Runner, error) {
+	switch strings.ToLower(name) {
+	case "", "sc":
+		return online.SpeculativeCaching{EpochTransfers: epoch}, nil
+	case "ttl":
+		return online.SpeculativeCaching{Window: window}, nil
+	case "adaptive":
+		return online.AdaptiveTTL{}, nil
+	case "migrate":
+		return online.AlwaysMigrate{}, nil
+	case "keep":
+		return online.KeepEverywhere{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.M < 1 || req.N < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("need m >= 1 and n >= 0"))
+		return
+	}
+	gap := req.Gap
+	if gap <= 0 {
+		gap = 1
+	}
+	var gen workload.Generator
+	switch strings.ToLower(req.Workload) {
+	case "", "uniform":
+		gen = workload.Uniform{M: req.M, MeanGap: gap}
+	case "zipf":
+		gen = workload.Zipf{M: req.M, S: 1.5, MeanGap: gap}
+	case "bursty":
+		gen = workload.Bursty{M: req.M, BurstLen: 8, WithinGap: gap / 4, BetweenGap: gap * 6}
+	case "markov":
+		gen = workload.MarkovHop{M: req.M, Stay: 0.8, MeanGap: gap}
+	case "adversarial":
+		gen = workload.Adversarial{M: req.M, Window: gap}
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q", req.Workload))
+		return
+	}
+	seq := gen.Generate(rand.New(rand.NewSource(req.Seed)), req.N)
+	writeJSON(w, http.StatusOK, seq)
+}
+
+// PlanRequest is the /v1/plan body: a catalog of item-tagged events.
+type PlanRequest struct {
+	M      int           `json:"m"`
+	Model  CostModelDTO  `json:"model"`
+	Events []multi.Event `json:"events"`
+	Online string        `json:"online,omitempty"` // also serve per item with this policy
+}
+
+// PlanItem is one item's line of the /v1/plan reply.
+type PlanItem struct {
+	Item     string  `json:"item"`
+	Requests int     `json:"requests"`
+	Planned  float64 `json:"planned"`
+	Online   float64 `json:"online,omitempty"`
+}
+
+// PlanResponse is the /v1/plan reply.
+type PlanResponse struct {
+	Items        []PlanItem `json:"items"`
+	PlannedTotal float64    `json:"plannedTotal"`
+	OnlineTotal  float64    `json:"onlineTotal,omitempty"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	cat := &multi.Catalog{M: req.M, Default: req.Model.toModel()}
+	reports, total, err := multi.Plan(cat, req.Events, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := PlanResponse{PlannedTotal: total}
+	for _, rep := range reports {
+		resp.Items = append(resp.Items, PlanItem{Item: rep.Item, Requests: rep.Requests, Planned: rep.Cost})
+	}
+	if req.Online != "" {
+		p, err := pickPolicy(req.Online, 0, 0)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		serveReps, serveTotal, err := multi.Serve(cat, req.Events, func() online.Runner { return p })
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.OnlineTotal = serveTotal
+		for i := range resp.Items {
+			resp.Items[i].Online = serveReps[i].Stats.Cost
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, []string{"sc", "ttl", "adaptive", "migrate", "keep"})
+}
+
+func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		M      int            `json:"m"`
+		Origin model.ServerID `json:"origin"`
+		Model  CostModelDTO   `json:"model"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Origin == 0 {
+		req.Origin = 1
+	}
+	inc, err := offline.NewIncremental(req.M, req.Origin, req.Model.toModel())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("st-%d", s.nextID)
+	s.streams[id] = inc
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, StreamState{ID: id, N: 0, Cost: 0})
+}
+
+func (s *Server) handleStreamOp(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/stream/")
+	parts := strings.SplitN(rest, "/", 2)
+	id := parts[0]
+	op := ""
+	if len(parts) == 2 {
+		op = parts[1]
+	}
+	s.mu.Lock()
+	inc, ok := s.streams[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q", id))
+		return
+	}
+	switch {
+	case op == "append" && r.Method == http.MethodPost:
+		var req StreamAppendRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		s.mu.Lock()
+		err := inc.Append(model.Request{Server: req.Server, Time: req.Time})
+		state := StreamState{ID: id, N: inc.N(), Cost: inc.Cost()}
+		s.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, state)
+	case op == "" && r.Method == http.MethodGet:
+		s.mu.Lock()
+		state := StreamState{ID: id, N: inc.N(), Cost: inc.Cost()}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, state)
+	case op == "schedule" && r.Method == http.MethodGet:
+		s.mu.Lock()
+		res := inc.Result()
+		s.mu.Unlock()
+		sched, err := res.Schedule()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sched)
+	case op == "" && r.Method == http.MethodDelete:
+		s.mu.Lock()
+		delete(s.streams, id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream operation %q %s", op, r.Method))
+	}
+}
+
+// --- plumbing ---
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,491 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/multi"
+	"datacache/internal/offline"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func fig6Body() OptimizeRequest {
+	seq, cm := offline.Fig6Instance()
+	return OptimizeRequest{
+		Sequence: seq,
+		Model:    CostModelDTO{Mu: cm.Mu, Lambda: cm.Lambda},
+	}
+}
+
+func TestHealth(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	req := fig6Body()
+	req.Schedule = true
+	req.Vectors = true
+	var out OptimizeResponse
+	resp := post(t, ts.URL+"/v1/optimize", req, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if math.Abs(out.Cost-8.9) > 1e-9 {
+		t.Errorf("cost = %v, want 8.9", out.Cost)
+	}
+	if out.LowerBound > out.Cost || out.UpperBound < out.Cost {
+		t.Errorf("bounds [%v, %v] exclude cost %v", out.LowerBound, out.UpperBound, out.Cost)
+	}
+	if out.SingleCopy < out.Cost {
+		t.Errorf("single copy %v below optimum", out.SingleCopy)
+	}
+	if out.Schedule == nil || len(out.C) != 8 || len(out.D) != 8 {
+		t.Errorf("missing schedule or vectors: %+v", out)
+	}
+	if err := out.Schedule.Validate(req.Sequence); err != nil {
+		t.Errorf("returned schedule infeasible: %v", err)
+	}
+}
+
+func TestOptimizeRejectsBadInput(t *testing.T) {
+	ts := newTestServer(t)
+	// Invalid m.
+	resp := post(t, ts.URL+"/v1/optimize", OptimizeRequest{
+		Sequence: &model.Sequence{M: 0},
+		Model:    CostModelDTO{Mu: 1, Lambda: 1},
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid sequence: status %d", resp.StatusCode)
+	}
+	// Missing sequence.
+	resp = post(t, ts.URL+"/v1/optimize", OptimizeRequest{Model: CostModelDTO{Mu: 1, Lambda: 1}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing sequence: status %d", resp.StatusCode)
+	}
+	// Wrong method.
+	get, err := http.Get(ts.URL + "/v1/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d", get.StatusCode)
+	}
+	// Unknown fields rejected.
+	raw := bytes.NewReader([]byte(`{"bogus": 1}`))
+	r2, err := http.Post(ts.URL+"/v1/optimize", "application/json", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", r2.StatusCode)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out ExplainResponse
+	resp := post(t, ts.URL+"/v1/explain", fig6Body(), &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if math.Abs(out.Cost-8.9) > 1e-9 || len(out.Decisions) != 7 {
+		t.Fatalf("explain = cost %v, %d decisions", out.Cost, len(out.Decisions))
+	}
+	sum := 0.0
+	for _, d := range out.Decisions {
+		sum += d.Cost
+	}
+	if math.Abs(sum-out.Cost) > 1e-6 {
+		t.Errorf("attributions sum to %v, want %v", sum, out.Cost)
+	}
+	if out.Rendered == "" {
+		t.Error("missing rendering")
+	}
+	resp = post(t, ts.URL+"/v1/explain", OptimizeRequest{Model: CostModelDTO{Mu: 1, Lambda: 1}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing sequence: status %d", resp.StatusCode)
+	}
+}
+
+func TestRenderEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	req := fig6Body()
+	body, _ := json.Marshal(RenderRequest{Sequence: req.Sequence, Model: req.Model, Width: 60})
+	resp, err := http.Post(ts.URL+"/v1/render", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	raw := make([]byte, 8192)
+	n, _ := resp.Body.Read(raw)
+	out := string(raw[:n])
+	for _, want := range []string{"s1", "s4", "*", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q:\n%s", want, out)
+		}
+	}
+	resp2 := post(t, ts.URL+"/v1/render", RenderRequest{Model: CostModelDTO{Mu: 1, Lambda: 1}}, nil)
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing sequence: status %d", resp2.StatusCode)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	seq, cm := offline.Fig6Instance()
+	for _, policy := range []string{"sc", "ttl", "adaptive", "migrate", "keep"} {
+		var out SimulateResponse
+		resp := post(t, ts.URL+"/v1/simulate", SimulateRequest{
+			Sequence: seq,
+			Model:    CostModelDTO{Mu: cm.Mu, Lambda: cm.Lambda},
+			Policy:   policy,
+			Window:   0.5,
+		}, &out)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", policy, resp.StatusCode)
+		}
+		if out.Cost < out.Optimal-1e-9 {
+			t.Errorf("%s: cost %v below optimum %v", policy, out.Cost, out.Optimal)
+		}
+		if policy == "sc" && out.Ratio > 3 {
+			t.Errorf("sc ratio %v > 3", out.Ratio)
+		}
+	}
+	resp := post(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Sequence: seq, Model: CostModelDTO{Mu: 1, Lambda: 1}, Policy: "nope",
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown policy: status %d", resp.StatusCode)
+	}
+}
+
+func TestGenerateEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	for _, w := range []string{"uniform", "zipf", "bursty", "markov", "adversarial"} {
+		var seq model.Sequence
+		resp := post(t, ts.URL+"/v1/generate", GenerateRequest{Workload: w, M: 4, N: 25, Seed: 3}, &seq)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", w, resp.StatusCode)
+		}
+		if seq.N() != 25 || seq.M != 4 {
+			t.Errorf("%s: got n=%d m=%d", w, seq.N(), seq.M)
+		}
+		if err := seq.Validate(); err != nil {
+			t.Errorf("%s: %v", w, err)
+		}
+	}
+	resp := post(t, ts.URL+"/v1/generate", GenerateRequest{Workload: "nope", M: 2, N: 5}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown workload: status %d", resp.StatusCode)
+	}
+	resp = post(t, ts.URL+"/v1/generate", GenerateRequest{M: 0, N: 5}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("m=0: status %d", resp.StatusCode)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	req := PlanRequest{
+		M:     3,
+		Model: CostModelDTO{Mu: 1, Lambda: 2},
+		Events: []multi.Event{
+			{Item: "video", Server: 2, Time: 0.5},
+			{Item: "profile", Server: 1, Time: 0.9},
+			{Item: "video", Server: 2, Time: 1.4},
+			{Item: "video", Server: 3, Time: 2.0},
+			{Item: "profile", Server: 1, Time: 2.5},
+		},
+		Online: "sc",
+	}
+	var out PlanResponse
+	resp := post(t, ts.URL+"/v1/plan", req, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Items) != 2 {
+		t.Fatalf("items = %+v", out.Items)
+	}
+	sum := 0.0
+	for _, it := range out.Items {
+		sum += it.Planned
+		if it.Online < it.Planned {
+			t.Errorf("%s: online %v below planned optimum %v", it.Item, it.Online, it.Planned)
+		}
+	}
+	if math.Abs(sum-out.PlannedTotal) > 1e-9 {
+		t.Errorf("items sum %v != total %v", sum, out.PlannedTotal)
+	}
+	if out.OnlineTotal > 3*out.PlannedTotal {
+		t.Errorf("composed bound broken: %v > 3*%v", out.OnlineTotal, out.PlannedTotal)
+	}
+	// Bad catalog.
+	bad := req
+	bad.M = 0
+	if resp := post(t, ts.URL+"/v1/plan", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("m=0: status %d", resp.StatusCode)
+	}
+	// Unknown policy.
+	bad = req
+	bad.Online = "nope"
+	if resp := post(t, ts.URL+"/v1/plan", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad policy: status %d", resp.StatusCode)
+	}
+}
+
+func TestPoliciesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 {
+		t.Errorf("policies = %v", names)
+	}
+}
+
+func TestStreamLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	var st StreamState
+	resp := post(t, ts.URL+"/v1/stream", map[string]interface{}{
+		"m": 4, "origin": 1, "model": map[string]float64{"mu": 1, "lambda": 1},
+	}, &st)
+	if resp.StatusCode != http.StatusCreated || st.ID == "" {
+		t.Fatalf("create: status %d, state %+v", resp.StatusCode, st)
+	}
+	// Stream the Fig. 6 requests; the final cost must be 8.9.
+	seq, _ := offline.Fig6Instance()
+	for _, r := range seq.Requests {
+		resp := post(t, ts.URL+"/v1/stream/"+st.ID+"/append",
+			StreamAppendRequest{Server: r.Server, Time: r.Time}, &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("append: status %d", resp.StatusCode)
+		}
+	}
+	if math.Abs(st.Cost-8.9) > 1e-9 || st.N != 7 {
+		t.Errorf("final state = %+v, want cost 8.9 over 7 requests", st)
+	}
+	// Fetch the schedule.
+	resp2, err := http.Get(ts.URL + "/v1/stream/" + st.ID + "/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var sched model.Schedule
+	if err := json.NewDecoder(resp2.Body).Decode(&sched); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(seq); err != nil {
+		t.Errorf("streamed schedule infeasible: %v", err)
+	}
+	// Out-of-order append rejected, stream unharmed.
+	resp = post(t, ts.URL+"/v1/stream/"+st.ID+"/append",
+		StreamAppendRequest{Server: 1, Time: 0.1}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("stale append: status %d", resp.StatusCode)
+	}
+	// Read state.
+	resp3, err := http.Get(ts.URL + "/v1/stream/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StreamState
+	if err := json.NewDecoder(resp3.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got.N != 7 {
+		t.Errorf("stream damaged by rejected append: %+v", got)
+	}
+	// Delete, then 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/stream/"+st.ID, nil)
+	resp4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	resp5, err := http.Get(ts.URL + "/v1/stream/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted stream: status %d", resp5.StatusCode)
+	}
+}
+
+func TestStreamUnknownAndBadOps(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/stream/st-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown stream: status %d", resp.StatusCode)
+	}
+	var st StreamState
+	post(t, ts.URL+"/v1/stream", map[string]interface{}{
+		"m": 2, "model": map[string]float64{"mu": 1, "lambda": 1},
+	}, &st)
+	resp2, err := http.Get(ts.URL + "/v1/stream/" + st.ID + "/bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("bogus op: status %d", resp2.StatusCode)
+	}
+	resp3 := post(t, ts.URL+"/v1/stream", map[string]interface{}{
+		"m": 0, "model": map[string]float64{"mu": 1, "lambda": 1},
+	}, nil)
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid stream create: status %d", resp3.StatusCode)
+	}
+}
+
+func TestSpecAndMetrics(t *testing.T) {
+	ts := newTestServer(t)
+	// Hit a couple of routes first.
+	post(t, ts.URL+"/v1/optimize", fig6Body(), nil)
+	post(t, ts.URL+"/v1/optimize", fig6Body(), nil)
+
+	resp, err := http.Get(ts.URL + "/v1/spec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec map[string]string
+	json.NewDecoder(resp.Body).Decode(&spec)
+	resp.Body.Close()
+	for _, route := range []string{"/v1/optimize", "/v1/stream", "/metricz"} {
+		if _, ok := spec[route]; !ok {
+			t.Errorf("spec missing %s", route)
+		}
+	}
+
+	resp2, err := http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counters map[string]int64
+	json.NewDecoder(resp2.Body).Decode(&counters)
+	resp2.Body.Close()
+	if counters["/v1/optimize"] != 2 {
+		t.Errorf("optimize counter = %d, want 2", counters["/v1/optimize"])
+	}
+	if counters["/v1/spec"] != 1 {
+		t.Errorf("spec counter = %d, want 1", counters["/v1/spec"])
+	}
+}
+
+func TestHealthReportsVersion(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	json.NewDecoder(resp.Body).Decode(&body)
+	if body["version"] != Version {
+		t.Errorf("version = %q, want %q", body["version"], Version)
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	ts := newTestServer(t)
+	const streams = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for k := 0; k < streams; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			var st StreamState
+			buf, _ := json.Marshal(map[string]interface{}{
+				"m": 3, "model": map[string]float64{"mu": 1, "lambda": 2},
+			})
+			resp, err := http.Post(ts.URL+"/v1/stream", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				errs <- err
+				return
+			}
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			for i := 1; i <= 20; i++ {
+				body, _ := json.Marshal(StreamAppendRequest{
+					Server: model.ServerID(1 + (i+k)%3),
+					Time:   float64(i),
+				})
+				resp, err := http.Post(ts.URL+"/v1/stream/"+st.ID+"/append", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("stream %s append %d: status %d", st.ID, i, resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineShape(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length = %d runes: %q", utf8.RuneCountInString(s), s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("endpoints = %q", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("monotone input rendered non-monotone: %q", s)
+		}
+	}
+}
+
+func TestSparklineDegenerate(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline not empty")
+	}
+	flat := Sparkline([]float64{2, 2, 2})
+	if utf8.RuneCountInString(flat) != 3 {
+		t.Errorf("flat = %q", flat)
+	}
+	for _, r := range flat {
+		if r != []rune(flat)[0] {
+			t.Errorf("flat series should render uniform: %q", flat)
+		}
+	}
+	withNaN := Sparkline([]float64{1, math.NaN(), 3})
+	if []rune(withNaN)[1] != ' ' {
+		t.Errorf("NaN should render as space: %q", withNaN)
+	}
+	allNaN := Sparkline([]float64{math.NaN(), math.NaN()})
+	if allNaN != "  " {
+		t.Errorf("all-NaN = %q", allNaN)
+	}
+}
+
+func TestHistogramCountsAndBars(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.9, 0.95, 1.0, 1.0, 1.0}
+	out := Histogram(xs, 4, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	total := 0
+	maxBar := 0
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		n, err := strconv.Atoi(fields[len(fields)-1])
+		if err != nil {
+			t.Fatalf("no trailing count in %q", line)
+		}
+		total += n
+		if bar := strings.Count(line, "#"); bar > maxBar {
+			maxBar = bar
+		}
+		if n == 0 && strings.Contains(line, "#") {
+			t.Errorf("empty bucket has a bar: %q", line)
+		}
+		if n > 0 && !strings.Contains(line, "#") {
+			t.Errorf("non-empty bucket lacks a bar: %q", line)
+		}
+	}
+	if total != len(xs) {
+		t.Errorf("counts sum to %d, want %d", total, len(xs))
+	}
+	if maxBar != 20 {
+		t.Errorf("fullest bucket bar = %d, want the full width 20", maxBar)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if got := Histogram(nil, 4, 10); got != "(no data)\n" {
+		t.Errorf("empty = %q", got)
+	}
+	if got := Histogram([]float64{math.NaN()}, 4, 10); got != "(no data)\n" {
+		t.Errorf("NaN-only = %q", got)
+	}
+	flat := Histogram([]float64{3, 3, 3}, 4, 10)
+	if !strings.Contains(flat, "3") || !strings.Contains(flat, "##########") {
+		t.Errorf("flat = %q", flat)
+	}
+	// Defaults kick in for nonsense parameters.
+	if got := Histogram([]float64{1, 2}, 0, 0); !strings.Contains(got, "#") {
+		t.Errorf("defaults = %q", got)
+	}
+}

@@ -1,0 +1,201 @@
+// Package stats provides the small numerical and reporting toolkit used by
+// the benchmark harness: summary statistics, percentiles, log-log slope
+// fitting for empirical complexity estimation, and fixed-width text tables
+// that render the experiment outputs the way the paper prints its figures'
+// data.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary; an empty sample yields the zero value.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	varSum := 0.0
+	for _, x := range sorted {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(varSum / float64(s.N-1))
+	}
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an ascending-sorted
+// sample by linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// LogLogSlope fits the exponent b of y ≈ a·x^b by least squares on
+// (log x, log y) — the standard empirical-complexity estimate used by
+// experiment E5 to confirm the O(n) vs O(n²) growth of the two DP
+// implementations. All inputs must be positive.
+func LogLogSlope(xs, ys []float64) (slope float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need >= 2 paired samples, got %d/%d", len(xs), len(ys))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, fmt.Errorf("stats: log-log fit needs positive values, got (%v, %v)", xs[i], ys[i])
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, fmt.Errorf("stats: degenerate x values in log-log fit")
+	}
+	return (n*sxy - sx*sy) / den, nil
+}
+
+// Table renders rows as a fixed-width text table. Cells are formatted by
+// the caller; the table right-aligns numeric-looking cells and left-aligns
+// the rest, matching conventional benchmark output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are rendered with %v unless already strings.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if numericLooking(cell) {
+				fmt.Fprintf(&b, "%*s", width[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s", width[i], cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		for i := 0; i < cols; i++ {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat("-", width[i]))
+		}
+		b.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// formatFloat prints floats compactly: integers without decimals, small
+// magnitudes with enough precision to be useful.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// numericLooking reports whether a cell should be right-aligned.
+func numericLooking(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' || r == '-' || r == '+' || r == 'e' || r == 'E' || r == 'x' || r == '%':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("N/Min/Max = %d/%v/%v", s.N, s.Min, s.Max)
+	}
+	if !approxEq(s.Mean, 3) {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if !approxEq(s.Std, math.Sqrt(2.5)) {
+		t.Errorf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+	if !approxEq(s.P50, 3) {
+		t.Errorf("P50 = %v, want 3", s.P50)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty N = %d", s.N)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.P99 != 7 {
+		t.Errorf("single = %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5}, {-1, 0}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !approxEq(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestLogLogSlopeRecoversExponent(t *testing.T) {
+	for _, b := range []float64{1, 2, 0.5, 3} {
+		var xs, ys []float64
+		for _, x := range []float64{10, 20, 40, 80, 160} {
+			xs = append(xs, x)
+			ys = append(ys, 3.7*math.Pow(x, b))
+		}
+		got, err := LogLogSlope(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-b) > 1e-9 {
+			t.Errorf("slope = %v, want %v", got, b)
+		}
+	}
+}
+
+func TestLogLogSlopeErrors(t *testing.T) {
+	if _, err := LogLogSlope([]float64{1}, []float64{1}); err == nil {
+		t.Error("accepted single point")
+	}
+	if _, err := LogLogSlope([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := LogLogSlope([]float64{1, -2}, []float64{1, 1}); err == nil {
+		t.Error("accepted negative x")
+	}
+	if _, err := LogLogSlope([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("accepted degenerate x")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "n", "cost"}}
+	tb.Add("uniform", 100, 12.5)
+	tb.Add("zipf", 2000, 3.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want header+rule+2 rows:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[2], "uniform") {
+		t.Errorf("unexpected layout:\n%s", out)
+	}
+	// Numeric columns right-align: the "n" column values end at the same
+	// byte offset.
+	idx2 := strings.Index(lines[2], "100")
+	idx3 := strings.Index(lines[3], "2000")
+	if idx2+3 != idx3+4 {
+		t.Errorf("numeric column misaligned:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.5:     "3.5",
+		1e12:    "1e+12",
+		0.12345: "0.1235",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestNumericLooking(t *testing.T) {
+	yes := []string{"3", "-1.5", "2e10", "1x", "95%"}
+	no := []string{"", "abc", "12ms", "SC"}
+	for _, s := range yes {
+		if !numericLooking(s) {
+			t.Errorf("%q should look numeric", s)
+		}
+	}
+	for _, s := range no {
+		if numericLooking(s) {
+			t.Errorf("%q should not look numeric", s)
+		}
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Keep magnitudes summable: the Summary contract assumes the
+			// sample's sum does not overflow.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"math/rand"
+
+	"datacache/internal/model"
+	"datacache/internal/online"
+	"datacache/internal/workload"
+)
+
+// AdversarySearch hunts for the empirically worst competitive ratio of a
+// policy by grid-searching the adversarial generator's parameters (slack
+// past the speculative window, number of alternating servers) and then
+// locally refining the slack around the best cell. It is the tool behind
+// the "worst observed ratio" numbers in EXPERIMENTS.md: Theorem 3 bounds
+// SC at 3; the search shows how close a parametric adversary actually
+// gets (≈2 for deterministic SC — the paper's bound is not claimed tight,
+// and the search quantifies the gap).
+type AdversarySearch struct {
+	Policy online.Runner
+	Model  model.CostModel
+	N      int // requests per probe
+}
+
+// SearchResult is the worst configuration found.
+type SearchResult struct {
+	Ratio  float64
+	Slack  float64
+	M      int
+	Points int // configurations probed
+}
+
+// Run performs the search. It is deterministic for a given seed.
+func (a AdversarySearch) Run(seed int64) (SearchResult, error) {
+	best := SearchResult{}
+	probe := func(mServers int, slack float64) error {
+		gen := workload.Adversarial{M: mServers, Window: a.Model.Delta(), Slack: slack}
+		seq := gen.Generate(rand.New(rand.NewSource(seed)), a.N)
+		pt, err := online.CompetitiveRatio(a.Policy, seq, a.Model)
+		if err != nil {
+			return err
+		}
+		best.Points++
+		if pt.Ratio > best.Ratio {
+			best.Ratio, best.Slack, best.M = pt.Ratio, slack, mServers
+		}
+		return nil
+	}
+	// Coarse grid.
+	for _, mServers := range []int{2, 3, 4} {
+		for _, slack := range []float64{0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2} {
+			if err := probe(mServers, slack); err != nil {
+				return best, err
+			}
+		}
+	}
+	// Local refinement around the best slack: two halving passes.
+	step := best.Slack / 2
+	for pass := 0; pass < 2; pass++ {
+		for _, slack := range []float64{best.Slack - step, best.Slack + step} {
+			if slack <= 0 {
+				continue
+			}
+			if err := probe(best.M, slack); err != nil {
+				return best, err
+			}
+		}
+		step /= 2
+	}
+	return best, nil
+}

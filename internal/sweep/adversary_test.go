@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/online"
+)
+
+func TestAdversarySearchFindsStrongAdversary(t *testing.T) {
+	res, err := AdversarySearch{
+		Policy: online.SpeculativeCaching{},
+		Model:  model.Unit,
+		N:      500,
+	}.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < 1.9 {
+		t.Errorf("search found only ratio %v; tight slack should reach ≈2", res.Ratio)
+	}
+	if res.Ratio > 3 {
+		t.Errorf("ratio %v exceeds the Theorem 3 bound", res.Ratio)
+	}
+	if res.Slack > 0.1 {
+		t.Errorf("worst slack %v; the adversary should hug the window", res.Slack)
+	}
+	if res.Points < 24 {
+		t.Errorf("probed only %d configurations", res.Points)
+	}
+}
+
+func TestAdversarySearchOnRandomizedSC(t *testing.T) {
+	det, err := AdversarySearch{Policy: online.SpeculativeCaching{}, Model: model.Unit, N: 400}.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := AdversarySearch{Policy: online.RandomizedSC{Seed: 5}, Model: model.Unit, N: 400}.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oblivious parametric adversary hurts the randomized policy less.
+	if rnd.Ratio >= det.Ratio {
+		t.Errorf("randomized worst %v should undercut deterministic worst %v", rnd.Ratio, det.Ratio)
+	}
+}
+
+func TestAdversarySearchPropagatesErrors(t *testing.T) {
+	_, err := AdversarySearch{Policy: online.SpeculativeCaching{}, Model: model.CostModel{}, N: 10}.Run(1)
+	if err == nil {
+		t.Error("invalid cost model accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Package sweep orchestrates parameter-sweep evaluations: the cross product
+// of workload generators, online policies, cost models and seeds, executed
+// on a bounded worker pool, aggregated into per-cell statistics across
+// seeds. It is the repeated-measurement machinery behind dcbench's sweep
+// report — where the per-experiment harnesses in internal/experiments run
+// each configuration once, a sweep answers "how stable is that number"
+// with mean, deviation and worst case over many seeded replicas.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/online"
+	"datacache/internal/stats"
+	"datacache/internal/workload"
+
+	"math/rand"
+)
+
+// Config declares the sweep grid.
+type Config struct {
+	Workloads []workload.Generator
+	Policies  []online.Runner
+	Models    []model.CostModel
+	Seeds     []int64
+	N         int // requests per run
+	Workers   int // 0 selects GOMAXPROCS
+}
+
+// Cell identifies one grid point (all seeds aggregated).
+type Cell struct {
+	Workload string
+	Policy   string
+	Model    model.CostModel
+}
+
+// Aggregate is the across-seed statistics for one cell's cost ratio
+// (policy cost divided by the FastDP optimum of the same instance).
+type Aggregate struct {
+	Cell   Cell
+	Ratios stats.Summary
+}
+
+// Run executes the sweep. Each (workload, model, seed) instance is
+// generated once and shared by every policy, so policies are compared on
+// identical inputs. Failures abort the sweep with the offending cell named.
+func Run(cfg Config) ([]Aggregate, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("sweep: N must be positive")
+	}
+	if len(cfg.Workloads) == 0 || len(cfg.Policies) == 0 || len(cfg.Models) == 0 || len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid dimension")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		wi, mi, si int
+	}
+	type sample struct {
+		wi, pi, mi int
+		ratio      float64
+	}
+	jobs := make(chan job)
+	samples := make(chan sample)
+	errs := make(chan error, 1)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// On failure the worker keeps draining jobs (without doing the
+			// work) so the feeder and the sample collector both terminate.
+			for j := range jobs {
+				if failed.Load() {
+					continue
+				}
+				gen := cfg.Workloads[j.wi]
+				cm := cfg.Models[j.mi]
+				seq := gen.Generate(rand.New(rand.NewSource(cfg.Seeds[j.si])), cfg.N)
+				opt, err := offline.FastDP(seq, cm)
+				if err != nil {
+					sendErr(errs, fmt.Errorf("sweep: %s seed %d: %w", gen.Name(), cfg.Seeds[j.si], err))
+					failed.Store(true)
+					continue
+				}
+				for pi, p := range cfg.Policies {
+					res, err := online.Run(p, seq, cm)
+					if err != nil {
+						sendErr(errs, fmt.Errorf("sweep: %s on %s: %w", p.Name(), gen.Name(), err))
+						failed.Store(true)
+						break
+					}
+					ratio := 1.0
+					if opt.Cost() > 0 {
+						ratio = res.Stats.Cost / opt.Cost()
+					}
+					samples <- sample{wi: j.wi, pi: pi, mi: j.mi, ratio: ratio}
+				}
+			}
+		}()
+	}
+	go func() {
+		for wi := range cfg.Workloads {
+			for mi := range cfg.Models {
+				for si := range cfg.Seeds {
+					jobs <- job{wi, mi, si}
+				}
+			}
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(samples)
+	}()
+
+	acc := map[[3]int][]float64{}
+	for s := range samples {
+		k := [3]int{s.wi, s.pi, s.mi}
+		acc[k] = append(acc[k], s.ratio)
+	}
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	var out []Aggregate
+	for k, ratios := range acc {
+		out = append(out, Aggregate{
+			Cell: Cell{
+				Workload: cfg.Workloads[k[0]].Name(),
+				Policy:   cfg.Policies[k[1]].Name(),
+				Model:    cfg.Models[k[2]],
+			},
+			Ratios: stats.Summarize(ratios),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Cell.Workload != out[b].Cell.Workload {
+			return out[a].Cell.Workload < out[b].Cell.Workload
+		}
+		if out[a].Cell.Policy != out[b].Cell.Policy {
+			return out[a].Cell.Policy < out[b].Cell.Policy
+		}
+		return out[a].Cell.Model.Lambda < out[b].Cell.Model.Lambda
+	})
+	return out, nil
+}
+
+// sendErr records the first failure without blocking later ones.
+func sendErr(errs chan error, err error) {
+	select {
+	case errs <- err:
+	default:
+	}
+}
+
+// Table renders aggregates as a report table.
+func Table(aggs []Aggregate) *stats.Table {
+	t := &stats.Table{Header: []string{"workload", "policy", "λ/μ", "runs", "mean ratio", "std", "worst"}}
+	for _, a := range aggs {
+		t.Add(a.Cell.Workload, a.Cell.Policy, a.Cell.Model.Lambda/a.Cell.Model.Mu,
+			a.Ratios.N, a.Ratios.Mean, a.Ratios.Std, a.Ratios.Max)
+	}
+	return t
+}

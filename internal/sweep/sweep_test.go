@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/online"
+	"datacache/internal/workload"
+)
+
+func smallConfig() Config {
+	return Config{
+		Workloads: []workload.Generator{
+			workload.Uniform{M: 4, MeanGap: 1},
+			workload.MarkovHop{M: 4, Stay: 0.8, MeanGap: 0.5},
+		},
+		Policies: []online.Runner{
+			online.SpeculativeCaching{},
+			online.AlwaysMigrate{},
+		},
+		Models: []model.CostModel{model.Unit, {Mu: 1, Lambda: 3}},
+		Seeds:  []int64{1, 2, 3, 4, 5},
+		N:      60,
+	}
+}
+
+func TestSweepShapeAndBounds(t *testing.T) {
+	aggs, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads x 2 policies x 2 models cells.
+	if len(aggs) != 8 {
+		t.Fatalf("cells = %d, want 8", len(aggs))
+	}
+	for _, a := range aggs {
+		if a.Ratios.N != 5 {
+			t.Errorf("%v: %d runs, want 5", a.Cell, a.Ratios.N)
+		}
+		if a.Ratios.Min < 1-1e-9 {
+			t.Errorf("%v: ratio %v below 1 — policy beat the optimum", a.Cell, a.Ratios.Min)
+		}
+		if a.Cell.Policy == "SC" && a.Ratios.Max > 3 {
+			t.Errorf("%v: SC worst ratio %v exceeds 3", a.Cell, a.Ratios.Max)
+		}
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	a, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Cell != b[i].Cell || a[i].Ratios.Mean != b[i].Ratios.Mean {
+			t.Fatalf("sweep not deterministic at cell %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSweepWorkerCounts(t *testing.T) {
+	for _, workers := range []int{1, 3, 0} {
+		cfg := smallConfig()
+		cfg.Workers = workers
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.N = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("N=0 accepted")
+	}
+	cfg = smallConfig()
+	cfg.Policies = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("empty policy list accepted")
+	}
+}
+
+func TestSweepPropagatesFailures(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Models = []model.CostModel{{Mu: -1, Lambda: 1}} // invalid
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid model not propagated")
+	}
+}
+
+func TestSweepTableRendering(t *testing.T) {
+	aggs, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Table(aggs).String()
+	if !strings.Contains(out, "mean ratio") || !strings.Contains(out, "SC") {
+		t.Errorf("table missing columns:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 10 { // header + rule + 8 rows
+		t.Errorf("table lines = %d:\n%s", got, out)
+	}
+}

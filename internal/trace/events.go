@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"datacache/internal/model"
+	"datacache/internal/multi"
+)
+
+// WriteEventsCSV writes an item-tagged event stream:
+//
+//	#datacache-events m=<m>
+//	item,server,time
+//	profile-42,2,0.5
+//	...
+//
+// The stream must be time-ordered (multi.Demultiplex validates per-item
+// monotonicity on read).
+func WriteEventsCSV(w io.Writer, m int, events []multi.Event) error {
+	if m < 1 {
+		return fmt.Errorf("trace: events header needs m >= 1, got %d", m)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#datacache-events m=%d\n", m)
+	fmt.Fprintln(bw, "item,server,time")
+	last := 0.0
+	for i, e := range events {
+		if strings.ContainsAny(e.Item, ",\n") {
+			return fmt.Errorf("trace: item name %q contains a separator", e.Item)
+		}
+		if i > 0 && e.Time < last {
+			return fmt.Errorf("trace: event %d out of order", i)
+		}
+		last = e.Time
+		fmt.Fprintf(bw, "%s,%d,%s\n", e.Item, e.Server, strconv.FormatFloat(e.Time, 'g', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// ReadEventsCSV parses the item-tagged event format, returning the cluster
+// size and the time-ordered stream.
+func ReadEventsCSV(r io.Reader) (m int, events []multi.Event, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "item,server,time":
+			continue
+		case strings.HasPrefix(line, "#datacache-events"):
+			for _, field := range strings.Fields(line)[1:] {
+				kv := strings.SplitN(field, "=", 2)
+				if len(kv) != 2 || kv[0] != "m" {
+					return 0, nil, fmt.Errorf("trace: line %d: bad header field %q", lineNo, field)
+				}
+				if m, err = strconv.Atoi(kv[1]); err != nil {
+					return 0, nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+				}
+			}
+		case strings.HasPrefix(line, "#"):
+			continue
+		default:
+			parts := strings.SplitN(line, ",", 3)
+			if len(parts) != 3 {
+				return 0, nil, fmt.Errorf("trace: line %d: want item,server,time, got %q", lineNo, line)
+			}
+			sv, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return 0, nil, fmt.Errorf("trace: line %d: bad server: %w", lineNo, err)
+			}
+			tm, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("trace: line %d: bad time: %w", lineNo, err)
+			}
+			events = append(events, multi.Event{
+				Item:   strings.TrimSpace(parts[0]),
+				Server: model.ServerID(sv),
+				Time:   tm,
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, fmt.Errorf("trace: %w", err)
+	}
+	if m == 0 {
+		return 0, nil, fmt.Errorf("trace: missing #datacache-events header")
+	}
+	return m, events, nil
+}

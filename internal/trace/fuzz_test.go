@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the sequence parser: it must never
+// panic, and anything it accepts must re-serialize and re-parse to the same
+// instance.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("#datacache m=3 origin=1\nserver,time\n1,0.5\n2,1.5\n")
+	f.Add("#datacache m=1 origin=1\n1,1\n")
+	f.Add("garbage")
+	f.Add("#datacache m=0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		seq, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, seq); err != nil {
+			t.Fatalf("accepted instance fails to serialize: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized form fails to parse: %v", err)
+		}
+		if again.M != seq.M || again.Origin != seq.Origin || again.N() != seq.N() {
+			t.Fatalf("round trip drift: %+v vs %+v", seq, again)
+		}
+		for i := range seq.Requests {
+			if seq.Requests[i] != again.Requests[i] {
+				t.Fatalf("request %d drift", i)
+			}
+		}
+	})
+}
+
+// FuzzReadEventsCSV does the same for the item-tagged event parser.
+func FuzzReadEventsCSV(f *testing.F) {
+	f.Add("#datacache-events m=2\nitem,server,time\na,1,0.5\nb,2,0.7\n")
+	f.Add("#datacache-events m=9\nx,9,1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, events, err := ReadEventsCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted streams serialize back only when ordered and separator
+		// free; mismatches there are fine — the invariant under fuzz is
+		// just "no panic, sane header".
+		if m < 1 {
+			t.Fatalf("accepted stream with m=%d", m)
+		}
+		_ = events
+	})
+}
+
+// FuzzReadJSON guards the JSON path.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"M":2,"Origin":1,"Requests":[{"Server":1,"Time":1}]}`)
+	f.Add(`{"M":0}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		seq, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := seq.Validate(); err != nil {
+			t.Fatalf("ReadJSON returned an invalid sequence: %v", err)
+		}
+	})
+}

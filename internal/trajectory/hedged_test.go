@@ -1,0 +1,118 @@
+package trajectory
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacache/internal/model"
+)
+
+// forkSequence is a 60/40 fork: from station 1 the walker goes to 2 with
+// probability 0.6, else to 3, then returns to 1 — a predictable skeleton
+// with genuinely uncertain branches.
+func forkSequence(rng *rand.Rand, n int, gap float64) *model.Sequence {
+	seq := &model.Sequence{M: 3, Origin: 1}
+	t := 0.0
+	at := model.ServerID(1)
+	for i := 0; i < n; i++ {
+		t += gap * (0.95 + 0.1*rng.Float64())
+		if at == 1 {
+			if rng.Float64() < 0.6 {
+				at = 2
+			} else {
+				at = 3
+			}
+		} else {
+			at = 1
+		}
+		seq.Requests = append(seq.Requests, model.Request{Server: at, Time: t})
+	}
+	return seq
+}
+
+func TestPredictTop2(t *testing.T) {
+	p := NewPredictor(1)
+	p.Train([]model.ServerID{1, 2, 1, 2, 1, 3, 1, 2})
+	first, second, conf := p.PredictTop2([]model.ServerID{1})
+	if first != 2 || second != 3 {
+		t.Errorf("top2 after 1 = (%d, %d), want (2, 3)", first, second)
+	}
+	if conf < 0.6 || conf > 0.8 {
+		t.Errorf("confidence = %v, want ≈0.75", conf)
+	}
+	// Deterministic context: single outcome, no runner-up.
+	p2 := NewPredictor(1)
+	p2.Train([]model.ServerID{5, 6, 5, 6})
+	_, second2, conf2 := p2.PredictTop2([]model.ServerID{5})
+	if second2 != 0 || conf2 != 1 {
+		t.Errorf("deterministic top2 = (second %d, conf %v), want (0, 1)", second2, conf2)
+	}
+	// Untrained predictor falls back to defaults.
+	empty := NewPredictor(1)
+	f, s, c := empty.PredictTop2(nil)
+	if f != 1 || s != 0 || c != 0 {
+		t.Errorf("untrained = (%d, %d, %v)", f, s, c)
+	}
+}
+
+func TestHedgedPlanningReducesFallbackBill(t *testing.T) {
+	// λ = 6 makes fallbacks expensive; the fork's 40% branch then justifies
+	// provisioning both candidates.
+	cm := model.CostModel{Mu: 1, Lambda: 6}
+	rng := rand.New(rand.NewSource(199))
+	train := forkSequence(rng, 2000, 1.0)
+	test := forkSequence(rng, 400, 1.0)
+	p := NewPredictor(1)
+	p.Train(Servers(train))
+
+	plain, err := PlanAndExecute(p, test, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged, err := HedgedPlanAndExecute(p, test, cm, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedged.Hedges == 0 {
+		t.Fatal("no hedges placed on a 60/40 fork with threshold 0.9")
+	}
+	if hedged.Fallbacks >= plain.Fallbacks {
+		t.Errorf("hedging did not reduce fallbacks: %d vs %d", hedged.Fallbacks, plain.Fallbacks)
+	}
+	if hedged.TotalCost >= plain.TotalCost {
+		t.Errorf("hedged total %v should beat unhedged %v at λ=6 (fallbacks %d vs %d)",
+			hedged.TotalCost, plain.TotalCost, hedged.Fallbacks, plain.Fallbacks)
+	}
+}
+
+func TestHedgedThresholdZeroMatchesPlain(t *testing.T) {
+	// With minConfidence 0 nothing is hedged: same fallback count as the
+	// plain pipeline (plan costs may differ microscopically by jitter).
+	cm := model.Unit
+	rng := rand.New(rand.NewSource(211))
+	train := forkSequence(rng, 1000, 1.0)
+	test := forkSequence(rng, 200, 1.0)
+	p := NewPredictor(1)
+	p.Train(Servers(train))
+	plain, err := PlanAndExecute(p, test, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged, err := HedgedPlanAndExecute(p, test, cm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedged.Hedges != 0 {
+		t.Fatalf("threshold 0 placed %d hedges", hedged.Hedges)
+	}
+	if hedged.Fallbacks != plain.Fallbacks {
+		t.Errorf("fallbacks differ without hedges: %d vs %d", hedged.Fallbacks, plain.Fallbacks)
+	}
+}
+
+func TestHedgedRejectsInvalid(t *testing.T) {
+	p := NewPredictor(1)
+	if _, err := HedgedPlanAndExecute(p, &model.Sequence{M: 0}, model.Unit, 0.5); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+}

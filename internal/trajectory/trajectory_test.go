@@ -1,0 +1,255 @@
+package trajectory
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/online"
+)
+
+func TestGridFieldLayout(t *testing.T) {
+	f := GridField(9, 3.0)
+	if len(f.Stations) != 9 {
+		t.Fatalf("stations = %d, want 9", len(f.Stations))
+	}
+	seen := map[model.ServerID]bool{}
+	for _, s := range f.Stations {
+		if s.X <= 0 || s.X >= 3 || s.Y <= 0 || s.Y >= 3 {
+			t.Errorf("station %d at (%v,%v) outside the field", s.ID, s.X, s.Y)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate station id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	// Station 1 sits at the first grid cell center (0.5, 0.5).
+	if f.Stations[0].X != 0.5 || f.Stations[0].Y != 0.5 {
+		t.Errorf("station 1 at (%v,%v), want (0.5,0.5)", f.Stations[0].X, f.Stations[0].Y)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	f := GridField(4, 2.0) // centers at (0.5,0.5) (1.5,0.5) (0.5,1.5) (1.5,1.5)
+	cases := []struct {
+		x, y float64
+		want model.ServerID
+	}{
+		{0.4, 0.4, 1},
+		{1.6, 0.4, 2},
+		{0.4, 1.6, 3},
+		{1.9, 1.9, 4},
+	}
+	for _, c := range cases {
+		if got := f.Nearest(c.x, c.y); got != c.want {
+			t.Errorf("Nearest(%v,%v) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestRandomWaypointProducesValidSequences(t *testing.T) {
+	f := GridField(9, 1.0)
+	w := RandomWaypoint{Field: f, Speed: 0.3, Pause: 0.5, ReqGap: 0.2}
+	rng := rand.New(rand.NewSource(1))
+	seq := w.Generate(rng, 300)
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if seq.N() != 300 {
+		t.Fatalf("n = %d", seq.N())
+	}
+	// A slow walker should show spatial locality: consecutive requests often
+	// hit the same station.
+	same := 0
+	for i := 1; i < seq.N(); i++ {
+		if seq.Requests[i].Server == seq.Requests[i-1].Server {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(seq.N()-1); frac < 0.5 {
+		t.Errorf("stay fraction %v too low for a slow walker", frac)
+	}
+}
+
+func TestMarkovCellsSticky(t *testing.T) {
+	f := GridField(16, 1.0)
+	mc := MarkovCells{Field: f, Stay: 0.9, Neighbors: 4, ReqGap: 0.5}
+	seq := mc.Generate(rand.New(rand.NewSource(2)), 2000)
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 1; i < seq.N(); i++ {
+		if seq.Requests[i].Server == seq.Requests[i-1].Server {
+			same++
+		}
+	}
+	frac := float64(same) / float64(seq.N()-1)
+	if frac < 0.85 || frac > 0.95 {
+		t.Errorf("stay fraction = %v, want ≈0.9", frac)
+	}
+}
+
+func TestMarkovCellsSingleStation(t *testing.T) {
+	f := GridField(1, 1.0)
+	mc := MarkovCells{Field: f, Stay: 0.5, ReqGap: 0.1}
+	seq := mc.Generate(rand.New(rand.NewSource(3)), 50)
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range seq.Requests {
+		if r.Server != 1 {
+			t.Fatalf("hop escaped a single-station field: %v", r)
+		}
+	}
+}
+
+func TestPredictorLearnsDeterministicCycle(t *testing.T) {
+	p := NewPredictor(2)
+	var visits []model.ServerID
+	for i := 0; i < 50; i++ {
+		visits = append(visits, model.ServerID(1+i%3)) // 1,2,3,1,2,3,...
+	}
+	p.Train(visits)
+	if got := p.Predict([]model.ServerID{1, 2}); got != 3 {
+		t.Errorf("Predict(1,2) = %d, want 3", got)
+	}
+	if got := p.Predict([]model.ServerID{3, 1}); got != 2 {
+		t.Errorf("Predict(3,1) = %d, want 2", got)
+	}
+	if acc := p.Accuracy(visits); acc < 0.95 {
+		t.Errorf("accuracy on training cycle = %v, want ≈1", acc)
+	}
+}
+
+func TestPredictorFallbacks(t *testing.T) {
+	p := NewPredictor(2)
+	p.Train([]model.ServerID{5, 5, 5, 5})
+	// Unseen context: falls back through order 1 to the global mode.
+	if got := p.Predict([]model.ServerID{9, 9}); got != 5 {
+		t.Errorf("fallback Predict = %d, want global mode 5", got)
+	}
+	empty := NewPredictor(1)
+	if got := empty.Predict(nil); got != 1 {
+		t.Errorf("untrained Predict = %d, want default 1", got)
+	}
+	if acc := empty.Accuracy([]model.ServerID{1}); acc != 1 {
+		t.Errorf("degenerate accuracy = %v, want 1", acc)
+	}
+}
+
+func TestPredictorOrderClamped(t *testing.T) {
+	p := NewPredictor(0)
+	if p.K != 1 {
+		t.Errorf("K = %d, want clamp to 1", p.K)
+	}
+}
+
+func TestPredictSequencePreservesTimes(t *testing.T) {
+	f := GridField(4, 1.0)
+	mc := MarkovCells{Field: f, Stay: 0.8, ReqGap: 0.3}
+	rng := rand.New(rand.NewSource(5))
+	train := mc.Generate(rng, 500)
+	test := mc.Generate(rng, 100)
+	p := NewPredictor(2)
+	p.Train(Servers(train))
+	pred := PredictSequence(p, test)
+	if err := pred.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pred.Requests {
+		if pred.Requests[i].Time != test.Requests[i].Time {
+			t.Fatalf("predicted sequence changed time at %d", i)
+		}
+	}
+}
+
+// tourSequence is a jittered deterministic tour over `stops` servers with a
+// hop gap just under the speculative window: every request changes server,
+// so pure-online SC misses everywhere and pays speculative tails, while a
+// clairvoyant plan only pays the transfer plus minimal coverage. This is the
+// regime where mined trajectories genuinely beat online caching.
+func tourSequence(rng *rand.Rand, stops, n int, gap float64) *model.Sequence {
+	seq := &model.Sequence{M: stops, Origin: 1}
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += gap * (0.95 + 0.1*rng.Float64())
+		seq.Requests = append(seq.Requests, model.Request{
+			Server: model.ServerID(1 + i%stops),
+			Time:   t,
+		})
+	}
+	return seq
+}
+
+// TestPlanAndExecuteBeatsOnlineWhenPredictable is experiment E8 in
+// miniature: on a predictable tour the predicted-plan total cost must land
+// between the clairvoyant optimum and pure-online SC.
+func TestPlanAndExecuteBeatsOnlineWhenPredictable(t *testing.T) {
+	cm := model.Unit // Δt = 1
+	rng := rand.New(rand.NewSource(7))
+	train := tourSequence(rng, 4, 400, 0.9)
+	test := tourSequence(rng, 4, 200, 0.9)
+
+	p := NewPredictor(2)
+	p.Train(Servers(train))
+	rep, err := PlanAndExecute(p, test, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := offline.FastDP(test, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := online.CompetitiveRatio(online.SpeculativeCaching{}, test, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy < 0.9 {
+		t.Errorf("prediction accuracy %v too low for a deterministic tour", rep.Accuracy)
+	}
+	if rep.TotalCost < opt.Cost()-1e-6 {
+		t.Errorf("plan total %v below clairvoyant optimum %v: accounting bug", rep.TotalCost, opt.Cost())
+	}
+	if rep.TotalCost >= sc.Cost {
+		t.Errorf("plan total %v should beat pure-online SC %v at accuracy %v",
+			rep.TotalCost, sc.Cost, rep.Accuracy)
+	}
+}
+
+func TestPlanAndExecutePerfectPredictionIsOptimal(t *testing.T) {
+	// A predictor that has memorized a deterministic cycle plans the true
+	// sequence exactly: zero fallbacks, plan cost == optimum.
+	seq := &model.Sequence{M: 3, Origin: 1}
+	for i := 0; i < 30; i++ {
+		seq.Requests = append(seq.Requests, model.Request{
+			Server: model.ServerID(1 + i%3),
+			Time:   0.5 + float64(i)*0.7,
+		})
+	}
+	p := NewPredictor(2)
+	p.Train(Servers(seq))
+	rep, err := PlanAndExecute(p, seq, model.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := offline.FastDP(seq, model.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first prediction (empty context) may miss; everything else hits.
+	if rep.Fallbacks > 1 {
+		t.Errorf("fallbacks = %d, want <= 1", rep.Fallbacks)
+	}
+	if rep.TotalCost > opt.Cost()+model.Unit.Lambda+1e-6 {
+		t.Errorf("total %v, want within one fallback of optimum %v", rep.TotalCost, opt.Cost())
+	}
+}
+
+func TestPlanAndExecuteRejectsInvalid(t *testing.T) {
+	p := NewPredictor(1)
+	if _, err := PlanAndExecute(p, &model.Sequence{M: 0}, model.Unit); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+}

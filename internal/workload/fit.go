@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+
+	"datacache/internal/model"
+)
+
+// FitResult captures the parameters of a MarkovHop model estimated from a
+// trace: workload modeling in the style systems papers use to synthesize
+// traffic matched to production traces.
+type FitResult struct {
+	M       int
+	Stay    float64 // fraction of requests on the previous request's server
+	MeanGap float64 // mean inter-arrival time
+	// PopularityskewTop is the share of requests on the most popular
+	// server, a cheap skew indicator (1/m means uniform).
+	TopShare float64
+}
+
+// Fit estimates MarkovHop parameters from a trace. It needs at least two
+// requests.
+func Fit(seq *model.Sequence) (FitResult, error) {
+	if err := seq.Validate(); err != nil {
+		return FitResult{}, err
+	}
+	if seq.N() < 2 {
+		return FitResult{}, fmt.Errorf("workload: need at least 2 requests to fit, got %d", seq.N())
+	}
+	var out FitResult
+	out.M = seq.M
+	stays := 0
+	counts := make([]int, seq.M+1)
+	for i, r := range seq.Requests {
+		counts[r.Server]++
+		if i > 0 && r.Server == seq.Requests[i-1].Server {
+			stays++
+		}
+	}
+	out.Stay = float64(stays) / float64(seq.N()-1)
+	out.MeanGap = seq.End() / float64(seq.N())
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	out.TopShare = float64(top) / float64(seq.N())
+	return out, nil
+}
+
+// Generator materializes the fitted model as a MarkovHop generator, closing
+// the loop: Fit(g.Generate(...)) ≈ g's parameters, and Generate on a fitted
+// result produces synthetic traffic matched to the source trace.
+func (f FitResult) Generator() Generator {
+	return MarkovHop{M: f.M, Stay: f.Stay, MeanGap: f.MeanGap}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/online"
+)
+
+func TestFitRecoversMarkovParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	src := MarkovHop{M: 6, Stay: 0.75, MeanGap: 1.3}
+	seq := src.Generate(rng, 8000)
+	fit, err := Fit(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Stay-0.75) > 0.03 {
+		t.Errorf("fitted stay = %v, want ≈0.75", fit.Stay)
+	}
+	if math.Abs(fit.MeanGap-1.3) > 0.1 {
+		t.Errorf("fitted gap = %v, want ≈1.3", fit.MeanGap)
+	}
+	if fit.M != 6 {
+		t.Errorf("m = %d", fit.M)
+	}
+}
+
+func TestFitRoundTripPreservesCostProfile(t *testing.T) {
+	// Synthetic traffic generated from a fitted model should induce a
+	// similar SC-vs-OPT cost profile as the source trace — the property
+	// that makes workload modeling useful for capacity planning.
+	rng := rand.New(rand.NewSource(229))
+	cm := model.Unit
+	src := MarkovHop{M: 5, Stay: 0.8, MeanGap: 0.7}.Generate(rng, 3000)
+	fit, err := Fit(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := fit.Generator().Generate(rand.New(rand.NewSource(231)), 3000)
+
+	profile := func(seq *model.Sequence) float64 {
+		pt, err := online.CompetitiveRatio(online.SpeculativeCaching{}, seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt.Ratio
+	}
+	srcRatio, synthRatio := profile(src), profile(synth)
+	if math.Abs(srcRatio-synthRatio) > 0.15 {
+		t.Errorf("cost profiles diverge: source ratio %v vs synthetic %v", srcRatio, synthRatio)
+	}
+	// And the per-request optimum should be in the same ballpark.
+	srcOpt, err := offline.FastDP(src, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthOpt, err := offline.FastDP(synth, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := srcOpt.Cost() / float64(src.N())
+	b := synthOpt.Cost() / float64(synth.N())
+	if math.Abs(a-b) > 0.2*math.Max(a, b) {
+		t.Errorf("per-request optima diverge: %v vs %v", a, b)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(&model.Sequence{M: 0}); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	one := &model.Sequence{M: 2, Origin: 1, Requests: []model.Request{{Server: 1, Time: 1}}}
+	if _, err := Fit(one); err == nil {
+		t.Error("single-request trace accepted")
+	}
+}
+
+func TestFitTopShare(t *testing.T) {
+	seq := &model.Sequence{M: 3, Origin: 1, Requests: []model.Request{
+		{Server: 1, Time: 1}, {Server: 1, Time: 2}, {Server: 1, Time: 3}, {Server: 2, Time: 4},
+	}}
+	fit, err := Fit(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.TopShare-0.75) > 1e-9 {
+		t.Errorf("top share = %v, want 0.75", fit.TopShare)
+	}
+}

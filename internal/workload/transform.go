@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datacache/internal/model"
+)
+
+// Scale returns a copy of the sequence with every request time multiplied
+// by alpha > 0. Together with dividing the caching rate μ by alpha it
+// leaves every schedule cost invariant — the time-unit freedom of the cost
+// model, asserted as a property test on the optimizer.
+func Scale(seq *model.Sequence, alpha float64) (*model.Sequence, error) {
+	if !(alpha > 0) {
+		return nil, fmt.Errorf("workload: scale factor %v must be positive", alpha)
+	}
+	out := seq.Clone()
+	for i := range out.Requests {
+		out.Requests[i].Time *= alpha
+	}
+	return out, out.Validate()
+}
+
+// Slice extracts the requests with time in (from, to], re-based so the
+// slice starts at time zero (the origin copy is assumed present at the
+// slice start, matching the model's boundary convention).
+func Slice(seq *model.Sequence, from, to float64) (*model.Sequence, error) {
+	if from < 0 || to <= from {
+		return nil, fmt.Errorf("workload: bad slice window (%v, %v]", from, to)
+	}
+	out := &model.Sequence{M: seq.M, Origin: seq.Origin}
+	for _, r := range seq.Requests {
+		if r.Time > from && r.Time <= to {
+			out.Requests = append(out.Requests, model.Request{Server: r.Server, Time: r.Time - from})
+		}
+	}
+	return out, out.Validate()
+}
+
+// Thin keeps each request independently with probability p, preserving
+// order and times. p is clamped to [0, 1].
+func Thin(seq *model.Sequence, p float64, rng *rand.Rand) *model.Sequence {
+	if p >= 1 {
+		return seq.Clone()
+	}
+	out := &model.Sequence{M: seq.M, Origin: seq.Origin}
+	if p <= 0 {
+		return out
+	}
+	for _, r := range seq.Requests {
+		if rng.Float64() < p {
+			out.Requests = append(out.Requests, r)
+		}
+	}
+	return out
+}
+
+// Merge interleaves several sequences over the same cluster into one
+// time-ordered sequence. All inputs must agree on M and Origin, and no two
+// requests (across inputs) may share a timestamp.
+func Merge(seqs ...*model.Sequence) (*model.Sequence, error) {
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("workload: nothing to merge")
+	}
+	out := &model.Sequence{M: seqs[0].M, Origin: seqs[0].Origin}
+	for i, s := range seqs {
+		if s.M != out.M || s.Origin != out.Origin {
+			return nil, fmt.Errorf("workload: sequence %d has m=%d origin=%d, want m=%d origin=%d",
+				i, s.M, s.Origin, out.M, out.Origin)
+		}
+		out.Requests = append(out.Requests, s.Requests...)
+	}
+	model.SortRequests(out.Requests)
+	return out, out.Validate()
+}
