@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"datacache/internal/cloudsim"
+	"datacache/internal/engine"
 	"datacache/internal/hetero"
 	"datacache/internal/model"
 	"datacache/internal/offline"
@@ -210,6 +211,47 @@ func BenchmarkPolicies(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := online.Run(p, seq, benchModel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Per-request decision latency of the shared engine core at increasing
+// cluster sizes: one Serve call on a long-lived stream, allocations
+// reported. This is the hot path of datacache.Session and every online
+// Runner.
+func BenchmarkEngineDecision(b *testing.B) {
+	for _, m := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(61))
+			servers := make([]model.ServerID, 4096)
+			for i := range servers {
+				servers[i] = model.ServerID(1 + rng.Intn(m))
+			}
+			gap := benchModel.Delta() / 2
+			newStream := func() *engine.Stream {
+				st, err := engine.NewStream(&engine.SC{}, engine.State{M: m, Origin: 1, Model: benchModel})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return st
+			}
+			st := newStream()
+			t := 0.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%8192 == 8191 {
+					// Periodically restart so the accumulated schedule does
+					// not dominate memory; the rebuild is off the clock.
+					b.StopTimer()
+					st, t = newStream(), 0
+					b.StartTimer()
+				}
+				t += gap
+				if _, err := st.Serve(servers[i%len(servers)], t); err != nil {
 					b.Fatal(err)
 				}
 			}

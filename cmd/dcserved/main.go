@@ -16,6 +16,11 @@
 //	GET  /v1/stream/{id}              stream state
 //	GET  /v1/stream/{id}/schedule     optimal schedule for the streamed prefix
 //	DELETE /v1/stream/{id}            drop the stream
+//	POST /v1/session                  {m, origin, model, policy?, window?, epoch?} → live serving session
+//	POST /v1/session/{id}/request     {server, time} → decision + running cost/optimum/ratio
+//	GET  /v1/session/{id}             session state
+//	GET  /v1/session/{id}/schedule    schedule realized so far
+//	DELETE /v1/session/{id}           close the session → final state + schedule
 package main
 
 import (

@@ -2,24 +2,49 @@ package cloudsim
 
 import (
 	"fmt"
-	"math"
 
+	"datacache/internal/engine"
 	"datacache/internal/model"
 )
 
-// SCPolicy is the Speculative Caching algorithm expressed reactively on the
-// simulator: the same rules as online.SpeculativeCaching, driven by request
-// and timer events instead of a closed request loop. The integration tests
-// assert that both implementations produce identical costs on identical
-// workloads — the cross-validation promised in DESIGN.md.
+// The simulator policies are thin adapters over the deciders in
+// internal/engine: each Policy owns a fresh decider per Init and translates
+// the decider's Actions into Env operations. The decision rules themselves
+// (SC's windows, epochs, grouped expiry; the migrate/replicate baselines)
+// live in exactly one place — internal/engine — and the integration tests
+// assert that the simulator path and online.Run produce identical costs on
+// identical workloads, the cross-validation promised in DESIGN.md.
+
+// applyActions executes a decider's action list against the environment.
+// It reports the first failure through env.Fail and stops, matching the
+// simulator's abort-on-first-error contract.
+func applyActions(env *Env, acts []engine.Action) {
+	for _, a := range acts {
+		switch a.Kind {
+		case engine.ActTransfer:
+			if err := env.Transfer(a.From, a.Server); err != nil {
+				env.Fail(err)
+				return
+			}
+		case engine.ActDrop:
+			if err := env.Drop(a.Server); err != nil {
+				env.Fail(err)
+				return
+			}
+		case engine.ActArmTimer:
+			env.SetTimer(a.Server, a.Time)
+		}
+	}
+}
+
+// SCPolicy is the Speculative Caching algorithm on the simulator: the shared
+// engine.SC decider driven by request and timer events instead of a closed
+// request loop.
 type SCPolicy struct {
 	Window         float64 // 0 derives Δt = λ/μ from the cost model
 	EpochTransfers int     // 0 disables epoch resets
 
-	window  float64
-	expiry  []float64
-	created []float64
-	xfers   int
+	d *engine.SC
 }
 
 // NewSCPolicy returns a fresh SC policy instance.
@@ -32,167 +57,93 @@ func (p *SCPolicy) Name() string {
 	return fmt.Sprintf("sim-SC(w=%g,epoch=%d)", p.Window, p.EpochTransfers)
 }
 
-// Init implements Policy.
+// Init implements Policy: builds a fresh decider so the policy value can be
+// reused across runs.
 func (p *SCPolicy) Init(env *Env) {
-	p.window = p.Window
-	if p.window <= 0 {
-		p.window = env.Model().Delta()
-	}
-	p.expiry = make([]float64, env.M()+1)
-	p.created = make([]float64, env.M()+1)
-	p.xfers = 0
-	for _, j := range env.Copies() {
-		p.refresh(env, j, 0)
-	}
+	p.d = &engine.SC{Window: p.Window, EpochTransfers: p.EpochTransfers}
+	applyActions(env, p.d.Init(engine.State{
+		M:      env.M(),
+		Origin: env.Copies()[0],
+		Model:  env.Model(),
+	}))
 }
 
-func (p *SCPolicy) refresh(env *Env, server model.ServerID, now float64) {
-	p.expiry[server] = now + p.window
-	env.SetTimer(server, p.expiry[server])
-}
-
-// OnRequest implements Policy: hit-refresh or transfer-from-freshest.
+// OnRequest implements Policy.
 func (p *SCPolicy) OnRequest(env *Env, server model.ServerID, now float64) {
-	if env.HasCopy(server) {
-		p.refresh(env, server, now)
-		return
-	}
-	src := p.freshest(env)
-	if src == 0 {
-		env.Fail(fmt.Errorf("no live copy at t=%v", now))
-		return
-	}
-	if err := env.Transfer(src, server); err != nil {
+	acts, err := p.d.OnRequest(server, now)
+	if err != nil {
 		env.Fail(err)
 		return
 	}
-	p.created[server] = now
-	p.refresh(env, server, now)
-	p.refresh(env, src, now) // rule 3: the transfer source is refreshed too
-	p.xfers++
-	if p.EpochTransfers > 0 && p.xfers >= p.EpochTransfers {
-		for _, j := range env.Copies() {
-			if j != server {
-				if err := env.Drop(j); err != nil {
-					env.Fail(err)
-					return
-				}
-			}
-		}
-		p.xfers = 0
-	}
+	applyActions(env, acts)
 }
 
-// OnTimer implements Policy: step 4's expiry handling. Stale timers (the
-// copy is gone or was refreshed past this deadline) are ignored; a valid
-// deadline triggers the grouped deletion rules, keeping the youngest copy
-// alive when the group would otherwise empty the cluster.
-func (p *SCPolicy) OnTimer(env *Env, server model.ServerID, now float64) {
-	if !env.HasCopy(server) || p.expiry[server] != now {
-		return
-	}
-	var group []model.ServerID
-	for _, j := range env.Copies() {
-		if p.expiry[j] == now {
-			group = append(group, j)
-		}
-	}
-	youngest := group[0]
-	for _, j := range group {
-		if p.created[j] > p.created[youngest] {
-			youngest = j
-		}
-	}
-	alive := len(env.Copies())
-	for _, j := range group {
-		if j == youngest {
-			continue
-		}
-		if alive > 1 {
-			if err := env.Drop(j); err != nil {
-				env.Fail(err)
-				return
-			}
-			alive--
-		} else {
-			p.refresh(env, j, now)
-		}
-	}
-	if alive > 1 {
-		if err := env.Drop(youngest); err != nil {
-			env.Fail(err)
-		}
-	} else {
-		p.refresh(env, youngest, now) // the last copy never dies
-	}
-}
-
-// freshest returns the live holder with the latest deadline, ties to the
-// younger copy — the "most recent copy" transfer source of Observation 4.
-func (p *SCPolicy) freshest(env *Env) model.ServerID {
-	best := model.ServerID(0)
-	bestAt, bestCreated := math.Inf(-1), math.Inf(-1)
-	for _, j := range env.Copies() {
-		if p.expiry[j] > bestAt || (p.expiry[j] == bestAt && p.created[j] > bestCreated) {
-			best, bestAt, bestCreated = j, p.expiry[j], p.created[j]
-		}
-	}
-	return best
+// OnTimer implements Policy. The decider keys expiry groups on the instant,
+// so the per-server argument is not needed; stale timers (the copy is gone
+// or was refreshed past this deadline) yield an empty action list.
+func (p *SCPolicy) OnTimer(env *Env, _ model.ServerID, now float64) {
+	applyActions(env, p.d.OnTimer(now))
 }
 
 // MigratePolicy keeps a single nomadic copy, the simulator twin of
-// online.AlwaysMigrate.
+// online.AlwaysMigrate (both drive engine.Migrate).
 type MigratePolicy struct {
-	holder model.ServerID
+	d *engine.Migrate
 }
 
 // Name implements Policy.
 func (p *MigratePolicy) Name() string { return "sim-migrate" }
 
 // Init implements Policy.
-func (p *MigratePolicy) Init(env *Env) { p.holder = env.Copies()[0] }
+func (p *MigratePolicy) Init(env *Env) {
+	p.d = &engine.Migrate{}
+	applyActions(env, p.d.Init(engine.State{
+		M:      env.M(),
+		Origin: env.Copies()[0],
+		Model:  env.Model(),
+	}))
+}
 
 // OnRequest implements Policy.
 func (p *MigratePolicy) OnRequest(env *Env, server model.ServerID, now float64) {
-	if server == p.holder {
-		return
-	}
-	if err := env.Transfer(p.holder, server); err != nil {
+	acts, err := p.d.OnRequest(server, now)
+	if err != nil {
 		env.Fail(err)
 		return
 	}
-	if err := env.Drop(p.holder); err != nil {
-		env.Fail(err)
-		return
-	}
-	p.holder = server
+	applyActions(env, acts)
 }
 
 // OnTimer implements Policy (no timers armed).
 func (p *MigratePolicy) OnTimer(*Env, model.ServerID, float64) {}
 
 // ReplicatePolicy pulls a copy on first touch and never deletes, the
-// simulator twin of online.KeepEverywhere.
+// simulator twin of online.KeepEverywhere (both drive engine.Replicate).
 type ReplicatePolicy struct {
-	latest model.ServerID
+	d *engine.Replicate
 }
 
 // Name implements Policy.
 func (p *ReplicatePolicy) Name() string { return "sim-replicate" }
 
 // Init implements Policy.
-func (p *ReplicatePolicy) Init(env *Env) { p.latest = env.Copies()[0] }
+func (p *ReplicatePolicy) Init(env *Env) {
+	p.d = &engine.Replicate{}
+	applyActions(env, p.d.Init(engine.State{
+		M:      env.M(),
+		Origin: env.Copies()[0],
+		Model:  env.Model(),
+	}))
+}
 
 // OnRequest implements Policy.
 func (p *ReplicatePolicy) OnRequest(env *Env, server model.ServerID, now float64) {
-	if env.HasCopy(server) {
-		return
-	}
-	if err := env.Transfer(p.latest, server); err != nil {
+	acts, err := p.d.OnRequest(server, now)
+	if err != nil {
 		env.Fail(err)
 		return
 	}
-	p.latest = server
+	applyActions(env, acts)
 }
 
 // OnTimer implements Policy (no timers armed).

@@ -1,0 +1,74 @@
+package engine
+
+import "datacache/internal/model"
+
+// Migrate keeps exactly one copy at all times and migrates it to every
+// request that misses: serve-by-transfer, delete the source. It is the
+// "no speculation" lower end of the policy family; online.AlwaysMigrate and
+// cloudsim's MigratePolicy adapt it.
+type Migrate struct {
+	holder model.ServerID
+	acts   []Action
+}
+
+// Name implements Decider.
+func (m *Migrate) Name() string { return "migrate" }
+
+// Init implements Decider.
+func (m *Migrate) Init(st State) []Action {
+	m.holder = st.Origin
+	return nil
+}
+
+// OnRequest implements Decider.
+func (m *Migrate) OnRequest(server model.ServerID, t float64) ([]Action, error) {
+	m.acts = m.acts[:0]
+	if server == m.holder {
+		return m.acts, nil
+	}
+	m.acts = append(m.acts,
+		Action{Kind: ActTransfer, From: m.holder, Server: server, Time: t},
+		Action{Kind: ActDrop, Server: m.holder, Time: t},
+	)
+	m.holder = server
+	return m.acts, nil
+}
+
+// OnTimer implements Decider (no timers armed).
+func (m *Migrate) OnTimer(float64) []Action { return nil }
+
+// Replicate pulls a copy on first touch and never deletes: the "infinite
+// cache, no cost control" upper end of the family. Misses are served from
+// the most recently touched holder. online.KeepEverywhere and cloudsim's
+// ReplicatePolicy adapt it.
+type Replicate struct {
+	have   []bool
+	latest model.ServerID
+	acts   []Action
+}
+
+// Name implements Decider.
+func (r *Replicate) Name() string { return "replicate" }
+
+// Init implements Decider.
+func (r *Replicate) Init(st State) []Action {
+	r.have = make([]bool, st.M+1)
+	r.have[st.Origin] = true
+	r.latest = st.Origin
+	return nil
+}
+
+// OnRequest implements Decider.
+func (r *Replicate) OnRequest(server model.ServerID, t float64) ([]Action, error) {
+	r.acts = r.acts[:0]
+	if r.have[server] {
+		return r.acts, nil
+	}
+	r.acts = append(r.acts, Action{Kind: ActTransfer, From: r.latest, Server: server, Time: t})
+	r.have[server] = true
+	r.latest = server
+	return r.acts, nil
+}
+
+// OnTimer implements Decider (no timers armed).
+func (r *Replicate) OnTimer(float64) []Action { return nil }

@@ -1,0 +1,109 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"datacache/internal/cloudsim"
+	"datacache/internal/model"
+	"datacache/internal/online"
+	"datacache/internal/workload"
+)
+
+// TestDifferentialSC is the refactor's safety net: the engine-backed SC
+// (online.SpeculativeCaching), the frozen pre-engine implementation
+// (online.ReferenceSC) and the simulator-driven SC (cloudsim.SCPolicy) must
+// produce bit-identical costs and transfer counts on identical workloads.
+// Any drift in the shared decision core shows up here before it shows up in
+// an experiment.
+func TestDifferentialSC(t *testing.T) {
+	models := []model.CostModel{model.Unit, {Mu: 1, Lambda: 2}}
+	variants := []struct {
+		window float64
+		epoch  int
+	}{
+		{0, 0},   // canonical SC
+		{0, 3},   // epoch restarts
+		{0.7, 0}, // fixed TTL window
+	}
+	for _, cm := range models {
+		gens := []workload.Generator{
+			workload.Uniform{M: 5, MeanGap: 0.8},
+			workload.Zipf{M: 6, S: 1.5, MeanGap: 0.5},
+			workload.Adversarial{M: 4, Window: cm.Delta()},
+		}
+		for _, gen := range gens {
+			for seed := int64(1); seed <= 3; seed++ {
+				seq := gen.Generate(rand.New(rand.NewSource(seed)), 60)
+				for _, v := range variants {
+					name := fmt.Sprintf("%s/mu=%g,lambda=%g/w=%g,e=%d/seed=%d",
+						gen.Name(), cm.Mu, cm.Lambda, v.window, v.epoch, seed)
+					t.Run(name, func(t *testing.T) {
+						engSched, err := online.SpeculativeCaching{Window: v.window, EpochTransfers: v.epoch}.Run(seq, cm)
+						if err != nil {
+							t.Fatal(err)
+						}
+						refSched, err := online.ReferenceSC{Window: v.window, EpochTransfers: v.epoch}.Run(seq, cm)
+						if err != nil {
+							t.Fatal(err)
+						}
+						simRep, err := cloudsim.Run(cloudsim.NewSCPolicy(v.window, v.epoch), seq, cm)
+						if err != nil {
+							t.Fatal(err)
+						}
+						engCost := engSched.Cost(cm)
+						if refCost := refSched.Cost(cm); engCost != refCost {
+							t.Errorf("engine cost %v != reference cost %v", engCost, refCost)
+						}
+						if engCost != simRep.Cost {
+							t.Errorf("engine cost %v != simulator cost %v", engCost, simRep.Cost)
+						}
+						if en, rn := len(engSched.Transfers), len(refSched.Transfers); en != rn {
+							t.Errorf("engine transfers %d != reference transfers %d", en, rn)
+						}
+						if en, sn := len(engSched.Transfers), simRep.Transfers; en != sn {
+							t.Errorf("engine transfers %d != simulator transfers %d", en, sn)
+						}
+						if err := engSched.Validate(seq); err != nil {
+							t.Errorf("engine schedule infeasible: %v", err)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialBaselines extends the cross-check to the migrate and
+// replicate baselines, which also moved into the engine.
+func TestDifferentialBaselines(t *testing.T) {
+	cm := model.CostModel{Mu: 1, Lambda: 2}
+	for seed := int64(1); seed <= 3; seed++ {
+		seq := workload.Uniform{M: 4, MeanGap: 0.6}.Generate(rand.New(rand.NewSource(seed)), 50)
+
+		mig, err := online.AlwaysMigrate{}.Run(seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simMig, err := cloudsim.Run(&cloudsim.MigratePolicy{}, seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mig.Cost(cm) != simMig.Cost {
+			t.Errorf("seed %d: migrate cost %v != simulator %v", seed, mig.Cost(cm), simMig.Cost)
+		}
+
+		rep, err := online.KeepEverywhere{}.Run(seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simRep, err := cloudsim.Run(&cloudsim.ReplicatePolicy{}, seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cost(cm) != simRep.Cost {
+			t.Errorf("seed %d: replicate cost %v != simulator %v", seed, rep.Cost(cm), simRep.Cost)
+		}
+	}
+}

@@ -1,10 +1,9 @@
 package hetero
 
 import (
-	"container/heap"
-	"fmt"
 	"math"
 
+	"datacache/internal/engine"
 	"datacache/internal/model"
 )
 
@@ -17,6 +16,11 @@ import (
 // structural rules (last copy never dies; both transfer endpoints refresh)
 // carry over, so schedules stay feasible; Run prices them under the
 // heterogeneous model.
+//
+// The event loop is the shared engine.SC decider, parameterized by the
+// per-server windows (WindowOf) and the cheapest-outbound source rule
+// (PickSource); only the window derivation and the pricing are
+// heterogeneous-specific.
 type SC struct {
 	Model *Model
 }
@@ -45,94 +49,23 @@ func (p SC) Run(seq *model.Sequence) (*model.Schedule, float64, error) {
 		window[j] = cheapest / p.Model.Mu[j]
 	}
 
-	alive := make([]bool, m+1)
-	created := make([]float64, m+1)
-	expiry := make([]float64, m+1)
-	nAlive := 1
-	alive[seq.Origin] = true
-	var events hexpHeap
-	refresh := func(j int, t float64) {
-		expiry[j] = t + window[j]
-		heap.Push(&events, hexpEvent{at: expiry[j], server: j})
-	}
-	refresh(int(seq.Origin), 0)
-
-	var sched model.Schedule
-	kill := func(j int, t float64) {
-		sched.AddCache(model.ServerID(j), created[j], t)
-		alive[j] = false
-		nAlive--
-	}
-	drain := func(limit float64, inclusive bool) {
-		for len(events) > 0 {
-			ev := events[0]
-			if ev.at > limit || (!inclusive && ev.at == limit) {
-				return
+	d := &engine.SC{
+		WindowOf: func(j model.ServerID) float64 { return window[j] },
+		PickSource: func(alive []bool, to model.ServerID) model.ServerID {
+			src, best := model.ServerID(0), math.Inf(1)
+			for j := 1; j <= m; j++ {
+				if alive[j] && p.Model.Lambda[j][int(to)] < best {
+					src, best = model.ServerID(j), p.Model.Lambda[j][int(to)]
+				}
 			}
-			heap.Pop(&events)
-			if !alive[ev.server] || expiry[ev.server] != ev.at {
-				continue
-			}
-			if nAlive == 1 {
-				w := window[ev.server]
-				k := math.Floor((limit-ev.at)/w) + 1
-				expiry[ev.server] = ev.at + k*w
-				heap.Push(&events, hexpEvent{at: expiry[ev.server], server: ev.server})
-				continue
-			}
-			kill(ev.server, ev.at)
-		}
+			return src
+		},
 	}
-
-	for _, r := range seq.Requests {
-		drain(r.Time, false)
-		sv := int(r.Server)
-		if alive[sv] {
-			refresh(sv, r.Time)
-			continue
-		}
-		src, best := 0, math.Inf(1)
-		for j := 1; j <= m; j++ {
-			if alive[j] && p.Model.Lambda[j][sv] < best {
-				src, best = j, p.Model.Lambda[j][sv]
-			}
-		}
-		if src == 0 {
-			return nil, 0, fmt.Errorf("hetero: no live copy at t=%v", r.Time)
-		}
-		sched.AddTransfer(model.ServerID(src), r.Server, r.Time)
-		alive[sv] = true
-		nAlive++
-		created[sv] = r.Time
-		refresh(sv, r.Time)
-		refresh(src, r.Time)
+	// The homogeneous cost model is only a placeholder here (the per-server
+	// windows are supplied explicitly); pricing uses the hetero model below.
+	sched, err := engine.Replay(d, seq, model.Unit)
+	if err != nil {
+		return nil, 0, err
 	}
-	end := seq.End()
-	drain(end, true)
-	for j := 1; j <= m; j++ {
-		if alive[j] {
-			sched.AddCache(model.ServerID(j), created[j], math.Min(expiry[j], end))
-		}
-	}
-	sched.Normalize()
-	return &sched, PriceSchedule(&sched, p.Model), nil
-}
-
-type hexpEvent struct {
-	at     float64
-	server int
-}
-
-type hexpHeap []hexpEvent
-
-func (h hexpHeap) Len() int            { return len(h) }
-func (h hexpHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h hexpHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *hexpHeap) Push(x interface{}) { *h = append(*h, x.(hexpEvent)) }
-func (h *hexpHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return sched, PriceSchedule(sched, p.Model), nil
 }

@@ -3,6 +3,7 @@ package online
 import (
 	"sort"
 
+	"datacache/internal/engine"
 	"datacache/internal/model"
 )
 
@@ -61,17 +62,21 @@ func (p AdaptiveTTL) Run(seq *model.Sequence, cm model.CostModel) (*model.Schedu
 		learner.lastSeen[j] = -1
 		learner.window[j] = cm.Delta()
 	}
-	eng := newSCEngine(seq, learner.windowOf, 0)
+	d := &engine.SC{WindowOf: func(j model.ServerID) float64 { return learner.windowOf(int(j)) }}
+	st, err := engine.NewStream(d, engine.State{M: seq.M, Origin: seq.Origin, Model: cm})
+	if err != nil {
+		return nil, err
+	}
 	for i := range seq.Requests {
 		r := seq.Requests[i]
 		// Observe the gap before serving so the refreshed window already
 		// reflects it (strictly online: only past arrivals are used).
 		learner.observe(int(r.Server), r.Time)
-		if err := eng.serve(r); err != nil {
+		if _, err := st.Serve(r.Server, r.Time); err != nil {
 			return nil, err
 		}
 	}
-	return eng.finish(seq.End()), nil
+	return st.Finish(seq.End())
 }
 
 // gapLearner tracks per-server revisit gaps and their cost-optimal windows.

@@ -3,6 +3,7 @@ package online
 import (
 	"math"
 
+	"datacache/internal/engine"
 	"datacache/internal/model"
 	"datacache/internal/offline"
 )
@@ -17,27 +18,13 @@ type AlwaysMigrate struct{}
 // Name implements Runner.
 func (AlwaysMigrate) Name() string { return "AlwaysMigrate" }
 
-// Run implements Runner.
+// Run implements Runner by replaying the sequence through the engine's
+// Migrate decider.
 func (AlwaysMigrate) Run(seq *model.Sequence, cm model.CostModel) (*model.Schedule, error) {
 	if err := seq.Validate(); err != nil {
 		return nil, err
 	}
-	var s model.Schedule
-	holder := seq.Origin
-	since := 0.0
-	for _, r := range seq.Requests {
-		if r.Server == holder {
-			continue
-		}
-		s.AddCache(holder, since, r.Time)
-		s.AddTransfer(holder, r.Server, r.Time)
-		holder, since = r.Server, r.Time
-	}
-	if end := seq.End(); end > since {
-		s.AddCache(holder, since, end)
-	}
-	s.Normalize()
-	return &s, nil
+	return engine.Replay(&engine.Migrate{}, seq, cm)
 }
 
 // KeepEverywhere replicates greedily and never deletes: the first miss on a
@@ -49,33 +36,13 @@ type KeepEverywhere struct{}
 // Name implements Runner.
 func (KeepEverywhere) Name() string { return "KeepEverywhere" }
 
-// Run implements Runner.
+// Run implements Runner by replaying the sequence through the engine's
+// Replicate decider.
 func (KeepEverywhere) Run(seq *model.Sequence, cm model.CostModel) (*model.Schedule, error) {
 	if err := seq.Validate(); err != nil {
 		return nil, err
 	}
-	var s model.Schedule
-	end := seq.End()
-	have := make([]bool, seq.M+1)
-	have[seq.Origin] = true
-	holder := seq.Origin // most recent copy, used as transfer source
-	firstTouch := make([]float64, seq.M+1)
-	for _, r := range seq.Requests {
-		if have[r.Server] {
-			continue
-		}
-		s.AddTransfer(holder, r.Server, r.Time)
-		have[r.Server] = true
-		firstTouch[r.Server] = r.Time
-		holder = r.Server
-	}
-	for j := 1; j <= seq.M; j++ {
-		if have[j] && end > firstTouch[j] {
-			s.AddCache(model.ServerID(j), firstTouch[j], end)
-		}
-	}
-	s.Normalize()
-	return &s, nil
+	return engine.Replay(&engine.Replicate{}, seq, cm)
 }
 
 // Oracle is the off-line optimum exposed through the Runner interface, so

@@ -3,6 +3,7 @@ package online
 import (
 	"math"
 
+	"datacache/internal/engine"
 	"datacache/internal/model"
 	"datacache/internal/offline"
 )
@@ -36,22 +37,21 @@ func AnalyzeEpochs(seq *model.Sequence, cm model.CostModel, epochTransfers int) 
 	if epochTransfers < 1 {
 		epochTransfers = seq.N() + 1 // single epoch
 	}
-	window := cm.Delta()
-	eng := newSCEngine(seq, func(int) float64 { return window }, epochTransfers)
 	type boundary struct {
 		at   float64
 		keep model.ServerID
 	}
 	var resets []boundary
-	eng.onReset = func(t float64, keep int) {
-		resets = append(resets, boundary{at: t, keep: model.ServerID(keep)})
+	d := &engine.SC{
+		EpochTransfers: epochTransfers,
+		OnReset: func(t float64, keep model.ServerID) {
+			resets = append(resets, boundary{at: t, keep: keep})
+		},
 	}
-	for i := range seq.Requests {
-		if err := eng.serve(seq.Requests[i]); err != nil {
-			return nil, err
-		}
+	sched, err := engine.Replay(d, seq, cm)
+	if err != nil {
+		return nil, err
 	}
-	sched := eng.finish(seq.End())
 	cur := model.NewCursor(seq, sched, cm)
 
 	// Carve [0, End] at the reset instants.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"datacache/internal/engine"
 	"datacache/internal/model"
 )
 
@@ -39,15 +40,9 @@ func (p RandomizedSC) Run(seq *model.Sequence, cm model.CostModel) (*model.Sched
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
 	delta := cm.Delta()
-	draw := func(int) float64 {
+	draw := func(model.ServerID) float64 {
 		u := rng.Float64()
 		return delta * math.Log(1+u*(math.E-1))
 	}
-	eng := newSCEngine(seq, draw, 0)
-	for i := range seq.Requests {
-		if err := eng.serve(seq.Requests[i]); err != nil {
-			return nil, err
-		}
-	}
-	return eng.finish(seq.End()), nil
+	return engine.Replay(&engine.SC{WindowOf: draw}, seq, cm)
 }

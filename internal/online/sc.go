@@ -1,10 +1,9 @@
 package online
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
 
+	"datacache/internal/engine"
 	"datacache/internal/model"
 )
 
@@ -17,6 +16,11 @@ import (
 // extended indefinitely so that at least one copy is always alive; when the
 // last two copies expire together (the source and target of one transfer),
 // the source is deleted and the target kept, as in step 4 of the algorithm.
+//
+// This type is a thin adapter: the decision rules live in engine.SC (the
+// single production implementation, also driven by internal/cloudsim and
+// datacache.Session), and Run replays the sequence through it. ReferenceSC
+// keeps the frozen pre-engine implementation for differential testing.
 type SpeculativeCaching struct {
 	// EpochTransfers is the epoch size: after this many transfers the
 	// algorithm restarts with a single copy at the just-served server
@@ -52,7 +56,8 @@ func (p SpeculativeCaching) Name() string {
 	}
 }
 
-// Run implements Runner.
+// Run implements Runner by replaying the sequence through the shared
+// decision engine.
 func (p SpeculativeCaching) Run(seq *model.Sequence, cm model.CostModel) (*model.Schedule, error) {
 	if err := seq.Validate(); err != nil {
 		return nil, err
@@ -60,249 +65,9 @@ func (p SpeculativeCaching) Run(seq *model.Sequence, cm model.CostModel) (*model
 	if err := cm.Validate(); err != nil {
 		return nil, err
 	}
-	window := p.Window
-	if window <= 0 {
-		window = cm.Delta()
-	}
-	eng := newSCEngine(seq, func(int) float64 { return window }, p.EpochTransfers)
-	eng.cap = p.MaxCopies
-	for i := range seq.Requests {
-		if err := eng.serve(seq.Requests[i]); err != nil {
-			return nil, err
-		}
-	}
-	return eng.finish(seq.End()), nil
-}
-
-// scEngine is the event-driven core shared by SC, TTL(τ) and AdaptiveTTL.
-// The retention window may vary per server (and over time, for the
-// adaptive policy): windowOf is consulted at every refresh.
-type scEngine struct {
-	windowOf func(server int) float64
-	epoch    int // transfers per epoch; <=0 disables resets
-	cap      int // max simultaneous copies; <=0 means unbounded
-
-	// onReset, when set, observes each epoch restart (analysis hook).
-	onReset func(t float64, keep int)
-
-	alive   []bool    // per server (1-based)
-	created []float64 // copy creation time, valid while alive
-	expiry  []float64 // current speculative deadline, valid while alive
-	nAlive  int
-	xfers   int // transfers in the current epoch
-
-	events expiryHeap
-	sched  model.Schedule
-}
-
-func newSCEngine(seq *model.Sequence, windowOf func(int) float64, epoch int) *scEngine {
-	e := &scEngine{
-		windowOf: windowOf,
-		epoch:    epoch,
-		alive:    make([]bool, seq.M+1),
-		created:  make([]float64, seq.M+1),
-		expiry:   make([]float64, seq.M+1),
-	}
-	origin := int(seq.Origin)
-	e.alive[origin] = true
-	e.nAlive = 1
-	e.refresh(origin, 0)
-	return e
-}
-
-// serve handles one request: drain earlier expiry events, then hit or
-// transfer per the SC rules.
-func (e *scEngine) serve(r model.Request) error {
-	e.drain(r.Time, false)
-	sv := int(r.Server)
-	if e.alive[sv] {
-		// Cache hit: t_i lies inside the copy's window; refresh it.
-		e.refresh(sv, r.Time)
-		return nil
-	}
-	src := e.freshest()
-	if src == 0 {
-		return fmt.Errorf("online: no live copy at t=%v (SC invariant broken)", r.Time)
-	}
-	e.sched.AddTransfer(model.ServerID(src), r.Server, r.Time)
-	e.alive[sv] = true
-	e.nAlive++
-	e.created[sv] = r.Time
-	e.refresh(sv, r.Time)
-	e.refresh(src, r.Time) // the source of a transfer is refreshed too
-	e.xfers++
-	// Capacity cap: evict the copies with the earliest deadlines until the
-	// budget holds again; the just-created copy carries the latest deadline
-	// and is never the victim.
-	for e.cap > 0 && e.nAlive > e.cap {
-		victim, at := 0, math.Inf(1)
-		for j := 1; j < len(e.alive); j++ {
-			if e.alive[j] && j != sv && e.expiry[j] < at {
-				victim, at = j, e.expiry[j]
-			}
-		}
-		if victim == 0 {
-			break
-		}
-		e.kill(victim, r.Time)
-	}
-	if e.epoch > 0 && e.xfers >= e.epoch {
-		e.resetEpoch(sv, r.Time)
-	}
-	return nil
-}
-
-// refresh moves a live copy's speculative deadline to t plus its server's
-// current retention window.
-func (e *scEngine) refresh(server int, t float64) {
-	w := e.windowOf(server)
-	if w <= 0 {
-		w = 1e-12 // zero-retention still needs a strictly later expiry event
-	}
-	e.expiry[server] = t + w
-	heap.Push(&e.events, expiryEvent{at: e.expiry[server], server: server})
-}
-
-// freshest returns the live server with the latest deadline — by the SC
-// refresh discipline this is the holder of the most recently created or
-// touched copy (the paper serves misses "from s^k where r_{i-1} is made").
-// Deadline ties (the source and target of one transfer) break to the
-// younger copy, the same rule as the simulator twin in internal/cloudsim.
-func (e *scEngine) freshest() int {
-	best := 0
-	bestAt, bestCreated := math.Inf(-1), math.Inf(-1)
-	for j := 1; j < len(e.alive); j++ {
-		if !e.alive[j] {
-			continue
-		}
-		if e.expiry[j] > bestAt || (e.expiry[j] == bestAt && e.created[j] > bestCreated) {
-			best, bestAt, bestCreated = j, e.expiry[j], e.created[j]
-		}
-	}
-	return best
-}
-
-// resetEpoch implements the epoch restart: every copy except the one on
-// keep is deleted at time t and the counters restart.
-func (e *scEngine) resetEpoch(keep int, t float64) {
-	for j := 1; j < len(e.alive); j++ {
-		if j != keep && e.alive[j] {
-			e.kill(j, t)
-		}
-	}
-	e.xfers = 0
-	if e.onReset != nil {
-		e.onReset(t, keep)
-	}
-}
-
-// kill deletes a live copy at time t, emitting its cache interval.
-func (e *scEngine) kill(server int, t float64) {
-	e.sched.AddCache(model.ServerID(server), e.created[server], t)
-	e.alive[server] = false
-	e.nAlive--
-}
-
-// drain processes expiry events up to the limit (exclusive unless inclusive
-// is set; a copy whose deadline equals the arrival time still serves the
-// request, so request handling drains exclusively).
-func (e *scEngine) drain(limit float64, inclusive bool) {
-	for len(e.events) > 0 {
-		ev := e.events[0]
-		if ev.at > limit || (!inclusive && ev.at == limit) {
-			return
-		}
-		heap.Pop(&e.events)
-		if !e.alive[ev.server] || e.expiry[ev.server] != ev.at {
-			continue // stale entry superseded by a refresh or deletion
-		}
-		if e.nAlive == 1 {
-			// The lone copy would be extended window by window until the
-			// next arrival; jump its deadline past the limit in one step.
-			// Equivalent because no other event can interleave (every other
-			// heap entry is stale) and the next touch re-pins the deadline.
-			w := e.windowOf(ev.server)
-			if w <= 0 {
-				w = 1e-12
-			}
-			k := math.Floor((limit-ev.at)/w) + 1
-			e.expiry[ev.server] = ev.at + k*w
-			heap.Push(&e.events, expiryEvent{at: e.expiry[ev.server], server: ev.server})
-			continue
-		}
-		e.expire(ev.at)
-	}
-}
-
-// expire applies step 4 of the algorithm to every copy whose deadline is
-// exactly at: delete expiring copies while more than one copy remains,
-// keeping the youngest copy alive (extended) when it would otherwise be the
-// last to go. With two simultaneous deaths and c == 2 this keeps the
-// transfer's target, matching the paper's tie-break.
-func (e *scEngine) expire(at float64) {
-	var group []int
-	for j := 1; j < len(e.alive); j++ {
-		if e.alive[j] && e.expiry[j] == at {
-			group = append(group, j)
-		}
-	}
-	if len(group) == 0 {
-		return
-	}
-	// Youngest copy last, so it survives if the group would drain the pool.
-	youngest := group[0]
-	for _, j := range group {
-		if e.created[j] > e.created[youngest] {
-			youngest = j
-		}
-	}
-	for _, j := range group {
-		if j == youngest {
-			continue
-		}
-		if e.nAlive > 1 {
-			e.kill(j, at)
-		} else {
-			e.refresh(j, at)
-		}
-	}
-	if e.nAlive > 1 {
-		e.kill(youngest, at)
-	} else {
-		e.refresh(youngest, at) // the last copy never dies
-	}
-}
-
-// finish drains events through the horizon, truncates surviving copies at
-// t_n, and returns the normalized schedule.
-func (e *scEngine) finish(end float64) *model.Schedule {
-	e.drain(end, true)
-	for j := 1; j < len(e.alive); j++ {
-		if e.alive[j] {
-			e.sched.AddCache(model.ServerID(j), e.created[j], math.Min(e.expiry[j], end))
-		}
-	}
-	e.sched.Normalize()
-	return &e.sched
-}
-
-// expiryEvent is a lazy min-heap entry; entries not matching the server's
-// current deadline are skipped on pop.
-type expiryEvent struct {
-	at     float64
-	server int
-}
-
-type expiryHeap []expiryEvent
-
-func (h expiryHeap) Len() int            { return len(h) }
-func (h expiryHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *expiryHeap) Push(x interface{}) { *h = append(*h, x.(expiryEvent)) }
-func (h *expiryHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return engine.Replay(&engine.SC{
+		Window:         p.Window,
+		EpochTransfers: p.EpochTransfers,
+		MaxCopies:      p.MaxCopies,
+	}, seq, cm)
 }

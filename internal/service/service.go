@@ -30,6 +30,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	streams  map[string]*offline.Incremental
+	sessions map[string]*sessionEntry
 	nextID   int
 	requests map[string]int64 // per-route served counter
 }
@@ -46,6 +47,8 @@ var routeDocs = map[string]string{
 	"/v1/policies": "GET policy names",
 	"/v1/stream":   "POST {m, origin, model} -> incremental planning stream",
 	"/v1/stream/":  "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
+	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?} -> live policy-serving session",
+	"/v1/session/": "POST {id}/request, GET {id}, GET {id}/schedule, DELETE {id} (close; returns final state + schedule)",
 	"/v1/spec":     "GET this route list",
 	"/metricz":     "GET per-route served counters",
 }
@@ -55,6 +58,7 @@ func New() *Server {
 	s := &Server{
 		mux:      http.NewServeMux(),
 		streams:  map[string]*offline.Incremental{},
+		sessions: map[string]*sessionEntry{},
 		requests: map[string]int64{},
 	}
 	mount := func(route string, h http.HandlerFunc) {
@@ -75,6 +79,8 @@ func New() *Server {
 	mount("/v1/policies", s.handlePolicies)
 	mount("/v1/stream", s.handleStreamCreate)
 	mount("/v1/stream/", s.handleStreamOp)
+	mount("/v1/session", s.handleSessionCreate)
+	mount("/v1/session/", s.handleSessionOp)
 	mount("/v1/spec", s.handleSpec)
 	mount("/metricz", s.handleMetrics)
 	return s

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"datacache"
+	"datacache/internal/model"
+)
+
+// The /v1/session routes expose datacache.Session over HTTP: create a
+// session, POST live requests one at a time (each reply carries the
+// engine's decision plus the exact prefix optimum and running competitive
+// ratio), and DELETE to close it and collect the final schedule. Unlike
+// /v1/stream — which only tracks the off-line optimum — a session actually
+// serves the traffic with an online policy.
+
+// sessionEntry wraps a Session with its own lock so concurrent operations
+// on different sessions never serialize on the server-wide mutex.
+type sessionEntry struct {
+	mu   sync.Mutex
+	sess *datacache.Session
+}
+
+// SessionCreateRequest is the /v1/session body.
+type SessionCreateRequest struct {
+	M      int            `json:"m"`
+	Origin model.ServerID `json:"origin"`
+	Model  CostModelDTO   `json:"model"`
+	Policy string         `json:"policy,omitempty"` // sc | ttl | migrate | replicate
+	Window float64        `json:"window,omitempty"`
+	Epoch  int            `json:"epoch,omitempty"`
+}
+
+// SessionState reports a session's standing.
+type SessionState struct {
+	ID        string  `json:"id"`
+	Policy    string  `json:"policy"`
+	N         int     `json:"n"`
+	Hits      int     `json:"hits"`
+	Transfers int     `json:"transfers"`
+	Cost      float64 `json:"cost"`
+	Optimal   float64 `json:"optimal"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// SessionDecision is the reply to one served request.
+type SessionDecision struct {
+	ID      string         `json:"id"`
+	N       int            `json:"n"`
+	Server  model.ServerID `json:"server"`
+	Time    float64        `json:"time"`
+	Hit     bool           `json:"hit"`
+	From    model.ServerID `json:"from,omitempty"` // transfer source on a miss
+	Cost    float64        `json:"cost"`
+	Optimal float64        `json:"optimal"`
+	Ratio   float64        `json:"ratio"`
+}
+
+// SessionCloseResponse is the DELETE reply: final state plus the realized
+// schedule.
+type SessionCloseResponse struct {
+	State    SessionState    `json:"state"`
+	Schedule *model.Schedule `json:"schedule"`
+}
+
+func sessionState(id string, sess *datacache.Session) SessionState {
+	return SessionState{
+		ID:        id,
+		Policy:    sess.Policy(),
+		N:         sess.N(),
+		Hits:      sess.Hits(),
+		Transfers: sess.Transfers(),
+		Cost:      sess.Cost(),
+		Optimal:   sess.OptimalCost(),
+		Ratio:     sess.Ratio(),
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req SessionCreateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Origin == 0 {
+		req.Origin = 1
+	}
+	sess, err := datacache.NewSession(req.M, req.Origin, req.Model.toModel(), &datacache.SessionOptions{
+		Policy:         req.Policy,
+		Window:         req.Window,
+		EpochTransfers: req.Epoch,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("sn-%d", s.nextID)
+	s.sessions[id] = &sessionEntry{sess: sess}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, sessionState(id, sess))
+}
+
+func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/session/")
+	parts := strings.SplitN(rest, "/", 2)
+	id := parts[0]
+	op := ""
+	if len(parts) == 2 {
+		op = parts[1]
+	}
+	s.mu.Lock()
+	entry, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return
+	}
+	switch {
+	case op == "request" && r.Method == http.MethodPost:
+		var req StreamAppendRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		entry.mu.Lock()
+		d, err := entry.sess.Serve(req.Server, req.Time)
+		n := entry.sess.N()
+		entry.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionDecision{
+			ID:      id,
+			N:       n,
+			Server:  d.Server,
+			Time:    d.Time,
+			Hit:     d.Hit,
+			From:    d.From,
+			Cost:    d.Cost,
+			Optimal: d.Optimal,
+			Ratio:   d.Ratio,
+		})
+	case op == "" && r.Method == http.MethodGet:
+		entry.mu.Lock()
+		state := sessionState(id, entry.sess)
+		entry.mu.Unlock()
+		writeJSON(w, http.StatusOK, state)
+	case op == "schedule" && r.Method == http.MethodGet:
+		entry.mu.Lock()
+		sched := entry.sess.Schedule()
+		entry.mu.Unlock()
+		writeJSON(w, http.StatusOK, sched)
+	case op == "" && r.Method == http.MethodDelete:
+		entry.mu.Lock()
+		sched, err := entry.sess.Close()
+		state := sessionState(id, entry.sess)
+		entry.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, SessionCloseResponse{State: state, Schedule: sched})
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session operation %q %s", op, r.Method))
+	}
+}

@@ -1,0 +1,175 @@
+package datacache
+
+import (
+	"fmt"
+
+	"datacache/internal/engine"
+	"datacache/internal/model"
+	"datacache/internal/offline"
+)
+
+// SessionOptions selects and parameterizes the policy behind a Session.
+// The zero value (or a nil *SessionOptions) is the paper's canonical SC.
+type SessionOptions struct {
+	// Policy chooses the decision rules: "sc" (default), "ttl" (fixed
+	// retention window, requires Window > 0), "migrate" (single nomadic
+	// copy) or "replicate"/"keep" (replicate on first touch, never delete).
+	Policy string
+	// Window overrides the speculative window Δt = Lambda/Mu for "sc" and
+	// sets the retention window for "ttl".
+	Window float64
+	// EpochTransfers enables SC's epoch restarts (0 disables them).
+	EpochTransfers int
+}
+
+// Decision reports what one live request caused: whether it hit a cached
+// copy, where a miss was served from, and the running cost picture —
+// accumulated policy cost, the exact off-line optimum of the prefix served
+// so far, and their ratio.
+type Decision struct {
+	Server  ServerID // requested server
+	Time    float64  // request time
+	Hit     bool     // true when a live copy served it in place
+	From    ServerID // transfer source on a miss (0 on a hit)
+	Cost    float64  // policy cost accumulated through this request
+	Optimal float64  // off-line optimum of the prefix (FastDP, exact)
+	Ratio   float64  // Cost / Optimal (1 when Optimal == 0)
+}
+
+// Session serves live traffic one request at a time with no lookahead: each
+// Serve feeds the request to the shared decision engine (the same engine.SC
+// core behind SpeculativeCaching and the simulator policies) and, in
+// lockstep, to the streaming off-line dynamic program, so every decision
+// comes back with an exact competitive-ratio readout for the traffic seen so
+// far. After n Serve calls the accumulated cost equals exactly what
+// Serve(SpeculativeCaching{...}, seq, cm) reports for the same n requests.
+//
+// A Session is not safe for concurrent use; callers (such as the /v1/session
+// HTTP endpoint) must serialize access.
+type Session struct {
+	policy string
+	cm     CostModel
+	stream *engine.Stream
+	inc    *offline.Incremental
+	closed bool
+	final  *Schedule
+}
+
+// NewSession opens a live serving session over m servers with the initial
+// copy at origin (time 0). A nil opts selects the canonical SC policy.
+func NewSession(m int, origin ServerID, cm CostModel, opts *SessionOptions) (*Session, error) {
+	if opts == nil {
+		opts = &SessionOptions{}
+	}
+	var d engine.Decider
+	policy := opts.Policy
+	switch policy {
+	case "", "sc":
+		policy = "sc"
+		d = &engine.SC{Window: opts.Window, EpochTransfers: opts.EpochTransfers}
+	case "ttl":
+		if opts.Window <= 0 {
+			return nil, fmt.Errorf("datacache: ttl policy requires Window > 0")
+		}
+		d = &engine.SC{Window: opts.Window}
+	case "migrate":
+		d = &engine.Migrate{}
+	case "replicate", "keep":
+		policy = "replicate"
+		d = &engine.Replicate{}
+	default:
+		return nil, fmt.Errorf("datacache: unknown session policy %q", opts.Policy)
+	}
+	if err := cm.Validate(); err != nil {
+		return nil, err
+	}
+	stream, err := engine.NewStream(d, engine.State{M: m, Origin: origin, Model: cm})
+	if err != nil {
+		return nil, err
+	}
+	inc, err := offline.NewIncremental(m, origin, cm)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{policy: policy, cm: cm, stream: stream, inc: inc}, nil
+}
+
+// Serve handles one live request. Times must be strictly increasing and
+// positive; servers must lie in 1..m. The returned Decision carries the
+// engine's verdict plus the exact prefix optimum from the streaming DP.
+func (s *Session) Serve(server ServerID, t float64) (Decision, error) {
+	if s.closed {
+		return Decision{}, fmt.Errorf("datacache: session is closed")
+	}
+	ed, err := s.stream.Serve(server, t)
+	if err != nil {
+		return Decision{}, err
+	}
+	if err := s.inc.Append(model.Request{Server: server, Time: t}); err != nil {
+		return Decision{}, fmt.Errorf("datacache: session state diverged: %v", err)
+	}
+	d := Decision{
+		Server:  ed.Server,
+		Time:    ed.Time,
+		Hit:     ed.Hit,
+		From:    ed.From,
+		Cost:    s.stream.Cost(s.cm),
+		Optimal: s.inc.Cost(),
+	}
+	d.Ratio = ratioOf(d.Cost, d.Optimal)
+	return d, nil
+}
+
+// N returns the number of requests served.
+func (s *Session) N() int { return s.stream.N() }
+
+// Hits returns how many requests were served by a live copy in place.
+func (s *Session) Hits() int { return s.stream.Hits() }
+
+// Transfers returns how many copy transfers the policy has performed.
+func (s *Session) Transfers() int { return s.stream.Transfers() }
+
+// Cost returns the policy cost accumulated through the last request.
+func (s *Session) Cost() float64 { return s.stream.Cost(s.cm) }
+
+// OptimalCost returns the exact off-line optimum of the requests served so
+// far (what a clairvoyant scheduler would have paid).
+func (s *Session) OptimalCost() float64 { return s.inc.Cost() }
+
+// Ratio returns Cost / OptimalCost, the live competitive ratio (1 while the
+// optimum is zero).
+func (s *Session) Ratio() float64 { return ratioOf(s.Cost(), s.OptimalCost()) }
+
+// Policy returns the canonical name of the session's policy.
+func (s *Session) Policy() string { return s.policy }
+
+// Closed reports whether Close has been called.
+func (s *Session) Closed() bool { return s.closed }
+
+// Schedule returns the schedule so far: live copies are truncated at the
+// last request while the session is open, and closed out exactly once the
+// session is closed. The returned schedule is the caller's to keep.
+func (s *Session) Schedule() *Schedule { return s.stream.Snapshot() }
+
+// Close ends the session at the time of the last request, finalizing the
+// schedule. Further Serve calls fail; accessors keep reporting the final
+// state.
+func (s *Session) Close() (*Schedule, error) {
+	if s.closed {
+		return s.final, nil
+	}
+	sched, err := s.stream.Finish(s.stream.Now())
+	if err != nil {
+		return nil, err
+	}
+	s.closed = true
+	s.final = sched
+	return sched, nil
+}
+
+func ratioOf(cost, opt float64) float64 {
+	if opt > 0 {
+		return cost / opt
+	}
+	return 1
+}

@@ -1,0 +1,167 @@
+package datacache_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"datacache"
+)
+
+// randomSequence builds a valid workload: m servers, n strictly increasing
+// request times.
+func randomSequence(rng *rand.Rand, m, n int) *datacache.Sequence {
+	seq := &datacache.Sequence{M: m, Origin: datacache.ServerID(1 + rng.Intn(m))}
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += 0.05 + rng.Float64()*2
+		seq.Requests = append(seq.Requests, datacache.Request{
+			Server: datacache.ServerID(1 + rng.Intn(m)),
+			Time:   t,
+		})
+	}
+	return seq
+}
+
+// TestSessionMatchesBatchRun is the live-serving acceptance check: feeding a
+// workload one request at a time through a Session must accumulate exactly
+// (bitwise) the cost that the batch online runner reports for the same
+// prefix — the Session is the same engine, not a reimplementation.
+func TestSessionMatchesBatchRun(t *testing.T) {
+	cm := datacache.CostModel{Mu: 1, Lambda: 2}
+	cases := []struct {
+		name   string
+		opts   *datacache.SessionOptions
+		policy datacache.Policy
+	}{
+		{"sc", nil, datacache.SpeculativeCaching{}},
+		{"sc-epoch", &datacache.SessionOptions{EpochTransfers: 3}, datacache.SpeculativeCaching{EpochTransfers: 3}},
+		{"ttl", &datacache.SessionOptions{Policy: "ttl", Window: 0.7}, datacache.SpeculativeCaching{Window: 0.7}},
+		{"migrate", &datacache.SessionOptions{Policy: "migrate"}, datacache.AlwaysMigrate{}},
+		{"replicate", &datacache.SessionOptions{Policy: "replicate"}, datacache.KeepEverywhere{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				seq := randomSequence(rng, 5, 40)
+				sess, err := datacache.NewSession(seq.M, seq.Origin, cm, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range seq.Requests {
+					if _, err := sess.Serve(r.Server, r.Time); err != nil {
+						t.Fatal(err)
+					}
+				}
+				run, err := datacache.Serve(tc.policy, seq, cm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := sess.Cost(), run.Stats.Cost; got != want {
+					t.Errorf("seed %d: session cost %v != batch cost %v", seed, got, want)
+				}
+				if got, want := sess.Transfers(), run.Stats.Transfers; got != want {
+					t.Errorf("seed %d: session transfers %d != batch %d", seed, got, want)
+				}
+				opt, err := datacache.OptimalCost(seq, cm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := sess.OptimalCost(); got != opt {
+					t.Errorf("seed %d: session optimum %v != batch optimum %v", seed, got, opt)
+				}
+				sched, err := sess.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sched.Validate(seq); err != nil {
+					t.Errorf("seed %d: final schedule invalid: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionDecisions spot-checks the per-request readout on the paper's
+// running example with SC under the unit model.
+func TestSessionDecisions(t *testing.T) {
+	seq := demoSequence()
+	sess, err := datacache.NewSession(seq.M, seq.Origin, datacache.Unit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Policy() != "sc" {
+		t.Fatalf("policy = %q, want sc", sess.Policy())
+	}
+	for i, r := range seq.Requests {
+		d, err := sess.Serve(r.Server, r.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Server != r.Server || d.Time != r.Time {
+			t.Fatalf("request %d echoed as (%d, %v)", i, d.Server, d.Time)
+		}
+		if !d.Hit && (d.From < 1 || int(d.From) > seq.M) {
+			t.Fatalf("request %d: miss with bad source %d", i, d.From)
+		}
+		if d.Hit && d.From != 0 {
+			t.Fatalf("request %d: hit with source %d", i, d.From)
+		}
+		if d.Optimal > d.Cost+1e-9 {
+			t.Fatalf("request %d: optimum %v above policy cost %v", i, d.Optimal, d.Cost)
+		}
+		if d.Ratio > 3+1e-9 {
+			t.Fatalf("request %d: live ratio %v breaks Theorem 3", i, d.Ratio)
+		}
+	}
+	if sess.N() != seq.N() {
+		t.Fatalf("N = %d, want %d", sess.N(), seq.N())
+	}
+	if sess.Ratio() > 3+1e-9 {
+		t.Fatalf("final ratio %v breaks Theorem 3", sess.Ratio())
+	}
+}
+
+// TestSessionErrors exercises the API's failure paths.
+func TestSessionErrors(t *testing.T) {
+	if _, err := datacache.NewSession(0, 1, datacache.Unit, nil); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := datacache.NewSession(3, 4, datacache.Unit, nil); err == nil {
+		t.Error("origin out of range accepted")
+	}
+	if _, err := datacache.NewSession(3, 1, datacache.CostModel{}, nil); err == nil {
+		t.Error("zero cost model accepted")
+	}
+	if _, err := datacache.NewSession(3, 1, datacache.Unit, &datacache.SessionOptions{Policy: "lru"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := datacache.NewSession(3, 1, datacache.Unit, &datacache.SessionOptions{Policy: "ttl"}); err == nil {
+		t.Error("ttl without window accepted")
+	}
+	sess, err := datacache.NewSession(3, 1, datacache.Unit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Serve(2, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Serve(2, 0.5); err == nil {
+		t.Error("non-increasing time accepted")
+	}
+	if _, err := sess.Serve(9, 2.0); err == nil {
+		t.Error("server out of range accepted")
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Closed() {
+		t.Error("Closed() false after Close")
+	}
+	if _, err := sess.Serve(2, 3.0); err == nil {
+		t.Error("serve after close accepted")
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Error("second Close should be a no-op")
+	}
+}
