@@ -23,6 +23,7 @@ import (
 	"datacache/internal/engine"
 	"datacache/internal/hetero"
 	"datacache/internal/model"
+	"datacache/internal/obs"
 	"datacache/internal/offline"
 	"datacache/internal/online"
 	"datacache/internal/paging"
@@ -256,6 +257,49 @@ func BenchmarkEngineDecision(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkEngineDecisionTraced is BenchmarkEngineDecision with the
+// observability hooks live: a bounded trace ring plus a counting observer
+// fan-out, the same wiring /v1/session uses. Compare against m=100 of the
+// plain benchmark to price the observer path; the nil-observer case must
+// stay at its untraced cost (one branch per event site).
+func BenchmarkEngineDecisionTraced(b *testing.B) {
+	const m = 100
+	rng := rand.New(rand.NewSource(61))
+	servers := make([]model.ServerID, 4096)
+	for i := range servers {
+		servers[i] = model.ServerID(1 + rng.Intn(m))
+	}
+	gap := benchModel.Delta() / 2
+	var events int64
+	counting := obs.ObserverFunc(func(obs.Event) { events++ })
+	newStream := func() *engine.Stream {
+		st, err := engine.NewStream(&engine.SC{}, engine.State{M: m, Origin: 1, Model: benchModel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.SetObserver(obs.Multi(&obs.Ring{Cap: 256}, counting))
+		return st
+	}
+	st := newStream()
+	t := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%8192 == 8191 {
+			b.StopTimer()
+			st, t = newStream(), 0
+			b.StartTimer()
+		}
+		t += gap
+		if _, err := st.Serve(servers[i%len(servers)], t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if events < int64(b.N) {
+		b.Fatalf("observer saw %d events for %d requests", events, b.N)
 	}
 }
 

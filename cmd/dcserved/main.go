@@ -3,10 +3,13 @@
 // Usage:
 //
 //	dcserved -addr :8080
+//	dcserved -addr :8080 -log-format json -log-level debug -pprof :6060
 //
 // Endpoints (JSON bodies unless noted):
 //
 //	GET  /healthz                     liveness
+//	GET  /metrics                     Prometheus text-format metrics
+//	GET  /metricz                     per-route counters (JSON alias)
 //	POST /v1/optimize                 {sequence, model, schedule?, vectors?} → optimum + bounds
 //	POST /v1/simulate                 {sequence, model, policy, window?, epoch?} → cost vs optimum
 //	POST /v1/generate                 {workload, m, n, seed, gap?} → sequence
@@ -20,26 +23,66 @@
 //	POST /v1/session/{id}/request     {server, time} → decision + running cost/optimum/ratio
 //	GET  /v1/session/{id}             session state
 //	GET  /v1/session/{id}/schedule    schedule realized so far
+//	GET  /v1/session/{id}/trace       bounded ring of recent decision events
 //	DELETE /v1/session/{id}           close the session → final state + schedule
+//
+// Every response carries an X-Request-Id header that also appears in the
+// structured log and in JSON error bodies. The optional -pprof listener
+// serves net/http/pprof on a separate address (keep it private).
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"time"
 
+	"datacache/internal/obs"
 	"datacache/internal/service"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log format: text|json")
+		pprofAddr = flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
+		traceCap  = flag.Int("trace-cap", service.DefaultTraceCap, "per-session decision-trace ring size (0 disables)")
+	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("dcserved: %v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logFormat)
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			srv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			if err := srv.ListenAndServe(); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.New(),
+		Handler:           service.New(service.WithLogger(logger), service.WithTraceCap(*traceCap)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("dcserved: listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	logger.Info("dcserved listening", "addr", *addr, "version", service.Version)
+	if err := srv.ListenAndServe(); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
 }

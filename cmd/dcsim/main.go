@@ -6,6 +6,7 @@
 //	dcgen -workload zipf -n 5000 | dcsim -policy sc
 //	dcsim -in trace.csv -policy ttl -window 0.5
 //	dcsim -in trace.csv -compare            # every policy side by side
+//	dcsim -in trace.csv -trace              # dump the decision event stream
 package main
 
 import (
@@ -15,7 +16,9 @@ import (
 	"os"
 	"strings"
 
+	"datacache/internal/engine"
 	"datacache/internal/model"
+	"datacache/internal/obs"
 	"datacache/internal/offline"
 	"datacache/internal/online"
 	"datacache/internal/stats"
@@ -33,6 +36,7 @@ func main() {
 		epoch   = flag.Int("epoch", 0, "SC epoch size in transfers (0 = unbounded)")
 		compare = flag.Bool("compare", false, "run every policy and print a comparison table")
 		metrics = flag.Bool("metrics", false, "print the per-server breakdown of the policy's schedule")
+		dump    = flag.Bool("trace", false, "dump the decision event stream (requests, hits, transfers, drops, timer fires, epoch resets)")
 	)
 	flag.Parse()
 
@@ -88,6 +92,53 @@ func main() {
 		}
 		fmt.Print(table.String())
 	}
+	if *dump {
+		if err := dumpTrace(seq, cm, *policy, *window, *epoch); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// dumpTrace replays the sequence through the engine decider behind the
+// chosen policy with an observer attached, and prints the event stream —
+// the exact schema /v1/session/{id}/trace serves for live traffic and the
+// simulator's RunTraced records.
+func dumpTrace(seq *model.Sequence, cm model.CostModel, policy string, window float64, epoch int) error {
+	var d engine.Decider
+	switch strings.ToLower(policy) {
+	case "sc":
+		d = &engine.SC{EpochTransfers: epoch}
+	case "ttl":
+		d = &engine.SC{Window: window}
+	case "migrate":
+		d = &engine.Migrate{}
+	case "keep":
+		d = &engine.Replicate{}
+	default:
+		return fmt.Errorf("-trace supports sc|ttl|migrate|keep, not %q", policy)
+	}
+	ring := &obs.Ring{} // unbounded: offline dumps want the full stream
+	if sc, ok := d.(*engine.SC); ok {
+		sc.OnReset = func(t float64, keep model.ServerID) {
+			ring.Observe(obs.Event{At: t, Kind: obs.KindEpochReset, Server: int(keep)})
+		}
+	}
+	st, err := engine.NewStream(d, engine.State{M: seq.M, Origin: seq.Origin, Model: cm})
+	if err != nil {
+		return err
+	}
+	st.SetObserver(ring)
+	for _, r := range seq.Requests {
+		if _, err := st.Serve(r.Server, r.Time); err != nil {
+			return err
+		}
+	}
+	if _, err := st.Finish(seq.End()); err != nil {
+		return err
+	}
+	fmt.Printf("decision trace (%d events):\n", ring.Len())
+	fmt.Print(ring.String())
+	return nil
 }
 
 func pick(name string, window float64, epoch int) (online.Runner, error) {

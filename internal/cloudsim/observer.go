@@ -1,90 +1,34 @@
 package cloudsim
 
 import (
-	"fmt"
-	"strings"
-
 	"datacache/internal/model"
+	"datacache/internal/obs"
 )
 
+// The simulator's trace vocabulary is the repository-wide observability
+// schema in internal/obs: TraceKind, TraceEvent and Recorder are aliases,
+// so a simulator trace and a live engine trace (datacache.Session with a
+// TraceCap, or engine.Stream.SetObserver) are the same data and render
+// identically.
+
 // TraceKind labels one observed simulation event.
-type TraceKind int8
+type TraceKind = obs.EventKind
 
 // Trace event kinds, in the order they may occur at one instant.
 const (
-	TraceRequest TraceKind = iota
-	TraceHit
-	TraceTransfer
-	TraceDrop
-	TraceTimer
+	TraceRequest  = obs.KindRequest
+	TraceHit      = obs.KindHit
+	TraceTransfer = obs.KindTransfer
+	TraceDrop     = obs.KindDrop
+	TraceTimer    = obs.KindTimer
 )
 
-// String names the kind.
-func (k TraceKind) String() string {
-	switch k {
-	case TraceRequest:
-		return "request"
-	case TraceHit:
-		return "hit"
-	case TraceTransfer:
-		return "transfer"
-	case TraceDrop:
-		return "drop"
-	case TraceTimer:
-		return "timer"
-	default:
-		return fmt.Sprintf("kind(%d)", int(k))
-	}
-}
-
 // TraceEvent is one entry of the simulation log.
-type TraceEvent struct {
-	At     float64
-	Kind   TraceKind
-	Server int
-	From   int // transfer source, when Kind == TraceTransfer
-}
+type TraceEvent = obs.Event
 
 // Recorder collects simulation events into a bounded ring: the most recent
 // Cap events survive (Cap <= 0 keeps everything). Attach one via RunTraced.
-type Recorder struct {
-	Cap     int
-	events  []TraceEvent
-	dropped int
-}
-
-// observe appends an event, evicting the oldest past the cap.
-func (r *Recorder) observe(ev TraceEvent) {
-	if r.Cap > 0 && len(r.events) >= r.Cap {
-		copy(r.events, r.events[1:])
-		r.events = r.events[:len(r.events)-1]
-		r.dropped++
-	}
-	r.events = append(r.events, ev)
-}
-
-// Events returns the retained log in time order.
-func (r *Recorder) Events() []TraceEvent { return r.events }
-
-// Dropped reports how many events were evicted by the cap.
-func (r *Recorder) Dropped() int { return r.dropped }
-
-// String renders the log compactly, one event per line.
-func (r *Recorder) String() string {
-	var b strings.Builder
-	if r.dropped > 0 {
-		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", r.dropped)
-	}
-	for _, ev := range r.events {
-		switch ev.Kind {
-		case TraceTransfer:
-			fmt.Fprintf(&b, "%10.4f  %-8s s%d -> s%d\n", ev.At, ev.Kind, ev.From, ev.Server)
-		default:
-			fmt.Fprintf(&b, "%10.4f  %-8s s%d\n", ev.At, ev.Kind, ev.Server)
-		}
-	}
-	return b.String()
-}
+type Recorder = obs.Ring
 
 // tracedPolicy wraps a policy, mirroring its environment interactions into
 // a Recorder without altering behavior.
@@ -94,15 +38,15 @@ type tracedPolicy struct {
 }
 
 func (t *tracedPolicy) OnRequest(env *Env, server model.ServerID, now float64) {
-	t.rec.observe(TraceEvent{At: now, Kind: TraceRequest, Server: int(server)})
+	t.rec.Observe(TraceEvent{At: now, Kind: TraceRequest, Server: int(server)})
 	before := len(env.sim.sched.Transfers)
 	held := env.HasCopy(server)
 	t.Policy.OnRequest(env, server, now)
 	if held {
-		t.rec.observe(TraceEvent{At: now, Kind: TraceHit, Server: int(server)})
+		t.rec.Observe(TraceEvent{At: now, Kind: TraceHit, Server: int(server)})
 	}
 	for _, tr := range env.sim.sched.Transfers[before:] {
-		t.rec.observe(TraceEvent{At: tr.Time, Kind: TraceTransfer, Server: int(tr.To), From: int(tr.From)})
+		t.rec.Observe(TraceEvent{At: tr.Time, Kind: TraceTransfer, Server: int(tr.To), From: int(tr.From)})
 	}
 }
 
@@ -110,9 +54,9 @@ func (t *tracedPolicy) OnTimer(env *Env, server model.ServerID, now float64) {
 	copiesBefore := len(env.Copies())
 	t.Policy.OnTimer(env, server, now)
 	if len(env.Copies()) < copiesBefore {
-		t.rec.observe(TraceEvent{At: now, Kind: TraceDrop, Server: int(server)})
+		t.rec.Observe(TraceEvent{At: now, Kind: TraceDrop, Server: int(server)})
 	} else {
-		t.rec.observe(TraceEvent{At: now, Kind: TraceTimer, Server: int(server)})
+		t.rec.Observe(TraceEvent{At: now, Kind: TraceTimer, Server: int(server)})
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"datacache/internal/model"
+	"datacache/internal/obs"
 )
 
 // State describes the cluster a Decider is about to serve: M servers, the
@@ -105,6 +106,7 @@ type Stream struct {
 	served   int
 	hits     int
 	finished bool
+	obs      obs.Observer // nil (the default) costs one branch per event site
 }
 
 // NewStream validates the state, installs the origin copy and initializes
@@ -130,6 +132,14 @@ func NewStream(d Decider, st State) (*Stream, error) {
 	return s, nil
 }
 
+// SetObserver attaches (or, with nil, detaches) a decision-event observer.
+// Every subsequent request, hit, transfer, drop and non-stale timer fire
+// is reported as a typed obs.Event in execution order. Observation is
+// passive — it never changes decisions — and a nil observer keeps the
+// hot path branch-only (see BenchmarkEngineDecision vs the Traced
+// variant). Not safe to call concurrently with Serve.
+func (s *Stream) SetObserver(o obs.Observer) { s.obs = o }
+
 // Serve feeds the next request to the decider and executes its decisions.
 // Request times must be strictly increasing and positive.
 func (s *Stream) Serve(server model.ServerID, t float64) (Decision, error) {
@@ -148,6 +158,12 @@ func (s *Stream) Serve(server model.ServerID, t float64) (Decision, error) {
 		return Decision{}, err
 	}
 	dec := Decision{Server: server, Time: t, Hit: s.alive[server]}
+	if s.obs != nil {
+		s.obs.Observe(obs.Event{At: t, Kind: obs.KindRequest, Server: int(server)})
+		if dec.Hit {
+			s.obs.Observe(obs.Event{At: t, Kind: obs.KindHit, Server: int(server)})
+		}
+	}
 	acts, err := s.d.OnRequest(server, t)
 	if err != nil {
 		return Decision{}, err
@@ -233,6 +249,9 @@ func (s *Stream) Transfers() int { return len(s.sched.Transfers) }
 // Now returns the time of the last served request (0 before the first).
 func (s *Stream) Now() float64 { return s.last }
 
+// Live returns the number of currently live copies.
+func (s *Stream) Live() int { return s.nAlive }
+
 // drainTimers fires armed timers up to limit; exclusive at the limit unless
 // inclusive is set. A firing may arm new timers at or before the limit
 // (group survivors are refreshed at their expiry), so the loop re-examines
@@ -243,8 +262,16 @@ func (s *Stream) drainTimers(limit float64, inclusive bool) error {
 		if at > limit || (!inclusive && at == limit) {
 			return nil
 		}
-		heap.Pop(&s.timers)
-		if err := s.apply(s.d.OnTimer(at)); err != nil {
+		ev := heap.Pop(&s.timers).(timerEvent)
+		acts := s.d.OnTimer(at)
+		// Deciders return nil — not an empty slice — for stale timers
+		// superseded by a refresh, so acts != nil means the deadline was
+		// live (even when it produced no actions, e.g. a lone copy being
+		// pinned). Only live fires are reported.
+		if s.obs != nil && acts != nil {
+			s.obs.Observe(obs.Event{At: at, Kind: obs.KindTimer, Server: int(ev.server)})
+		}
+		if err := s.apply(acts); err != nil {
 			return err
 		}
 	}
@@ -267,6 +294,9 @@ func (s *Stream) apply(acts []Action) error {
 			s.alive[a.Server] = true
 			s.created[a.Server] = a.Time
 			s.nAlive++
+			if s.obs != nil {
+				s.obs.Observe(obs.Event{At: a.Time, Kind: obs.KindTransfer, Server: int(a.Server), From: int(a.From)})
+			}
 		case ActDrop:
 			if !s.alive[a.Server] {
 				return fmt.Errorf("engine: drop at t=%v on server %d which holds no copy", a.Time, a.Server)
@@ -277,6 +307,9 @@ func (s *Stream) apply(acts []Action) error {
 			s.sched.AddCache(a.Server, s.created[a.Server], a.Time)
 			s.alive[a.Server] = false
 			s.nAlive--
+			if s.obs != nil {
+				s.obs.Observe(obs.Event{At: a.Time, Kind: obs.KindDrop, Server: int(a.Server)})
+			}
 		case ActArmTimer:
 			heap.Push(&s.timers, timerEvent{at: a.Time, server: a.Server})
 		default:

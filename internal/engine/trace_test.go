@@ -1,0 +1,220 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"datacache/internal/engine"
+	"datacache/internal/model"
+	"datacache/internal/obs"
+	"datacache/internal/offline"
+)
+
+// replayTraced runs the decider over seq with a ring observer attached and
+// returns the emitted event stream alongside the finished schedule. SC
+// epoch resets are surfaced through OnReset, exactly the way
+// datacache.NewSession and dcsim -trace wire them.
+func replayTraced(t *testing.T, d engine.Decider, seq *model.Sequence, cm model.CostModel) ([]obs.Event, *model.Schedule) {
+	t.Helper()
+	ring := &obs.Ring{} // unbounded
+	if sc, ok := d.(*engine.SC); ok {
+		sc.OnReset = func(at float64, keep model.ServerID) {
+			ring.Observe(obs.Event{At: at, Kind: obs.KindEpochReset, Server: int(keep)})
+		}
+	}
+	st, err := engine.NewStream(d, engine.State{M: seq.M, Origin: seq.Origin, Model: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetObserver(ring)
+	for _, r := range seq.Requests {
+		if _, err := st.Serve(r.Server, r.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched, err := st.Finish(seq.End())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring.Events(), sched
+}
+
+func diffEvents(t *testing.T, got, want []obs.Event) {
+	t.Helper()
+	for i := 0; i < len(got) || i < len(want); i++ {
+		switch {
+		case i >= len(want):
+			t.Errorf("event %d: unexpected extra %s", i, obs.FormatEvent(got[i]))
+		case i >= len(got):
+			t.Errorf("event %d: missing %s", i, obs.FormatEvent(want[i]))
+		case got[i] != want[i]:
+			t.Errorf("event %d:\n  got  %s\n  want %s", i, obs.FormatEvent(got[i]), obs.FormatEvent(want[i]))
+		}
+	}
+}
+
+// TestTraceFig6Golden replays the paper's Fig. 6 instance through canonical
+// SC and asserts the complete emitted event stream: every request, hit,
+// transfer, drop and live timer fire in order. The schedule itself is
+// pinned by TestSCFig6Schedule; this pins the observability view of it.
+func TestTraceFig6Golden(t *testing.T) {
+	seq, cm := offline.Fig6Instance()
+	events, sched := replayTraced(t, &engine.SC{}, seq, cm)
+
+	want := []obs.Event{
+		{At: 0.5, Kind: obs.KindRequest, Server: 2},
+		{At: 0.5, Kind: obs.KindTransfer, Server: 2, From: 1},
+		{At: 0.8, Kind: obs.KindRequest, Server: 3},
+		{At: 0.8, Kind: obs.KindTransfer, Server: 3, From: 2},
+		{At: 1.1, Kind: obs.KindRequest, Server: 4},
+		{At: 1.1, Kind: obs.KindTransfer, Server: 4, From: 3},
+		{At: 1.4, Kind: obs.KindRequest, Server: 1},
+		{At: 1.4, Kind: obs.KindHit, Server: 1},
+		{At: 1.8, Kind: obs.KindTimer, Server: 2},
+		{At: 1.8, Kind: obs.KindDrop, Server: 2},
+		{At: 2.1, Kind: obs.KindTimer, Server: 4},
+		{At: 2.1, Kind: obs.KindDrop, Server: 3},
+		{At: 2.1, Kind: obs.KindDrop, Server: 4},
+		{At: 2.4, Kind: obs.KindTimer, Server: 1}, // lone copy: pinned, no drop
+		{At: 2.6, Kind: obs.KindRequest, Server: 2},
+		{At: 2.6, Kind: obs.KindTransfer, Server: 2, From: 1},
+		{At: 3.2, Kind: obs.KindRequest, Server: 2},
+		{At: 3.2, Kind: obs.KindHit, Server: 2},
+		{At: 3.6, Kind: obs.KindTimer, Server: 2},
+		{At: 3.6, Kind: obs.KindDrop, Server: 1},
+		{At: 4, Kind: obs.KindRequest, Server: 3},
+		{At: 4, Kind: obs.KindTransfer, Server: 3, From: 2},
+	}
+	diffEvents(t, events, want)
+
+	if got := sched.Cost(cm); math.Abs(got-13.6) > 1e-9 {
+		t.Errorf("SC Fig6 cost = %v, want 13.6", got)
+	}
+	if got := len(sched.Transfers); got != 5 {
+		t.Errorf("SC Fig6 transfers = %d, want 5", got)
+	}
+}
+
+// TestTraceFig6EpochResets replays Fig. 6 through SC with epoch restarts
+// every 2 transfers. Each reset event names the kept server and precedes
+// the transfer/drop events of the request that triggered it: the decider
+// announces the restart before the stream applies the resulting actions.
+func TestTraceFig6EpochResets(t *testing.T) {
+	seq, cm := offline.Fig6Instance()
+	events, sched := replayTraced(t, &engine.SC{EpochTransfers: 2}, seq, cm)
+
+	want := []obs.Event{
+		{At: 0.5, Kind: obs.KindRequest, Server: 2},
+		{At: 0.5, Kind: obs.KindTransfer, Server: 2, From: 1},
+		{At: 0.8, Kind: obs.KindRequest, Server: 3},
+		{At: 0.8, Kind: obs.KindEpochReset, Server: 3},
+		{At: 0.8, Kind: obs.KindTransfer, Server: 3, From: 2},
+		{At: 0.8, Kind: obs.KindDrop, Server: 1},
+		{At: 0.8, Kind: obs.KindDrop, Server: 2},
+		{At: 1.1, Kind: obs.KindRequest, Server: 4},
+		{At: 1.1, Kind: obs.KindTransfer, Server: 4, From: 3},
+		{At: 1.4, Kind: obs.KindRequest, Server: 1},
+		{At: 1.4, Kind: obs.KindEpochReset, Server: 1},
+		{At: 1.4, Kind: obs.KindTransfer, Server: 1, From: 4},
+		{At: 1.4, Kind: obs.KindDrop, Server: 3},
+		{At: 1.4, Kind: obs.KindDrop, Server: 4},
+		{At: 2.4, Kind: obs.KindTimer, Server: 1}, // lone copy: pinned
+		{At: 2.6, Kind: obs.KindRequest, Server: 2},
+		{At: 2.6, Kind: obs.KindTransfer, Server: 2, From: 1},
+		{At: 3.2, Kind: obs.KindRequest, Server: 2},
+		{At: 3.2, Kind: obs.KindHit, Server: 2},
+		{At: 3.6, Kind: obs.KindTimer, Server: 2},
+		{At: 3.6, Kind: obs.KindDrop, Server: 1},
+		{At: 4, Kind: obs.KindRequest, Server: 3},
+		{At: 4, Kind: obs.KindEpochReset, Server: 3},
+		{At: 4, Kind: obs.KindTransfer, Server: 3, From: 2},
+		{At: 4, Kind: obs.KindDrop, Server: 2},
+	}
+	diffEvents(t, events, want)
+
+	if got := sched.Cost(cm); math.Abs(got-11.6) > 1e-9 {
+		t.Errorf("SC(epoch=2) Fig6 cost = %v, want 11.6", got)
+	}
+
+	resets := 0
+	for _, ev := range events {
+		if ev.Kind == obs.KindEpochReset {
+			resets++
+		}
+	}
+	if resets != 3 {
+		t.Errorf("epoch resets = %d, want 3", resets)
+	}
+}
+
+// TestTraceMatchesSchedule cross-checks the event stream against the
+// finished schedule on fuzz-style instances: the transfer events must match
+// the schedule's transfer list one-for-one, every request must emit exactly
+// one request event paired with a hit or a transfer, and drop events must
+// only name servers that held a live copy.
+func TestTraceMatchesSchedule(t *testing.T) {
+	instances := [][]byte{
+		{3, 10, 10, 0, 1, 50, 2, 120, 0, 10, 1, 255, 2, 3},
+		{2, 5, 20, 1, 1, 1, 0, 201, 1, 1, 0, 200},
+		{5, 0, 39, 2, 4, 9, 3, 9, 2, 9, 1, 9, 0, 9, 4, 9},
+	}
+	for i, data := range instances {
+		seq, cm := decodeInstance(data)
+		if seq == nil || seq.Validate() != nil {
+			t.Fatalf("instance %d: invalid seed", i)
+		}
+		events, sched := replayTraced(t, &engine.SC{}, seq, cm)
+
+		var transfers []obs.Event
+		requests, hits := 0, 0
+		for _, ev := range events {
+			switch ev.Kind {
+			case obs.KindTransfer:
+				transfers = append(transfers, ev)
+			case obs.KindRequest:
+				requests++
+			case obs.KindHit:
+				hits++
+			}
+		}
+		if requests != seq.N() {
+			t.Errorf("instance %d: %d request events, want %d", i, requests, seq.N())
+		}
+		if hits+len(transfers) != seq.N() {
+			t.Errorf("instance %d: hits(%d) + transfers(%d) != n(%d)",
+				i, hits, len(transfers), seq.N())
+		}
+		if len(transfers) != len(sched.Transfers) {
+			t.Fatalf("instance %d: %d transfer events, schedule has %d",
+				i, len(transfers), len(sched.Transfers))
+		}
+		for j, tr := range sched.Transfers {
+			ev := transfers[j]
+			if ev.At != tr.Time || ev.Server != int(tr.To) || ev.From != int(tr.From) {
+				t.Errorf("instance %d transfer %d: event %v != schedule %+v", i, j, ev, tr)
+			}
+		}
+	}
+}
+
+// TestTraceObserverPassive verifies the observer cannot perturb decisions:
+// the traced replay must produce the same schedule and cost as the plain
+// Replay of an identical decider.
+func TestTraceObserverPassive(t *testing.T) {
+	seq, cm := offline.Fig6Instance()
+	for _, epoch := range []int{0, 2} {
+		_, traced := replayTraced(t, &engine.SC{EpochTransfers: epoch}, seq, cm)
+		plain, err := engine.Replay(&engine.SC{EpochTransfers: epoch}, seq, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traced.Cost(cm) != plain.Cost(cm) {
+			t.Errorf("epoch=%d: traced cost %v != plain cost %v",
+				epoch, traced.Cost(cm), plain.Cost(cm))
+		}
+		if len(traced.Transfers) != len(plain.Transfers) {
+			t.Errorf("epoch=%d: traced transfers %d != plain %d",
+				epoch, len(traced.Transfers), len(plain.Transfers))
+		}
+	}
+}

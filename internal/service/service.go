@@ -3,36 +3,92 @@
 // generate workloads, and maintain incremental planning streams whose
 // optimum is updated request by request. Everything is stdlib net/http with
 // JSON bodies; cmd/dcserved mounts it.
+//
+// Every route runs behind instrumentation middleware: a per-request ID
+// (propagated as the X-Request-Id header, into error bodies and into the
+// structured log), a status-labeled request counter and a per-route
+// latency histogram. /metrics renders the whole registry in the
+// Prometheus text exposition format; /metricz keeps the original JSON
+// per-route counter map as an alias. Live sessions additionally export
+// engine decision counters, a decision-latency histogram, per-session
+// cost / optimum / cost_over_optimum / live_copies gauges, and a bounded
+// event trace at GET /v1/session/{id}/trace.
 package service
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"datacache/internal/model"
 	"datacache/internal/multi"
+	"datacache/internal/obs"
 	"datacache/internal/offline"
 	"datacache/internal/online"
 	"datacache/internal/workload"
 )
 
 // Version identifies the service build in /healthz and /v1/spec.
-const Version = "1.0.0"
+const Version = "1.1.0"
+
+// DefaultTraceCap bounds each session's decision-event ring unless
+// WithTraceCap overrides it.
+const DefaultTraceCap = 256
 
 // Server is the HTTP facade. The zero value is not usable; call New.
 type Server struct {
-	mux *http.ServeMux
+	mux      *http.ServeMux
+	log      *slog.Logger
+	reg      *obs.Registry
+	traceCap int
+
+	// Hot-path metric handles, resolved once at construction so request
+	// serving performs no registry lookups (and, unlike the former
+	// map[string]int64 counter, takes no server-wide lock).
+	httpRequests *obs.CounterVec   // route, code
+	routeHits    *obs.CounterVec   // route (the legacy /metricz shape)
+	httpLatency  *obs.HistogramVec // route
+	engineEvents *obs.CounterVec   // kind: request|hit|transfer|drop|timer|epoch-reset
+	engineEventK []*obs.Counter    // the same counters indexed by obs.EventKind
+	decisionSec  *obs.Histogram    // engine decision latency, seconds
+	sessionCost  *obs.GaugeVec     // session
+	sessionOpt   *obs.GaugeVec     // session
+	sessionRatio *obs.GaugeVec     // session
+	sessionLive  *obs.GaugeVec     // session
+	sessionsOpen *obs.Gauge
+	streamsOpen  *obs.Gauge
 
 	mu       sync.Mutex
 	streams  map[string]*offline.Incremental
 	sessions map[string]*sessionEntry
 	nextID   int
-	requests map[string]int64 // per-route served counter
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithLogger installs the structured request/error logger. The default
+// discards everything, keeping embedded servers (tests, examples) quiet;
+// cmd/dcserved always installs one.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// WithTraceCap sets the per-session decision-trace ring size (0 disables
+// tracing, default DefaultTraceCap).
+func WithTraceCap(n int) Option {
+	return func(s *Server) { s.traceCap = n }
 }
 
 // routeDocs describes every route for /v1/spec.
@@ -48,58 +104,125 @@ var routeDocs = map[string]string{
 	"/v1/stream":   "POST {m, origin, model} -> incremental planning stream",
 	"/v1/stream/":  "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
 	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?} -> live policy-serving session",
-	"/v1/session/": "POST {id}/request, GET {id}, GET {id}/schedule, DELETE {id} (close; returns final state + schedule)",
+	"/v1/session/": "POST {id}/request, GET {id}, GET {id}/schedule, GET {id}/trace, DELETE {id} (close; returns final state + schedule)",
 	"/v1/spec":     "GET this route list",
-	"/metricz":     "GET per-route served counters",
+	"/metrics":     "GET Prometheus text-format metrics (HTTP, engine, per-session)",
+	"/metricz":     "GET per-route served counters (JSON alias of /metrics)",
 }
 
 // New builds the service with all routes mounted.
-func New() *Server {
+func New(opts ...Option) *Server {
 	s := &Server{
 		mux:      http.NewServeMux(),
+		log:      obs.NopLogger(),
+		reg:      obs.NewRegistry(),
+		traceCap: DefaultTraceCap,
 		streams:  map[string]*offline.Incremental{},
 		sessions: map[string]*sessionEntry{},
-		requests: map[string]int64{},
 	}
-	mount := func(route string, h http.HandlerFunc) {
-		s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
-			s.mu.Lock()
-			s.requests[route]++
-			s.mu.Unlock()
-			h(w, r)
-		})
+	for _, opt := range opts {
+		opt(s)
 	}
-	mount("/healthz", s.handleHealth)
-	mount("/v1/optimize", s.handleOptimize)
-	mount("/v1/explain", s.handleExplain)
-	mount("/v1/render", s.handleRender)
-	mount("/v1/simulate", s.handleSimulate)
-	mount("/v1/generate", s.handleGenerate)
-	mount("/v1/plan", s.handlePlan)
-	mount("/v1/policies", s.handlePolicies)
-	mount("/v1/stream", s.handleStreamCreate)
-	mount("/v1/stream/", s.handleStreamOp)
-	mount("/v1/session", s.handleSessionCreate)
-	mount("/v1/session/", s.handleSessionOp)
-	mount("/v1/spec", s.handleSpec)
-	mount("/metricz", s.handleMetrics)
+	s.httpRequests = s.reg.CounterVec("dc_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	s.routeHits = s.reg.CounterVec("dc_http_route_requests_total",
+		"HTTP requests served, by route (the /metricz counter).", "route")
+	s.httpLatency = s.reg.HistogramVec("dc_http_request_seconds",
+		"HTTP request latency in seconds, by route.", nil, "route")
+	s.engineEvents = s.reg.CounterVec("dc_engine_events_total",
+		"Engine decision events across all live sessions, by kind.", "kind")
+	for k := obs.KindRequest; k <= obs.KindEpochReset; k++ {
+		s.engineEventK = append(s.engineEventK, s.engineEvents.With(k.String()))
+	}
+	s.decisionSec = s.reg.Histogram("dc_engine_decision_seconds",
+		"Wall-clock latency of one engine serve decision (policy step plus streaming-DP append).", nil)
+	s.sessionCost = s.reg.GaugeVec("dc_session_cost",
+		"Accumulated policy cost of a live session.", "session")
+	s.sessionOpt = s.reg.GaugeVec("dc_session_optimal_cost",
+		"Exact off-line optimum of the prefix a live session has served.", "session")
+	s.sessionRatio = s.reg.GaugeVec("dc_session_cost_over_optimum",
+		"Live competitive ratio of a session (Theorem 3 bounds SC by 3).", "session")
+	s.sessionLive = s.reg.GaugeVec("dc_session_live_copies",
+		"Live item copies a session currently maintains.", "session")
+	s.sessionsOpen = s.reg.Gauge("dc_sessions_open", "Open live-serving sessions.")
+	s.streamsOpen = s.reg.Gauge("dc_streams_open", "Open incremental planning streams.")
+
+	s.mount("/healthz", s.handleHealth)
+	s.mount("/v1/optimize", s.handleOptimize)
+	s.mount("/v1/explain", s.handleExplain)
+	s.mount("/v1/render", s.handleRender)
+	s.mount("/v1/simulate", s.handleSimulate)
+	s.mount("/v1/generate", s.handleGenerate)
+	s.mount("/v1/plan", s.handlePlan)
+	s.mount("/v1/policies", s.handlePolicies)
+	s.mount("/v1/stream", s.handleStreamCreate)
+	s.mount("/v1/stream/", s.handleStreamOp)
+	s.mount("/v1/session", s.handleSessionCreate)
+	s.mount("/v1/session/", s.handleSessionOp)
+	s.mount("/v1/spec", s.handleSpec)
+	s.mount("/metrics", s.handlePrometheus)
+	s.mount("/metricz", s.handleMetricz)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// statusWriter captures the status code a handler wrote for the request
+// counter and log line.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// mount wraps a handler with the instrumentation middleware: request-ID
+// minting and propagation, status/latency metrics, and one structured log
+// line per request.
+func (s *Server) mount(route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := obs.NewRequestID()
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sw.Header().Set("X-Request-Id", id)
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.routeHits.With(route).Inc()
+		s.httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
+		s.httpLatency.With(route).Observe(elapsed.Seconds())
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", sw.code),
+			slog.Duration("elapsed", elapsed),
+		)
+	})
+}
+
 func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, routeDocs)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	out := make(map[string]int64, len(s.requests))
-	for k, v := range s.requests {
-		out[k] = v
-	}
-	s.mu.Unlock()
+// handlePrometheus renders every registered metric in the Prometheus text
+// exposition format.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.reg.WritePrometheus(w)
+}
+
+// handleMetricz keeps the original JSON shape — route -> served count —
+// as an alias over the same counters /metrics exports.
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	out := map[string]int64{}
+	s.routeHits.Each(func(labels []string, v int64) { out[labels[0]] = v })
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -185,27 +308,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var req OptimizeRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if req.Sequence == nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("missing sequence"))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("missing sequence"))
 		return
 	}
 	cm := req.Model.toModel()
 	res, err := offline.FastDP(req.Sequence, cm)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	bounds, err := offline.ComputeBounds(req.Sequence, cm)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	single, err := offline.SingleCopyOptimal(req.Sequence, cm)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := OptimizeResponse{
@@ -217,7 +340,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if req.Schedule {
 		sched, err := res.Schedule()
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			s.httpError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		resp.Schedule = sched
@@ -246,21 +369,21 @@ type ExplainResponse struct {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req OptimizeRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if req.Sequence == nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("missing sequence"))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("missing sequence"))
 		return
 	}
 	res, err := offline.FastDP(req.Sequence, req.Model.toModel())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ds, err := res.Explain()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ExplainResponse{
@@ -279,21 +402,21 @@ type RenderRequest struct {
 
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	var req RenderRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if req.Sequence == nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("missing sequence"))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("missing sequence"))
 		return
 	}
 	res, err := offline.FastDP(req.Sequence, req.Model.toModel())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	sched, err := res.Schedule()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -304,27 +427,27 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if req.Sequence == nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("missing sequence"))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("missing sequence"))
 		return
 	}
 	p, err := pickPolicy(req.Policy, req.Window, req.Epoch)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	cm := req.Model.toModel()
 	run, err := online.Run(p, req.Sequence, cm)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opt, err := offline.FastDP(req.Sequence, cm)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := SimulateResponse{
@@ -361,11 +484,11 @@ func pickPolicy(name string, window float64, epoch int) (online.Runner, error) {
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req GenerateRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if req.M < 1 || req.N < 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("need m >= 1 and n >= 0"))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("need m >= 1 and n >= 0"))
 		return
 	}
 	gap := req.Gap
@@ -385,7 +508,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	case "adversarial":
 		gen = workload.Adversarial{M: req.M, Window: gap}
 	default:
-		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown workload %q", req.Workload))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("unknown workload %q", req.Workload))
 		return
 	}
 	seq := gen.Generate(rand.New(rand.NewSource(req.Seed)), req.N)
@@ -417,13 +540,13 @@ type PlanResponse struct {
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	var req PlanRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	cat := &multi.Catalog{M: req.M, Default: req.Model.toModel()}
 	reports, total, err := multi.Plan(cat, req.Events, 0)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp := PlanResponse{PlannedTotal: total}
@@ -433,12 +556,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if req.Online != "" {
 		p, err := pickPolicy(req.Online, 0, 0)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		serveReps, serveTotal, err := multi.Serve(cat, req.Events, func() online.Runner { return p })
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		resp.OnlineTotal = serveTotal
@@ -455,7 +578,7 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
 	var req struct {
@@ -463,7 +586,7 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		Origin model.ServerID `json:"origin"`
 		Model  CostModelDTO   `json:"model"`
 	}
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if req.Origin == 0 {
@@ -471,7 +594,7 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	inc, err := offline.NewIncremental(req.M, req.Origin, req.Model.toModel())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
@@ -479,6 +602,7 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("st-%d", s.nextID)
 	s.streams[id] = inc
 	s.mu.Unlock()
+	s.streamsOpen.Add(1)
 	writeJSON(w, http.StatusCreated, StreamState{ID: id, N: 0, Cost: 0})
 }
 
@@ -494,13 +618,13 @@ func (s *Server) handleStreamOp(w http.ResponseWriter, r *http.Request) {
 	inc, ok := s.streams[id]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream %q", id))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown stream %q", id))
 		return
 	}
 	switch {
 	case op == "append" && r.Method == http.MethodPost:
 		var req StreamAppendRequest
-		if !readJSON(w, r, &req) {
+		if !s.readJSON(w, r, &req) {
 			return
 		}
 		s.mu.Lock()
@@ -508,7 +632,7 @@ func (s *Server) handleStreamOp(w http.ResponseWriter, r *http.Request) {
 		state := StreamState{ID: id, N: inc.N(), Cost: inc.Cost()}
 		s.mu.Unlock()
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, state)
@@ -523,31 +647,35 @@ func (s *Server) handleStreamOp(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		sched, err := res.Schedule()
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			s.httpError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, sched)
 	case op == "" && r.Method == http.MethodDelete:
 		s.mu.Lock()
+		_, present := s.streams[id]
 		delete(s.streams, id)
 		s.mu.Unlock()
+		if present { // racing DELETEs must decrement once
+			s.streamsOpen.Add(-1)
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 	default:
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown stream operation %q %s", op, r.Method))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown stream operation %q %s", op, r.Method))
 	}
 }
 
 // --- plumbing ---
 
-func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return false
 	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	return true
@@ -559,6 +687,21 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// httpError replies with a JSON error body carrying the request ID and
+// logs the failure (client errors at WARN, server errors at ERROR) instead
+// of silently returning JSON only.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	id := obs.RequestIDFrom(r.Context())
+	level := slog.LevelWarn
+	if status >= http.StatusInternalServerError {
+		level = slog.LevelError
+	}
+	s.log.LogAttrs(r.Context(), level, "request error",
+		slog.String("id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.String("error", err.Error()),
+	)
+	writeJSON(w, status, map[string]string{"error": err.Error(), "requestId": id})
 }

@@ -5,17 +5,22 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"datacache"
 	"datacache/internal/model"
+	"datacache/internal/obs"
 )
 
 // The /v1/session routes expose datacache.Session over HTTP: create a
 // session, POST live requests one at a time (each reply carries the
 // engine's decision plus the exact prefix optimum and running competitive
-// ratio), and DELETE to close it and collect the final schedule. Unlike
-// /v1/stream — which only tracks the off-line optimum — a session actually
-// serves the traffic with an online policy.
+// ratio), GET {id}/trace for the bounded decision-event ring, and DELETE
+// to close it and collect the final schedule. Unlike /v1/stream — which
+// only tracks the off-line optimum — a session actually serves the
+// traffic with an online policy. Every decision feeds the engine event
+// counters, the decision-latency histogram and the per-session
+// cost / optimum / cost_over_optimum / live_copies gauges on /metrics.
 
 // sessionEntry wraps a Session with its own lock so concurrent operations
 // on different sessions never serialize on the server-wide mutex.
@@ -36,14 +41,24 @@ type SessionCreateRequest struct {
 
 // SessionState reports a session's standing.
 type SessionState struct {
-	ID        string  `json:"id"`
-	Policy    string  `json:"policy"`
-	N         int     `json:"n"`
-	Hits      int     `json:"hits"`
-	Transfers int     `json:"transfers"`
-	Cost      float64 `json:"cost"`
-	Optimal   float64 `json:"optimal"`
-	Ratio     float64 `json:"ratio"`
+	ID         string  `json:"id"`
+	Policy     string  `json:"policy"`
+	N          int     `json:"n"`
+	Hits       int     `json:"hits"`
+	Transfers  int     `json:"transfers"`
+	LiveCopies int     `json:"liveCopies"`
+	Cost       float64 `json:"cost"`
+	Optimal    float64 `json:"optimal"`
+	Ratio      float64 `json:"ratio"`
+}
+
+// SessionTraceResponse is the GET {id}/trace reply: the bounded ring of
+// the session's most recent decision events, oldest first.
+type SessionTraceResponse struct {
+	ID      string                 `json:"id"`
+	Cap     int                    `json:"cap"`
+	Dropped int                    `json:"dropped"` // events evicted by the ring bound
+	Events  []datacache.TraceEvent `json:"events"`
 }
 
 // SessionDecision is the reply to one served request.
@@ -68,20 +83,50 @@ type SessionCloseResponse struct {
 
 func sessionState(id string, sess *datacache.Session) SessionState {
 	return SessionState{
-		ID:        id,
-		Policy:    sess.Policy(),
-		N:         sess.N(),
-		Hits:      sess.Hits(),
-		Transfers: sess.Transfers(),
-		Cost:      sess.Cost(),
-		Optimal:   sess.OptimalCost(),
-		Ratio:     sess.Ratio(),
+		ID:         id,
+		Policy:     sess.Policy(),
+		N:          sess.N(),
+		Hits:       sess.Hits(),
+		Transfers:  sess.Transfers(),
+		LiveCopies: sess.LiveCopies(),
+		Cost:       sess.Cost(),
+		Optimal:    sess.OptimalCost(),
+		Ratio:      sess.Ratio(),
 	}
+}
+
+// engineObserver feeds every decision event of every live session into
+// the kind-labeled engine counters. The counters are pre-resolved
+// atomics, so observation adds no locks to the serving path.
+func (s *Server) engineObserver() datacache.Observer {
+	return obs.ObserverFunc(func(ev obs.Event) {
+		if k := int(ev.Kind); k >= 0 && k < len(s.engineEventK) {
+			s.engineEventK[k].Inc()
+		}
+	})
+}
+
+// publishSessionGauges refreshes the per-session metric series after a
+// state change. Callers hold the session entry lock.
+func (s *Server) publishSessionGauges(id string, sess *datacache.Session) {
+	s.sessionCost.With(id).Set(sess.Cost())
+	s.sessionOpt.With(id).Set(sess.OptimalCost())
+	s.sessionRatio.With(id).Set(sess.Ratio())
+	s.sessionLive.With(id).Set(float64(sess.LiveCopies()))
+}
+
+// dropSessionGauges removes a closed session's metric series so /metrics
+// does not grow without bound.
+func (s *Server) dropSessionGauges(id string) {
+	s.sessionCost.Delete(id)
+	s.sessionOpt.Delete(id)
+	s.sessionRatio.Delete(id)
+	s.sessionLive.Delete(id)
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req SessionCreateRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if req.Origin == 0 {
@@ -91,9 +136,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		Policy:         req.Policy,
 		Window:         req.Window,
 		EpochTransfers: req.Epoch,
+		TraceCap:       s.traceCap,
+		Observer:       s.engineObserver(),
 	})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
@@ -101,6 +148,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("sn-%d", s.nextID)
 	s.sessions[id] = &sessionEntry{sess: sess}
 	s.mu.Unlock()
+	s.sessionsOpen.Add(1)
+	s.publishSessionGauges(id, sess)
 	writeJSON(w, http.StatusCreated, sessionState(id, sess))
 }
 
@@ -116,23 +165,29 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.sessions[id]
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
 		return
 	}
 	switch {
 	case op == "request" && r.Method == http.MethodPost:
 		var req StreamAppendRequest
-		if !readJSON(w, r, &req) {
+		if !s.readJSON(w, r, &req) {
 			return
 		}
 		entry.mu.Lock()
+		start := time.Now()
 		d, err := entry.sess.Serve(req.Server, req.Time)
+		elapsed := time.Since(start)
 		n := entry.sess.N()
+		if err == nil {
+			s.publishSessionGauges(id, entry.sess)
+		}
 		entry.mu.Unlock()
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
+		s.decisionSec.Observe(elapsed.Seconds())
 		writeJSON(w, http.StatusOK, SessionDecision{
 			ID:      id,
 			N:       n,
@@ -154,20 +209,36 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		sched := entry.sess.Schedule()
 		entry.mu.Unlock()
 		writeJSON(w, http.StatusOK, sched)
+	case op == "trace" && r.Method == http.MethodGet:
+		entry.mu.Lock()
+		events := entry.sess.Trace()
+		dropped := entry.sess.TraceDropped()
+		entry.mu.Unlock()
+		if events == nil {
+			events = []datacache.TraceEvent{} // render [] rather than null
+		}
+		writeJSON(w, http.StatusOK, SessionTraceResponse{
+			ID: id, Cap: s.traceCap, Dropped: dropped, Events: events,
+		})
 	case op == "" && r.Method == http.MethodDelete:
 		entry.mu.Lock()
 		sched, err := entry.sess.Close()
 		state := sessionState(id, entry.sess)
 		entry.mu.Unlock()
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			s.httpError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		s.mu.Lock()
+		_, present := s.sessions[id]
 		delete(s.sessions, id)
 		s.mu.Unlock()
+		if present { // racing DELETEs must tear down once
+			s.sessionsOpen.Add(-1)
+			s.dropSessionGauges(id)
+		}
 		writeJSON(w, http.StatusOK, SessionCloseResponse{State: state, Schedule: sched})
 	default:
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown session operation %q %s", op, r.Method))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown session operation %q %s", op, r.Method))
 	}
 }

@@ -5,7 +5,29 @@ import (
 
 	"datacache/internal/engine"
 	"datacache/internal/model"
+	"datacache/internal/obs"
 	"datacache/internal/offline"
+)
+
+// TraceEvent is one typed entry of a session's decision trace: a request
+// arriving, a cache hit, a transfer, a drop, a speculative deadline firing,
+// or an epoch restart. It is the same schema the simulator's Recorder uses
+// (internal/cloudsim.TraceEvent), so offline and live traces are
+// interchangeable.
+type TraceEvent = obs.Event
+
+// Observer receives every TraceEvent as it happens; see
+// SessionOptions.Observer.
+type Observer = obs.Observer
+
+// Trace event kinds, re-exported for callers inspecting Session traces.
+const (
+	TraceRequest    = obs.KindRequest
+	TraceHit        = obs.KindHit
+	TraceTransfer   = obs.KindTransfer
+	TraceDrop       = obs.KindDrop
+	TraceTimer      = obs.KindTimer
+	TraceEpochReset = obs.KindEpochReset
 )
 
 // SessionOptions selects and parameterizes the policy behind a Session.
@@ -20,6 +42,13 @@ type SessionOptions struct {
 	Window float64
 	// EpochTransfers enables SC's epoch restarts (0 disables them).
 	EpochTransfers int
+	// TraceCap, when positive, keeps a bounded ring of the most recent
+	// TraceCap decision events, readable via Trace. Zero disables the ring.
+	TraceCap int
+	// Observer, when set, additionally receives every decision event as it
+	// happens (metrics hooks, live dashboards). It runs synchronously on
+	// the serving path, so it must be cheap.
+	Observer Observer
 }
 
 // Decision reports what one live request caused: whether it hit a cached
@@ -51,6 +80,7 @@ type Session struct {
 	cm     CostModel
 	stream *engine.Stream
 	inc    *offline.Incremental
+	ring   *obs.Ring // nil unless SessionOptions.TraceCap > 0
 	closed bool
 	final  *Schedule
 }
@@ -83,15 +113,30 @@ func NewSession(m int, origin ServerID, cm CostModel, opts *SessionOptions) (*Se
 	if err := cm.Validate(); err != nil {
 		return nil, err
 	}
+	var ring *obs.Ring
+	var ringObs obs.Observer // stays a true nil interface when untraced
+	if opts.TraceCap > 0 {
+		ring = &obs.Ring{Cap: opts.TraceCap}
+		ringObs = ring
+	}
+	observer := obs.Multi(ringObs, opts.Observer)
+	if sc, ok := d.(*engine.SC); ok && observer != nil {
+		// Epoch restarts happen inside the decider, invisible to the
+		// stream's action ledger; surface them through the analysis hook.
+		sc.OnReset = func(t float64, keep model.ServerID) {
+			observer.Observe(obs.Event{At: t, Kind: obs.KindEpochReset, Server: int(keep)})
+		}
+	}
 	stream, err := engine.NewStream(d, engine.State{M: m, Origin: origin, Model: cm})
 	if err != nil {
 		return nil, err
 	}
+	stream.SetObserver(observer)
 	inc, err := offline.NewIncremental(m, origin, cm)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{policy: policy, cm: cm, stream: stream, inc: inc}, nil
+	return &Session{policy: policy, cm: cm, stream: stream, inc: inc, ring: ring}, nil
 }
 
 // Serve handles one live request. Times must be strictly increasing and
@@ -142,6 +187,28 @@ func (s *Session) Ratio() float64 { return ratioOf(s.Cost(), s.OptimalCost()) }
 
 // Policy returns the canonical name of the session's policy.
 func (s *Session) Policy() string { return s.policy }
+
+// LiveCopies returns how many copies are currently alive.
+func (s *Session) LiveCopies() int { return s.stream.Live() }
+
+// Trace returns the retained decision events in arrival order, or nil
+// when the session was opened without a TraceCap. The slice is shared
+// with the ring; treat it as read-only.
+func (s *Session) Trace() []TraceEvent {
+	if s.ring == nil {
+		return nil
+	}
+	return s.ring.Events()
+}
+
+// TraceDropped reports how many events the bounded trace has evicted
+// (0 when tracing is disabled or the ring has not wrapped).
+func (s *Session) TraceDropped() int {
+	if s.ring == nil {
+		return 0
+	}
+	return s.ring.Dropped()
+}
 
 // Closed reports whether Close has been called.
 func (s *Session) Closed() bool { return s.closed }
