@@ -303,6 +303,63 @@ func BenchmarkEngineDecisionTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineDecisionTracedSLO stacks the SLO tier on top of the
+// traced decision path: the same trace ring and counting observer as
+// BenchmarkEngineDecisionTraced plus one SLO.Observe per request feeding
+// the rolling window, EWMA and the Theorem-3 alert rule — the full
+// per-request work a /v1/session serve performs beyond the engine itself.
+// The delta against the traced baseline prices the SLO layer; it must
+// stay within 10% of it.
+func BenchmarkEngineDecisionTracedSLO(b *testing.B) {
+	const m = 100
+	rng := rand.New(rand.NewSource(61))
+	servers := make([]model.ServerID, 4096)
+	for i := range servers {
+		servers[i] = model.ServerID(1 + rng.Intn(m))
+	}
+	gap := benchModel.Delta() / 2
+	var events int64
+	counting := obs.ObserverFunc(func(obs.Event) { events++ })
+	newStream := func() *engine.Stream {
+		st, err := engine.NewStream(&engine.SC{}, engine.State{M: m, Origin: 1, Model: benchModel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.SetObserver(obs.Multi(&obs.Ring{Cap: 256}, counting))
+		return st
+	}
+	st := newStream()
+	slo := obs.NewSLO(64, obs.Theorem3Rule())
+	t := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%8192 == 8191 {
+			b.StopTimer()
+			st, t = newStream(), 0
+			b.StartTimer()
+		}
+		t += gap
+		d, err := st.Serve(servers[i%len(servers)], t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Price the SLO tier itself, not a cost query: feed the deltas the
+		// decision implies (caching over the gap, lambda on a miss).
+		costDelta := gap * benchModel.Mu
+		if !d.Hit {
+			costDelta += benchModel.Lambda
+		}
+		slo.Observe(t, costDelta, gap*benchModel.Mu)
+	}
+	if events < int64(b.N) {
+		b.Fatalf("observer saw %d events for %d requests", events, b.N)
+	}
+	if slo.N() == 0 {
+		b.Fatal("SLO observed nothing")
+	}
+}
+
 // The event-driven simulator against the closed form (cross-check cost).
 func BenchmarkSimulatorSC(b *testing.B) {
 	seq := workload.MarkovHop{M: 8, Stay: 0.8, MeanGap: benchModel.Delta() / 2}.

@@ -2,11 +2,17 @@ package datacache_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"datacache/internal/service"
 )
 
 // buildTools compiles the CLI binaries once per test run.
@@ -136,4 +142,92 @@ func extractAfter(t *testing.T, s, prefix string) string {
 		rest = rest[:j]
 	}
 	return rest
+}
+
+// TestCLIVersionFlags checks every binary answers -version with its name
+// and the service version, so deployed fleets can be audited.
+func TestCLIVersionFlags(t *testing.T) {
+	names := []string{"dcbench", "dcgen", "dcopt", "dcplan", "dcserved", "dcsim", "dctop"}
+	bins := buildTools(t, names...)
+	for _, name := range names {
+		out, _ := run(t, bins[name], nil, "-version")
+		want := name + " " + service.Version + "\n"
+		if out != want {
+			t.Errorf("%s -version = %q, want %q", name, out, want)
+		}
+	}
+}
+
+// TestCLIDctopFrame runs dctop -once against an in-process dcserved
+// carrying a session mid-excursion, and checks the frame shows the three
+// panels: the ratio sparkline, the per-server cost map and the firing
+// Theorem-3 alert.
+func TestCLIDctopFrame(t *testing.T) {
+	bins := buildTools(t, "dctop")
+
+	srv := httptest.NewServer(service.New(service.WithSLOWindow(16)))
+	defer srv.Close()
+
+	body := func(v interface{}) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	postJSON := func(url string, payload, out interface{}) {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body(payload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, msg)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var state service.SessionState
+	postJSON(srv.URL+"/v1/session", map[string]interface{}{
+		"m": 2, "origin": 1, "model": map[string]float64{"mu": 1, "lambda": 2}, "policy": "migrate",
+	}, &state)
+	now := 0.0
+	for i := 0; i < 24; i++ { // good prefix
+		now += 1
+		postJSON(srv.URL+"/v1/session/"+state.ID+"/request",
+			map[string]interface{}{"server": 1, "time": now}, nil)
+	}
+	for i := 0; i < 16; i++ { // ping-pong excursion: fires theorem3_ratio
+		now += 0.01
+		postJSON(srv.URL+"/v1/session/"+state.ID+"/request",
+			map[string]interface{}{"server": 1 + i%2, "time": now}, nil)
+	}
+
+	out, _ := run(t, bins["dctop"], nil, "-addr", srv.URL, "-once")
+	if strings.Contains(out, "\x1b[") {
+		t.Errorf("-once frame contains ANSI control sequences:\n%q", out)
+	}
+	if !strings.Contains(out, "session "+state.ID) {
+		t.Errorf("frame did not auto-pick session %s:\n%s", state.ID, out)
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("frame has no sparkline runes:\n%s", out)
+	}
+	for _, want := range []string{"servers:", "srv", "caching", "transfer", "theorem3_ratio", "firing", "alerts: 1 firing", "ratio  windowed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// Both servers were touched by the ping-pong, so both rows render.
+	for _, row := range []string{"\n  1    ", "\n  2    "} {
+		if !strings.Contains(out, row) {
+			t.Errorf("frame missing server row %q:\n%s", row, out)
+		}
+	}
 }

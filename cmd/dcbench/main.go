@@ -27,6 +27,7 @@ import (
 	"datacache/internal/experiments"
 	"datacache/internal/model"
 	"datacache/internal/online"
+	"datacache/internal/service"
 	"datacache/internal/sweep"
 	"datacache/internal/workload"
 )
@@ -36,7 +37,12 @@ func main() {
 		seed = flag.Int64("seed", 1, "random seed for all experiments")
 		n    = flag.Int("n", 2000, "workload size for ratio/policy experiments")
 	)
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("dcbench " + service.Version)
+		return
+	}
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)

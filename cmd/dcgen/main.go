@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"datacache/internal/model"
+	"datacache/internal/service"
 	"datacache/internal/trace"
 	"datacache/internal/workload"
 )
@@ -35,7 +36,12 @@ func main() {
 		out    = flag.String("o", "", "output file (default stdout)")
 		show   = flag.Bool("stats", false, "print a workload summary to stderr")
 	)
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("dcgen " + service.Version)
+		return
+	}
 
 	gen, err := pick(*name, *m, *gap, *zipfS, *stay, *burst, *window)
 	if err != nil {

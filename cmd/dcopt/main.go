@@ -18,6 +18,7 @@ import (
 
 	"datacache/internal/model"
 	"datacache/internal/offline"
+	"datacache/internal/service"
 	"datacache/internal/trace"
 )
 
@@ -33,7 +34,12 @@ func main() {
 		explain  = flag.Bool("explain", false, "print the per-request service decisions and cost attribution")
 		diagram  = flag.Bool("diagram", false, "draw the schedule as a space-time diagram")
 	)
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("dcopt " + service.Version)
+		return
+	}
 
 	seq, err := readTrace(*in, *format)
 	if err != nil {

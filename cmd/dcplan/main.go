@@ -21,6 +21,7 @@ import (
 	"datacache/internal/model"
 	"datacache/internal/multi"
 	"datacache/internal/online"
+	"datacache/internal/service"
 	"datacache/internal/stats"
 	"datacache/internal/trace"
 )
@@ -33,7 +34,12 @@ func main() {
 		onlineBy = flag.String("online", "", "also serve each item online: sc|adaptive|migrate|keep")
 		workers  = flag.Int("workers", 0, "parallel planners (0 = GOMAXPROCS)")
 	)
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("dcplan " + service.Version)
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {

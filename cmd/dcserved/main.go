@@ -24,7 +24,10 @@
 //	GET  /v1/session/{id}             session state
 //	GET  /v1/session/{id}/schedule    schedule realized so far
 //	GET  /v1/session/{id}/trace       bounded ring of recent decision events
+//	GET  /v1/session/{id}/slo         windowed competitive ratio, alerts, per-server cost breakdown
 //	DELETE /v1/session/{id}           close the session → final state + schedule
+//	GET  /v1/alerts                   every live session's SLO alerts
+//	GET  /readyz                      readiness (degraded while any alert is firing)
 //
 // Every response carries an X-Request-Id header that also appears in the
 // structured log and in JSON error bodies. The optional -pprof listener
@@ -33,6 +36,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -50,8 +54,15 @@ func main() {
 		logFormat = flag.String("log-format", "text", "log format: text|json")
 		pprofAddr = flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
 		traceCap  = flag.Int("trace-cap", service.DefaultTraceCap, "per-session decision-trace ring size (0 disables)")
+		sloWindow = flag.Int("slo-window", service.DefaultSLOWindow, "per-session SLO rolling-window length in requests (0 disables)")
+		noRuntime = flag.Bool("no-runtime-metrics", false, "disable Go runtime metrics on /metrics")
+		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("dcserved " + service.Version)
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -75,9 +86,17 @@ func main() {
 		}()
 	}
 
+	opts := []service.Option{
+		service.WithLogger(logger),
+		service.WithTraceCap(*traceCap),
+		service.WithSLOWindow(*sloWindow),
+	}
+	if !*noRuntime {
+		opts = append(opts, service.WithRuntimeMetrics())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.New(service.WithLogger(logger), service.WithTraceCap(*traceCap)),
+		Handler:           service.New(opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	logger.Info("dcserved listening", "addr", *addr, "version", service.Version)

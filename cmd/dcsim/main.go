@@ -21,6 +21,7 @@ import (
 	"datacache/internal/obs"
 	"datacache/internal/offline"
 	"datacache/internal/online"
+	"datacache/internal/service"
 	"datacache/internal/stats"
 	"datacache/internal/trace"
 )
@@ -38,7 +39,12 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print the per-server breakdown of the policy's schedule")
 		dump    = flag.Bool("trace", false, "dump the decision event stream (requests, hits, transfers, drops, timer fires, epoch resets)")
 	)
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("dcsim " + service.Version)
+		return
+	}
 
 	seq, err := readTrace(*in, *format)
 	if err != nil {

@@ -1,0 +1,233 @@
+// Command dctop is a live terminal console for a running dcserved: it
+// polls /metrics, /v1/alerts and one session's SLO and trace endpoints,
+// and renders the windowed competitive ratio as a sparkline, the
+// per-server copy/cost map, the alert list and the most recent decision
+// events, refreshing in place.
+//
+// Usage:
+//
+//	dctop -addr http://localhost:8080            # watch, auto-pick a session
+//	dctop -addr http://localhost:8080 -session sn-3 -interval 500ms
+//	dctop -addr http://localhost:8080 -once      # one plain frame, no ANSI
+//
+// Without -session, dctop picks the lexicographically first session that
+// exports a dc_session_cost series. Everything is stdlib; the Prometheus
+// scrape uses its own minimal text-format parser.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"datacache/internal/service"
+	"datacache/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "dcserved base URL")
+		session  = flag.String("session", "", "session id to watch (default: first with a dc_session_cost series)")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "render a single frame without ANSI control sequences and exit")
+		version  = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("dctop " + service.Version)
+		return
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+	if *once {
+		frame, err := renderFrame(client, base, *session)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dctop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(frame)
+		return
+	}
+	for {
+		frame, err := renderFrame(client, base, *session)
+		// Home the cursor, redraw, and clear whatever an earlier (taller)
+		// frame left below — steadier than a full-screen wipe per tick.
+		fmt.Print("\x1b[H\x1b[2J")
+		if err != nil {
+			fmt.Printf("dctop: %v (retrying every %v)\n", err, *interval)
+		} else {
+			fmt.Print(frame)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// renderFrame assembles one full console frame.
+func renderFrame(client *http.Client, base, session string) (string, error) {
+	samples, err := scrapeMetrics(client, base)
+	if err != nil {
+		return "", err
+	}
+	var health struct {
+		Version string `json:"version"`
+	}
+	_ = getJSON(client, base+"/healthz", &health) // cosmetic only
+
+	if session == "" {
+		session = pickSession(samples)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "dctop — datacache live console    server %s    %s\n",
+		health.Version, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "sessions open: %.0f    streams open: %.0f\n",
+		samples["dc_sessions_open"], samples["dc_streams_open"])
+
+	var alerts service.AlertsResponse
+	if err := getJSON(client, base+"/v1/alerts", &alerts); err != nil {
+		return "", err
+	}
+
+	if session == "" {
+		b.WriteString("\nno live session to watch (create one via POST /v1/session)\n")
+		writeAlerts(&b, alerts)
+		return b.String(), nil
+	}
+
+	var slo service.SessionSLOResponse
+	if err := getJSON(client, base+"/v1/session/"+session+"/slo", &slo); err != nil {
+		return "", fmt.Errorf("session %s: %w", session, err)
+	}
+
+	fmt.Fprintf(&b, "\nsession %s    policy %s    n=%d\n", slo.ID, slo.Policy, slo.SLO.N)
+	fmt.Fprintf(&b, "ratio  windowed %.3f (window %d)    cumulative %.3f    ewma %.3f\n",
+		slo.SLO.WindowedRatio, slo.SLO.Window, slo.SLO.CumulativeRatio, slo.SLO.EWMA)
+	if spark := stats.Sparkline(slo.SLO.Series); spark != "" {
+		fmt.Fprintf(&b, "  %s\n", spark)
+	}
+
+	b.WriteString("\nservers:\n  srv  copy  caching     transfer    xfers  total\n")
+	for _, sc := range slo.Breakdown {
+		if !sc.Live && sc.Caching == 0 && sc.Transfers == 0 {
+			continue
+		}
+		copyMark := "."
+		if sc.Live {
+			copyMark = "*"
+		}
+		fmt.Fprintf(&b, "  %-4d %-5s %-11.4g %-11.4g %-6d %.4g\n",
+			sc.Server, copyMark, sc.Caching, sc.Transfer, sc.Transfers, sc.Cost())
+	}
+
+	writeAlerts(&b, alerts)
+
+	var tr service.SessionTraceResponse
+	if err := getJSON(client, base+"/v1/session/"+session+"/trace", &tr); err == nil && len(tr.Events) > 0 {
+		b.WriteString("\nrecent events:\n")
+		events := tr.Events
+		if len(events) > 8 {
+			events = events[len(events)-8:]
+		}
+		for _, ev := range events {
+			kind, _ := json.Marshal(ev.Kind)
+			line := fmt.Sprintf("  t=%-9.4g %-12s srv %d", ev.At, strings.Trim(string(kind), `"`), ev.Server)
+			if ev.From != 0 {
+				line += fmt.Sprintf(" <- %d", ev.From)
+			}
+			b.WriteString(line + "\n")
+		}
+	}
+	return b.String(), nil
+}
+
+func writeAlerts(b *strings.Builder, alerts service.AlertsResponse) {
+	b.WriteString("\nalerts:")
+	if len(alerts.Alerts) == 0 {
+		b.WriteString(" none\n")
+		return
+	}
+	fmt.Fprintf(b, " %d firing\n", alerts.Firing)
+	for _, a := range alerts.Alerts {
+		state, _ := json.Marshal(a.Alert.State)
+		fmt.Fprintf(b, "  %-9s %s %s  value %.3f  threshold %g  since t=%.4g\n",
+			strings.Trim(string(state), `"`), a.Session, a.Alert.Rule.Name,
+			a.Alert.Value, a.Alert.Rule.Threshold, a.Alert.Since)
+	}
+}
+
+// pickSession returns the lexicographically first session label found on
+// a dc_session_cost series, or "".
+func pickSession(samples map[string]float64) string {
+	var ids []string
+	for series := range samples {
+		if !strings.HasPrefix(series, `dc_session_cost{`) {
+			continue
+		}
+		rest := strings.TrimPrefix(series, `dc_session_cost{session="`)
+		if end := strings.Index(rest, `"`); end >= 0 {
+			ids = append(ids, rest[:end])
+		}
+	}
+	sort.Strings(ids)
+	if len(ids) == 0 {
+		return ""
+	}
+	return ids[0]
+}
+
+// scrapeMetrics fetches /metrics and parses the Prometheus 0.0.4 text
+// format just far enough for a console: comment lines are skipped and
+// every sample line becomes series-with-labels -> value.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value follows the last space; label values may contain
+		// escaped quotes but never a raw newline, so line-by-line holds.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[cut+1:]), 64)
+		if err != nil {
+			continue
+		}
+		out[line[:cut]] = v
+	}
+	return out, nil
+}
+
+func getJSON(client *http.Client, url string, dst interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}

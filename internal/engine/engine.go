@@ -99,6 +99,8 @@ type Stream struct {
 
 	alive    []bool
 	created  []float64 // creation time of the live copy, per server
+	cacheDur []float64 // closed caching duration accumulated, per server
+	xferIn   []int     // transfers received, per server
 	nAlive   int
 	timers   timerHeap
 	sched    model.Schedule
@@ -119,10 +121,12 @@ func NewStream(d Decider, st State) (*Stream, error) {
 		return nil, fmt.Errorf("engine: origin %d outside 1..%d", st.Origin, st.M)
 	}
 	s := &Stream{
-		d:       d,
-		st:      st,
-		alive:   make([]bool, st.M+1),
-		created: make([]float64, st.M+1),
+		d:        d,
+		st:       st,
+		alive:    make([]bool, st.M+1),
+		created:  make([]float64, st.M+1),
+		cacheDur: make([]float64, st.M+1),
+		xferIn:   make([]int, st.M+1),
 	}
 	s.alive[st.Origin] = true
 	s.nAlive = 1
@@ -203,6 +207,7 @@ func (s *Stream) Finish(end float64) (*model.Schedule, error) {
 	for j := model.ServerID(1); int(j) <= s.st.M; j++ {
 		if s.alive[j] {
 			s.sched.AddCache(j, s.created[j], end)
+			s.cacheDur[j] += end - s.created[j]
 		}
 	}
 	s.sched.Normalize()
@@ -235,6 +240,46 @@ func (s *Stream) Snapshot() *model.Schedule {
 // truncate live copies at the horizon and price the normalized schedule.
 func (s *Stream) Cost(cm model.CostModel) float64 {
 	return s.Snapshot().Cost(cm)
+}
+
+// ServerCost attributes one server's share of a stream's cost: the
+// caching cost of the copy-holding intervals on that server, and the
+// transfer cost of the copies it received (λ is charged to the transfer
+// target — the server whose miss caused the copy to move).
+type ServerCost struct {
+	Server    model.ServerID `json:"server"`
+	Live      bool           `json:"live"`      // currently holds a copy
+	Caching   float64        `json:"caching"`   // μ · time this server held a copy
+	Transfers int            `json:"transfers"` // copies transferred to this server
+	Transfer  float64        `json:"transfer"`  // λ · Transfers
+}
+
+// Cost returns the server's total share, Caching + Transfer.
+func (c ServerCost) Cost() float64 { return c.Caching + c.Transfer }
+
+// CostBreakdown attributes the stream's accumulated cost per server under
+// cm, one entry per server 1..M. The attribution uses the same horizon as
+// Cost — live copies are truncated at the last served request while the
+// stream is open, and closed at the Finish horizon afterwards — so the
+// entries' Caching + Transfer always sum to exactly the stream's total.
+// The per-server durations and transfer counts are accumulated as actions
+// execute; a breakdown query is O(M) and never touches the schedule.
+func (s *Stream) CostBreakdown(cm model.CostModel) []ServerCost {
+	out := make([]ServerCost, 0, s.st.M)
+	for j := model.ServerID(1); int(j) <= s.st.M; j++ {
+		dur := s.cacheDur[j]
+		if !s.finished && s.alive[j] {
+			dur += s.last - s.created[j]
+		}
+		out = append(out, ServerCost{
+			Server:    j,
+			Live:      s.alive[j],
+			Caching:   cm.Mu * dur,
+			Transfers: s.xferIn[j],
+			Transfer:  cm.Lambda * float64(s.xferIn[j]),
+		})
+	}
+	return out
 }
 
 // N returns the number of requests served.
@@ -293,6 +338,7 @@ func (s *Stream) apply(acts []Action) error {
 			s.sched.AddTransfer(a.From, a.Server, a.Time)
 			s.alive[a.Server] = true
 			s.created[a.Server] = a.Time
+			s.xferIn[a.Server]++
 			s.nAlive++
 			if s.obs != nil {
 				s.obs.Observe(obs.Event{At: a.Time, Kind: obs.KindTransfer, Server: int(a.Server), From: int(a.From)})
@@ -305,6 +351,7 @@ func (s *Stream) apply(acts []Action) error {
 				return fmt.Errorf("engine: drop at t=%v would delete the last copy (server %d)", a.Time, a.Server)
 			}
 			s.sched.AddCache(a.Server, s.created[a.Server], a.Time)
+			s.cacheDur[a.Server] += a.Time - s.created[a.Server]
 			s.alive[a.Server] = false
 			s.nAlive--
 			if s.obs != nil {

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLabelEscape drives arbitrary label values through the exposition
+// renderer and asserts the output stays parseable line by line: every
+// series line must keep the `name{label="..."} value` shape with the
+// quoted section free of raw newlines and unescaped quotes, and
+// unescaping must round-trip back to the original value.
+func FuzzLabelEscape(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"plain",
+		`quote " inside`,
+		`back \ slash`,
+		"new\nline",
+		`trailing \`,
+		`\" already escaped`,
+		"mixed \\\" and \n all three",
+		"unicode ∀x∃y and emoji 🎉",
+		"\x00control\x7f",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, value string) {
+		esc := escapeLabel(value)
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("escaped value contains raw newline: %q", esc)
+		}
+		if unescapeLabel(esc) != value {
+			t.Fatalf("unescape(escape(%q)) = %q", value, unescapeLabel(esc))
+		}
+
+		reg := NewRegistry()
+		reg.GaugeVec("dc_fuzz_gauge", "fuzz", "session").With(value).Set(1)
+		var b strings.Builder
+		reg.WritePrometheus(&b)
+
+		for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+			if line == "" {
+				t.Fatal("blank line in exposition output")
+			}
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			name, rest, ok := strings.Cut(line, "{")
+			if !ok {
+				t.Fatalf("series line without labels: %q", line)
+			}
+			if name != "dc_fuzz_gauge" {
+				t.Fatalf("unexpected family %q on line %q", name, line)
+			}
+			// The label section must close with `"} ` followed by the value;
+			// find the closing quote by scanning with escape awareness.
+			if !strings.HasPrefix(rest, `session="`) {
+				t.Fatalf("missing label name on line %q", line)
+			}
+			body := rest[len(`session="`):]
+			i, closed := 0, false
+			for i < len(body) {
+				switch body[i] {
+				case '\\':
+					if i+1 >= len(body) {
+						t.Fatalf("dangling escape on line %q", line)
+					}
+					if c := body[i+1]; c != '\\' && c != 'n' && c != '"' {
+						t.Fatalf("invalid escape \\%c on line %q", c, line)
+					}
+					i += 2
+				case '"':
+					closed = true
+				default:
+					i++
+				}
+				if closed {
+					break
+				}
+			}
+			if !closed {
+				t.Fatalf("unterminated label value on line %q", line)
+			}
+			if got := unescapeLabel(body[:i]); got != value {
+				t.Fatalf("label value %q round-tripped to %q", value, got)
+			}
+			if tail := body[i:]; !strings.HasPrefix(tail, `"} `) {
+				t.Fatalf("malformed tail %q on line %q", tail, line)
+			}
+		}
+	})
+}
+
+// unescapeLabel inverts escapeLabel per the exposition-format rules.
+func unescapeLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case '"':
+				b.WriteByte('"')
+			default:
+				b.WriteByte(v[i])
+				b.WriteByte(v[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// wideBounds builds a strictly increasing layout of n buckets spanning
+// nine decades, the shape runtime-derived histograms take.
+func wideBounds(n int) []float64 {
+	if n == 1 {
+		return []float64{1}
+	}
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = 1e-7 * math.Pow(10, 9*float64(i)/float64(n-1))
+	}
+	return bounds
+}
+
+// The bucket-locating strategies head to head: the former linear scan
+// against the binary search Observe now uses, across layout sizes. On
+// 30+-bucket layouts the search wins; tiny layouts stay linear (see
+// bucketIndex's cutover).
+func BenchmarkHistogramBucket(b *testing.B) {
+	for _, n := range []int{8, 23, 36, 64, 128} {
+		bounds := wideBounds(n)
+		rng := rand.New(rand.NewSource(7))
+		values := make([]float64, 1024)
+		for i := range values {
+			// Log-uniform over the layout's span, so deep buckets are hit.
+			values[i] = 1e-7 * math.Pow(10, 9*rng.Float64())
+		}
+		b.Run(fmt.Sprintf("linear/buckets=%d", n), func(b *testing.B) {
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += bucketIndexLinear(bounds, values[i%len(values)])
+			}
+			benchSink = sink
+		})
+		b.Run(fmt.Sprintf("binary/buckets=%d", n), func(b *testing.B) {
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				sink += bucketIndex(bounds, values[i%len(values)])
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// BenchmarkHistogramObserveWide prices the full Observe on a wide
+// 36-bucket layout — bucket location plus the atomic count and sum
+// updates. (BenchmarkHistogramObserve in obs_test.go covers the default
+// LatencyBuckets layout.)
+func BenchmarkHistogramObserveWide(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.Histogram("bench_hist_seconds", "", wideBounds(36))
+	rng := rand.New(rand.NewSource(8))
+	values := make([]float64, 1024)
+	for i := range values {
+		values[i] = 1e-7 * math.Pow(10, 9*rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(values[i%len(values)])
+	}
+}
+
+var benchSink int
+
+// Both strategies must agree on every bucket layout size, including
+// values exactly on a bound and outside the span.
+func TestBucketIndexStrategiesAgree(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 8, 9, 23, 36, 64} {
+		bounds := wideBounds(n)
+		probes := append([]float64{0, -1, 1e-8, 1e3, math.Inf(1)}, bounds...)
+		for _, v := range probes {
+			lin, bin := bucketIndexLinear(bounds, v), sort.SearchFloat64s(bounds, v)
+			if lin != bin {
+				t.Fatalf("n=%d v=%g: linear=%d binary=%d", n, v, lin, bin)
+			}
+		}
+	}
+}

@@ -66,11 +66,7 @@ type Histogram struct {
 
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
+	h.counts[bucketIndex(h.bounds, v)].Add(1)
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -78,6 +74,28 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// bucketIndex locates the bucket for v: the first bound >= v, or the
+// +Inf bucket past the end. Bounds are sorted (enforced at registration),
+// so a binary search wins once the layout grows past a cacheline of
+// floats — runtime-derived histograms carry 40+ buckets; see
+// BenchmarkHistogramBucket for the crossover against the linear scan.
+func bucketIndex(bounds []float64, v float64) int {
+	if len(bounds) <= 8 {
+		return bucketIndexLinear(bounds, v)
+	}
+	return sort.SearchFloat64s(bounds, v)
+}
+
+// bucketIndexLinear is the pre-binary-search scan, kept for small layouts
+// and as the benchmark baseline.
+func bucketIndexLinear(bounds []float64, v float64) int {
+	i := 0
+	for i < len(bounds) && v > bounds[i] {
+		i++
+	}
+	return i
 }
 
 // Count returns the total number of observations.
@@ -172,7 +190,7 @@ func (v *CounterVec) Delete(values ...string) { v.f.delete(values) }
 // Each visits every series in unspecified order.
 func (v *CounterVec) Each(fn func(labelValues []string, value int64)) {
 	v.f.series.Range(func(k, m interface{}) bool {
-		fn(splitKey(k.(string)), m.(*Counter).Value())
+		fn(splitKey(k.(string), len(v.f.labels)), m.(*Counter).Value())
 		return true
 	})
 }
@@ -195,8 +213,11 @@ type HistogramVec struct{ f *family }
 // first use.
 func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).(*Histogram) }
 
-func splitKey(key string) []string {
-	if key == "" {
+// splitKey recovers label values from a series key. The label count must
+// come from the family: a single empty label value also joins to "", so
+// the key alone cannot distinguish it from an unlabeled series.
+func splitKey(key string, nLabels int) []string {
+	if nLabels == 0 {
 		return nil
 	}
 	return strings.Split(key, labelSep)
@@ -205,8 +226,9 @@ func splitKey(key string) []string {
 // Registry holds metric families and renders them in the Prometheus text
 // exposition format. The zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -276,10 +298,26 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return r.HistogramVec(name, help, buckets).With()
 }
 
+// / RegisterCollector installs a scrape-time hook: fn runs at the start of
+// every WritePrometheus, before any family is rendered, so it can refresh
+// gauges whose source of truth lives elsewhere (the Go runtime, an OS
+// counter). Hooks run unlocked and may use the registry freely.
+func (r *Registry) RegisterCollector(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
 // WritePrometheus renders every family in the Prometheus text exposition
 // format (version 0.0.4), families and series sorted for deterministic
-// scrapes.
+// scrapes. Registered collectors run first.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	hooks := r.collectors
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
@@ -299,7 +337,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		}
 		var rows []row
 		f.series.Range(func(k, m interface{}) bool {
-			rows = append(rows, row{splitKey(k.(string)), m})
+			rows = append(rows, row{splitKey(k.(string), len(f.labels)), m})
 			return true
 		})
 		if len(rows) == 0 {

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// RegisterRuntime exports Go runtime/process health on reg, sampled at
+// scrape time through a collector hook: goroutine count, live heap
+// bytes, cumulative GC cycles, and the GC stop-the-world pause
+// distribution as a histogram whose buckets come straight from
+// runtime/metrics. cmd/dcserved enables it by default
+// (service.WithRuntimeMetrics); embedded servers opt in explicitly so
+// tests stay deterministic.
+func RegisterRuntime(reg *Registry) {
+	goroutines := reg.Gauge("dc_go_goroutines", "Goroutines currently live in this process.")
+	heap := reg.Gauge("dc_go_heap_bytes", "Bytes of live heap objects (runtime/metrics /memory/classes/heap/objects).")
+	cycles := reg.Gauge("dc_go_gc_cycles_total", "Completed GC cycles since process start.")
+
+	const (
+		heapName   = "/memory/classes/heap/objects:bytes"
+		cyclesName = "/gc/cycles/total:gc-cycles"
+	)
+	pauseName := pickPauseMetric()
+
+	samples := []metrics.Sample{{Name: heapName}, {Name: cyclesName}}
+	if pauseName != "" {
+		samples = append(samples, metrics.Sample{Name: pauseName})
+	}
+
+	// The pause histogram's bucket layout belongs to the runtime; read one
+	// sample up front to register a histogram family with matching bounds,
+	// then copy the cumulative counts in on every scrape.
+	var pause *Histogram
+	if pauseName != "" {
+		probe := []metrics.Sample{{Name: pauseName}}
+		metrics.Read(probe)
+		if probe[0].Value.Kind() == metrics.KindFloat64Histogram {
+			if bounds := runtimeBounds(probe[0].Value.Float64Histogram()); len(bounds) > 0 {
+				pause = reg.Histogram("dc_go_gc_pause_seconds",
+					"GC stop-the-world pause durations (bucket layout from runtime/metrics; sum approximated from bucket midpoints).",
+					bounds)
+			}
+		}
+	}
+
+	reg.RegisterCollector(func() {
+		metrics.Read(samples)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		for _, s := range samples {
+			switch {
+			case s.Name == heapName && s.Value.Kind() == metrics.KindUint64:
+				heap.Set(float64(s.Value.Uint64()))
+			case s.Name == cyclesName && s.Value.Kind() == metrics.KindUint64:
+				cycles.Set(float64(s.Value.Uint64()))
+			case s.Name == pauseName && pause != nil && s.Value.Kind() == metrics.KindFloat64Histogram:
+				syncRuntimeHistogram(pause, s.Value.Float64Histogram())
+			}
+		}
+	})
+}
+
+// pickPauseMetric returns the GC pause histogram's name on this runtime:
+// /sched/pauses/total/gc:seconds on Go 1.22+, the older /gc/pauses:seconds
+// as a fallback, "" when neither exists.
+func pickPauseMetric() string {
+	known := map[string]bool{}
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	for _, name := range []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"} {
+		if known[name] {
+			return name
+		}
+	}
+	return ""
+}
+
+// runtimeBounds converts a runtime/metrics bucket layout (bucket i
+// covers [Buckets[i], Buckets[i+1]); the ends may be ±Inf) into our
+// strictly increasing finite upper bounds. The first boundary is a lower
+// edge, not an upper bound, so it is dropped — runtime bucket i then maps
+// exactly onto our bucket i, with a trailing +Inf boundary becoming our
+// implicit +Inf bucket.
+func runtimeBounds(h *metrics.Float64Histogram) []float64 {
+	if len(h.Buckets) < 2 {
+		return nil
+	}
+	var bounds []float64
+	for _, b := range h.Buckets[1:] {
+		if math.IsInf(b, 0) {
+			break
+		}
+		if len(bounds) > 0 && b <= bounds[len(bounds)-1] {
+			continue // defensive: registration requires strict increase
+		}
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+// syncRuntimeHistogram copies the runtime's cumulative bucket counts into
+// an obs.Histogram registered with runtimeBounds of the same layout. The
+// runtime reports absolute counts, so this stores (not adds) them; the
+// sum is approximated from bucket midpoints, since the runtime does not
+// expose one.
+func syncRuntimeHistogram(dst *Histogram, src *metrics.Float64Histogram) {
+	// src bucket i covers [Buckets[i], Buckets[i+1]); with the leading
+	// boundary folded away by runtimeBounds, src count i maps onto dst
+	// bucket i (clamped into the +Inf bucket at the end).
+	sum := 0.0
+	for i := range dst.counts {
+		dst.counts[i].Store(0)
+	}
+	for i, c := range src.Counts {
+		j := i
+		if j >= len(dst.counts) {
+			j = len(dst.counts) - 1
+		}
+		dst.counts[j].Add(int64(c))
+		if c > 0 {
+			lo, hi := src.Buckets[i], src.Buckets[i+1]
+			mid := lo + (hi-lo)/2
+			switch {
+			case math.IsInf(lo, -1):
+				mid = hi
+			case math.IsInf(hi, 1):
+				mid = lo
+			}
+			sum += mid * float64(c)
+		}
+	}
+	dst.sumBits.Store(math.Float64bits(sum))
+}

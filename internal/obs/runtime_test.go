@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeExportsOnScrape(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+
+	// Force at least one GC cycle so the pause histogram has content.
+	runtime.GC()
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dc_go_goroutines gauge",
+		"# TYPE dc_go_heap_bytes gauge",
+		"# TYPE dc_go_gc_cycles_total gauge",
+		"# TYPE dc_go_gc_pause_seconds histogram",
+		"dc_go_gc_pause_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// Values are sampled at scrape time, so the gauges must be live.
+	if strings.Contains(out, "dc_go_goroutines 0\n") {
+		t.Error("goroutine gauge still zero after scrape")
+	}
+	if strings.Contains(out, "dc_go_heap_bytes 0\n") {
+		t.Error("heap gauge still zero after scrape")
+	}
+}
+
+func TestRegisterCollectorRunsBeforeRender(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("dc_test_collected", "refreshed by a hook")
+	calls := 0
+	reg.RegisterCollector(func() {
+		calls++
+		g.Set(float64(calls))
+	})
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	reg.WritePrometheus(&b)
+	if calls != 2 {
+		t.Fatalf("collector ran %d times for 2 scrapes", calls)
+	}
+	if !strings.Contains(b.String(), "dc_test_collected 2") {
+		t.Fatalf("second scrape missing refreshed value:\n%s", b.String())
+	}
+}

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the SLO tier of the observability layer: Theorem 3 gives
+// SC a hard 3-competitive guarantee, and the cumulative live ratio the
+// session gauges export can hide a regression behind a long good prefix.
+// SLO tracks the same cost/optimum stream over a rolling window of the
+// most recent requests, smooths it with an EWMA, and evaluates alert
+// rules with hysteresis — turning the paper's bound into a windowed,
+// alertable objective. Like Ring, an SLO is not safe for concurrent use;
+// callers serialize it together with the session it watches.
+
+// AlertState is the lifecycle position of one alert rule.
+type AlertState int8
+
+// Alert lifecycle. A rule leaves AlertInactive for AlertPending on the
+// first breaching observation, escalates to AlertFiring after Rule.For
+// consecutive breaches, and drops to AlertResolved once the value falls
+// below Threshold - Hysteresis. Resolved alerts stay listed (so a scrape
+// after the excursion still sees it happened) until the next breach
+// starts a new pending cycle.
+const (
+	AlertInactive AlertState = iota
+	AlertPending
+	AlertFiring
+	AlertResolved
+)
+
+// String names the state the way /v1/alerts and dc_alert_state's help
+// text spell it.
+func (s AlertState) String() string {
+	switch s {
+	case AlertInactive:
+		return "inactive"
+	case AlertPending:
+		return "pending"
+	case AlertFiring:
+		return "firing"
+	case AlertResolved:
+		return "resolved"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the state as its name, so alert listings read
+// "firing" rather than 2.
+func (s AlertState) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts either a state name or the raw numeric value.
+func (s *AlertState) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		for st := AlertInactive; st <= AlertResolved; st++ {
+			if st.String() == name {
+				*s = st
+				return nil
+			}
+		}
+		return fmt.Errorf("obs: unknown alert state %q", name)
+	}
+	var n int8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("obs: alert state must be a name or an integer: %s", b)
+	}
+	*s = AlertState(n)
+	return nil
+}
+
+// Rule is one alert rule over the windowed competitive ratio: breach when
+// the value exceeds Threshold, fire after For consecutive breaches, and
+// resolve only once the value falls below Threshold - Hysteresis (the
+// hysteresis band keeps a ratio oscillating around the bound from
+// flapping between firing and resolved).
+type Rule struct {
+	Name       string  `json:"name"`
+	Threshold  float64 `json:"threshold"`
+	Hysteresis float64 `json:"hysteresis"`
+	For        int     `json:"for"` // consecutive breaches before firing (min 1)
+}
+
+// Theorem3Rule is the default SLO rule: the windowed ratio exceeding the
+// paper's 3-competitive guarantee (Theorem 3) is an excursion worth
+// alerting on, with a quarter-point of hysteresis and three consecutive
+// breaches required so a single boundary-priced request does not fire it.
+func Theorem3Rule() Rule {
+	return Rule{Name: "theorem3_ratio", Threshold: 3.0, Hysteresis: 0.25, For: 3}
+}
+
+// Alert is a point-in-time snapshot of one rule's standing.
+type Alert struct {
+	Rule  Rule       `json:"rule"`
+	State AlertState `json:"state"`
+	Value float64    `json:"value"` // windowed ratio at the last evaluation
+	Since float64    `json:"since"` // model time the current state was entered
+	At    float64    `json:"at"`    // model time of the last evaluation
+	Fired int        `json:"fired"` // times the rule has transitioned to firing
+}
+
+// TransitionHook observes one alert state change as it happens; see
+// SLO.SetTransitionHook. at and value are the model time and windowed
+// ratio of the observation that caused the transition.
+type TransitionHook func(rule Rule, from, to AlertState, at, value float64)
+
+// alertTracker carries one rule's live state machine.
+type alertTracker struct {
+	rule   Rule
+	state  AlertState
+	breach int // consecutive breaching observations while pending
+	since  float64
+	at     float64
+	value  float64
+	fired  int
+}
+
+// observe advances the state machine one observation and reports any
+// transitions through emit (pending->firing within one observation emits
+// both steps, so a For=1 rule still shows the full lifecycle).
+func (t *alertTracker) observe(at, v float64, emit func(from, to AlertState)) {
+	t.at, t.value = at, v
+	forN := t.rule.For
+	if forN < 1 {
+		forN = 1
+	}
+	move := func(to AlertState) {
+		from := t.state
+		t.state = to
+		t.since = at
+		if to == AlertFiring {
+			t.fired++
+		}
+		if emit != nil {
+			emit(from, to)
+		}
+	}
+	breach := v > t.rule.Threshold
+	clear := v < t.rule.Threshold-t.rule.Hysteresis
+	switch t.state {
+	case AlertInactive, AlertResolved:
+		if breach {
+			t.breach = 1
+			move(AlertPending)
+			if t.breach >= forN {
+				move(AlertFiring)
+			}
+		}
+	case AlertPending:
+		if breach {
+			t.breach++
+			if t.breach >= forN {
+				move(AlertFiring)
+			}
+		} else {
+			t.breach = 0
+			move(AlertInactive)
+		}
+	case AlertFiring:
+		if clear {
+			t.breach = 0
+			move(AlertResolved)
+		}
+	}
+}
+
+func (t *alertTracker) snapshot() Alert {
+	return Alert{Rule: t.rule, State: t.state, Value: t.value, Since: t.since, At: t.at, Fired: t.fired}
+}
+
+// sloSample is one request's contribution to the rolling window.
+type sloSample struct {
+	cost float64 // policy cost delta of the request
+	opt  float64 // off-line optimum delta of the same prefix step
+}
+
+// SLO tracks the competitive ratio of a cost/optimum stream over a
+// rolling window of the most recent requests and evaluates alert rules
+// against the windowed value. Feed it one Observe per served request
+// with the request's cost and optimum deltas; both the cumulative ratio
+// (the same number Session.Ratio reports) and the windowed one are
+// available at any time. The zero value is not usable; call NewSLO.
+type SLO struct {
+	// Alpha is the EWMA smoothing factor applied to the windowed ratio
+	// (0 < Alpha <= 1; the DefaultEWMAAlpha is installed by NewSLO).
+	Alpha float64
+
+	window []sloSample
+	head   int // index of the oldest sample once the window is saturated
+
+	sumCost, sumOpt float64 // rolling sums over the window
+	cumCost, cumOpt float64 // whole-stream sums
+	n               int
+
+	ewma    float64
+	ewmaSet bool
+
+	series []float64 // ring of recent windowed-ratio values, capacity = window
+	sHead  int
+
+	rules []*alertTracker
+	hook  TransitionHook
+}
+
+// DefaultEWMAAlpha is NewSLO's smoothing factor: roughly a 10-request
+// memory, heavy enough to ride out one boundary-priced request.
+const DefaultEWMAAlpha = 0.2
+
+// NewSLO builds a tracker over a rolling window of the given length
+// (minimum 1) evaluating the given rules in order. No rules means
+// tracking only; Theorem3Rule is the conventional default for SC.
+func NewSLO(window int, rules ...Rule) *SLO {
+	if window < 1 {
+		window = 1
+	}
+	s := &SLO{
+		Alpha:  DefaultEWMAAlpha,
+		window: make([]sloSample, 0, window),
+		series: make([]float64, 0, window),
+	}
+	for _, r := range rules {
+		s.rules = append(s.rules, &alertTracker{rule: r})
+	}
+	return s
+}
+
+// SetTransitionHook installs the alert transition observer (metrics
+// counters, log lines). Install it before the first Observe; transitions
+// that already happened are not replayed.
+func (s *SLO) SetTransitionHook(hook TransitionHook) { s.hook = hook }
+
+// Observe feeds one served request: costDelta and optDelta are how much
+// the policy cost and the exact prefix optimum grew serving it. The
+// windowed ratio, EWMA and every alert rule advance in one step.
+func (s *SLO) Observe(at, costDelta, optDelta float64) {
+	if cap(s.window) > 0 && len(s.window) >= cap(s.window) {
+		old := s.window[s.head]
+		s.sumCost -= old.cost
+		s.sumOpt -= old.opt
+		s.window[s.head] = sloSample{cost: costDelta, opt: optDelta}
+		s.head = (s.head + 1) % len(s.window)
+	} else {
+		s.window = append(s.window, sloSample{cost: costDelta, opt: optDelta})
+	}
+	s.sumCost += costDelta
+	s.sumOpt += optDelta
+	s.cumCost += costDelta
+	s.cumOpt += optDelta
+	s.n++
+
+	v := ratioValue(s.sumCost, s.sumOpt)
+	alpha := s.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultEWMAAlpha
+	}
+	if !s.ewmaSet {
+		s.ewma, s.ewmaSet = v, true
+	} else {
+		s.ewma += alpha * (v - s.ewma)
+	}
+
+	if len(s.series) >= cap(s.series) && cap(s.series) > 0 {
+		s.series[s.sHead] = v
+		s.sHead = (s.sHead + 1) % len(s.series)
+	} else {
+		s.series = append(s.series, v)
+	}
+
+	for _, t := range s.rules {
+		t.observe(at, v, func(from, to AlertState) {
+			if s.hook != nil {
+				s.hook(t.rule, from, to, at, v)
+			}
+		})
+	}
+}
+
+// N returns how many requests have been observed.
+func (s *SLO) N() int { return s.n }
+
+// Window returns the configured window length.
+func (s *SLO) Window() int { return cap(s.window) }
+
+// WindowedRatio returns the competitive ratio over the rolling window
+// (1 while the window's optimum share is zero, matching the cumulative
+// ratio convention).
+func (s *SLO) WindowedRatio() float64 { return ratioValue(s.sumCost, s.sumOpt) }
+
+// CumulativeRatio returns the whole-stream ratio — the same value the
+// session's cumulative gauge exports.
+func (s *SLO) CumulativeRatio() float64 { return ratioValue(s.cumCost, s.cumOpt) }
+
+// EWMA returns the exponentially smoothed windowed ratio (0 before the
+// first observation).
+func (s *SLO) EWMA() float64 { return s.ewma }
+
+// Series returns the recent windowed-ratio values oldest first — the
+// dctop sparkline's data. The slice is freshly allocated once the ring
+// has wrapped; before that it aliases the internal buffer.
+func (s *SLO) Series() []float64 {
+	if s.sHead == 0 {
+		return s.series
+	}
+	out := make([]float64, 0, len(s.series))
+	out = append(out, s.series[s.sHead:]...)
+	out = append(out, s.series[:s.sHead]...)
+	return out
+}
+
+// Alerts snapshots every rule's standing, in registration order.
+func (s *SLO) Alerts() []Alert {
+	out := make([]Alert, 0, len(s.rules))
+	for _, t := range s.rules {
+		out = append(out, t.snapshot())
+	}
+	return out
+}
+
+// Snapshot captures the whole tracker for one JSON reply.
+func (s *SLO) Snapshot() SLOSnapshot {
+	return SLOSnapshot{
+		N:               s.n,
+		Window:          cap(s.window),
+		InWindow:        len(s.window),
+		WindowedCost:    s.sumCost,
+		WindowedOptimal: s.sumOpt,
+		WindowedRatio:   s.WindowedRatio(),
+		CumulativeRatio: s.CumulativeRatio(),
+		EWMA:            s.ewma,
+		Series:          s.Series(),
+		Alerts:          s.Alerts(),
+	}
+}
+
+// SLOSnapshot is the JSON shape of one SLO reading (the
+// GET /v1/session/{id}/slo payload's core).
+type SLOSnapshot struct {
+	N               int       `json:"n"`
+	Window          int       `json:"window"`
+	InWindow        int       `json:"inWindow"`
+	WindowedCost    float64   `json:"windowedCost"`
+	WindowedOptimal float64   `json:"windowedOptimal"`
+	WindowedRatio   float64   `json:"windowedRatio"`
+	CumulativeRatio float64   `json:"cumulativeRatio"`
+	EWMA            float64   `json:"ewma"`
+	Series          []float64 `json:"series"`
+	Alerts          []Alert   `json:"alerts"`
+}
+
+// ratioValue is the shared cost/optimum convention: 1 while the optimum
+// is zero (nothing to compare against yet).
+func ratioValue(cost, opt float64) float64 {
+	if opt > 0 {
+		return cost / opt
+	}
+	return 1
+}

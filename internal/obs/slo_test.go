@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// A long good prefix must not mask a pathological tail: the cumulative
+// ratio stays under the bound while the windowed one diverges.
+func TestSLOWindowedDivergesFromCumulative(t *testing.T) {
+	s := NewSLO(8)
+	at := 0.0
+	// 64 good requests: cost tracks optimum exactly.
+	for i := 0; i < 64; i++ {
+		at++
+		s.Observe(at, 1, 1)
+	}
+	if r := s.WindowedRatio(); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("good-prefix windowed ratio = %v, want 1", r)
+	}
+	// 8 bad requests: cost 5x the optimum delta.
+	for i := 0; i < 8; i++ {
+		at++
+		s.Observe(at, 5, 1)
+	}
+	win, cum := s.WindowedRatio(), s.CumulativeRatio()
+	if math.Abs(win-5) > 1e-12 {
+		t.Fatalf("bad-tail windowed ratio = %v, want 5", win)
+	}
+	if cum > 1.5 {
+		t.Fatalf("cumulative ratio = %v, want < 1.5 (prefix-dominated)", cum)
+	}
+	if win <= cum {
+		t.Fatalf("windowed %v should exceed cumulative %v on a bad tail", win, cum)
+	}
+}
+
+func TestSLOWindowEviction(t *testing.T) {
+	s := NewSLO(4)
+	for i := 0; i < 4; i++ {
+		s.Observe(float64(i+1), 10, 1)
+	}
+	// Four good samples push every bad one out of the window.
+	for i := 0; i < 4; i++ {
+		s.Observe(float64(i+5), 1, 1)
+	}
+	if r := s.WindowedRatio(); math.Abs(r-1) > 1e-9 {
+		t.Fatalf("windowed ratio after eviction = %v, want 1", r)
+	}
+	if snap := s.Snapshot(); snap.InWindow != 4 || snap.Window != 4 || snap.N != 8 {
+		t.Fatalf("snapshot window accounting = %+v", snap)
+	}
+}
+
+func TestSLOZeroOptimumConvention(t *testing.T) {
+	s := NewSLO(4)
+	s.Observe(1, 0, 0)
+	if r := s.WindowedRatio(); r != 1 {
+		t.Fatalf("ratio with zero optimum = %v, want 1", r)
+	}
+	if r := s.CumulativeRatio(); r != 1 {
+		t.Fatalf("cumulative ratio with zero optimum = %v, want 1", r)
+	}
+}
+
+func TestSLOSeriesRing(t *testing.T) {
+	s := NewSLO(3)
+	for i := 1; i <= 5; i++ {
+		s.Observe(float64(i), float64(i), 1)
+	}
+	series := s.Series()
+	if len(series) != 3 {
+		t.Fatalf("series length = %d, want 3", len(series))
+	}
+	// Values must be the three most recent windowed ratios, oldest first,
+	// hence strictly increasing for this stream.
+	for i := 1; i < len(series); i++ {
+		if series[i] <= series[i-1] {
+			t.Fatalf("series not oldest-first increasing: %v", series)
+		}
+	}
+}
+
+func TestSLOEWMATracksWindowed(t *testing.T) {
+	s := NewSLO(4)
+	s.Observe(1, 2, 1)
+	if e := s.EWMA(); math.Abs(e-2) > 1e-12 {
+		t.Fatalf("first EWMA = %v, want seeded to windowed value 2", e)
+	}
+	for i := 0; i < 100; i++ {
+		s.Observe(float64(i+2), 4, 1)
+	}
+	if e := s.EWMA(); math.Abs(e-4) > 1e-3 {
+		t.Fatalf("EWMA after long constant stream = %v, want ~4", e)
+	}
+}
+
+// The Theorem-3 rule must walk the full lifecycle — inactive, pending
+// after the first breach, firing after For consecutive breaches, resolved
+// once the value drops below the hysteresis floor — and report every
+// transition through the hook.
+func TestSLOAlertLifecycle(t *testing.T) {
+	rule := Theorem3Rule()
+	s := NewSLO(4, rule)
+	type tr struct{ from, to AlertState }
+	var seen []tr
+	s.SetTransitionHook(func(r Rule, from, to AlertState, at, v float64) {
+		if r.Name != rule.Name {
+			t.Fatalf("transition for unexpected rule %q", r.Name)
+		}
+		seen = append(seen, tr{from, to})
+	})
+
+	at := 0.0
+	obs := func(cost, opt float64) {
+		at++
+		s.Observe(at, cost, opt)
+	}
+	state := func() AlertState { return s.Alerts()[0].State }
+
+	obs(1, 1) // ratio 1: inactive
+	if state() != AlertInactive {
+		t.Fatalf("state after good sample = %v", state())
+	}
+	obs(10, 1) // window ratio (1+10)/2 = 5.5 > 3: breach #1 -> pending
+	if state() != AlertPending {
+		t.Fatalf("state after first breach = %v", state())
+	}
+	obs(10, 1) // breach #2, still pending (For = 3)
+	if state() != AlertPending {
+		t.Fatalf("state after second breach = %v", state())
+	}
+	obs(10, 1) // breach #3 -> firing
+	if state() != AlertFiring {
+		t.Fatalf("state after third breach = %v", state())
+	}
+	// Ratio drifts down but stays inside the hysteresis band: still firing.
+	obs(3, 1) // window = {10,10,10,3}/4 = 8.25, still above threshold
+	obs(2.9, 1)
+	obs(2.9, 1)
+	obs(2.9, 1) // window = {3,2.9,2.9,2.9}/4 = 2.925 in (2.75, 3]: hold
+	if state() != AlertFiring {
+		t.Fatalf("state inside hysteresis band = %v, want firing", state())
+	}
+	// Clean samples pull the window below threshold - hysteresis: resolved.
+	for i := 0; i < 4; i++ {
+		obs(1, 1)
+	}
+	if state() != AlertResolved {
+		t.Fatalf("state after recovery = %v, want resolved", state())
+	}
+	// A fresh breach restarts the cycle from resolved.
+	obs(50, 1)
+	if state() != AlertPending {
+		t.Fatalf("state after re-breach = %v, want pending", state())
+	}
+
+	want := []tr{
+		{AlertInactive, AlertPending},
+		{AlertPending, AlertFiring},
+		{AlertFiring, AlertResolved},
+		{AlertResolved, AlertPending},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+	if got := s.Alerts()[0].Fired; got != 1 {
+		t.Fatalf("fired count = %d, want 1", got)
+	}
+}
+
+// A pending alert whose breach streak breaks returns to inactive without
+// ever firing.
+func TestSLOAlertPendingAbandoned(t *testing.T) {
+	s := NewSLO(2, Rule{Name: "r", Threshold: 2, Hysteresis: 0.5, For: 3})
+	s.Observe(1, 10, 1) // breach -> pending
+	s.Observe(2, 1, 10) // window ratio (10+1)/11 = 1 -> back off
+	a := s.Alerts()[0]
+	if a.State != AlertInactive || a.Fired != 0 {
+		t.Fatalf("abandoned pending alert = %+v", a)
+	}
+}
+
+// For = 1 rules still show the pending step: both transitions are
+// emitted inside one observation.
+func TestSLOAlertForOneEmitsPending(t *testing.T) {
+	s := NewSLO(2, Rule{Name: "fast", Threshold: 1.5, For: 1})
+	var states []AlertState
+	s.SetTransitionHook(func(_ Rule, _, to AlertState, _, _ float64) {
+		states = append(states, to)
+	})
+	s.Observe(1, 10, 1)
+	if len(states) != 2 || states[0] != AlertPending || states[1] != AlertFiring {
+		t.Fatalf("For=1 transitions = %v, want [pending firing]", states)
+	}
+}
+
+func TestAlertStateJSONRoundTrip(t *testing.T) {
+	for st := AlertInactive; st <= AlertResolved; st++ {
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back AlertState
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != st {
+			t.Fatalf("round trip %v -> %s -> %v", st, b, back)
+		}
+	}
+	var numeric AlertState
+	if err := json.Unmarshal([]byte("2"), &numeric); err != nil || numeric != AlertFiring {
+		t.Fatalf("numeric unmarshal = %v, %v", numeric, err)
+	}
+	if err := json.Unmarshal([]byte(`"nope"`), &numeric); err == nil {
+		t.Fatal("unknown state name must error")
+	}
+}

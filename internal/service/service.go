@@ -13,6 +13,14 @@
 // engine decision counters, a decision-latency histogram, per-session
 // cost / optimum / cost_over_optimum / live_copies gauges, and a bounded
 // event trace at GET /v1/session/{id}/trace.
+//
+// On top of that sits the SLO layer: every session tracks its
+// competitive ratio over a rolling window and evaluates alert rules
+// (Theorem3Rule by default) against it. GET /v1/session/{id}/slo returns
+// the windowed reading plus a per-server cost breakdown, GET /v1/alerts
+// lists every session's alert standing, GET /readyz degrades while any
+// alert is firing, and /metrics carries dc_session_server_cost,
+// dc_alert_state and dc_alert_transitions_total.
 package service
 
 import (
@@ -36,18 +44,25 @@ import (
 )
 
 // Version identifies the service build in /healthz and /v1/spec.
-const Version = "1.1.0"
+const Version = "1.2.0"
 
 // DefaultTraceCap bounds each session's decision-event ring unless
 // WithTraceCap overrides it.
 const DefaultTraceCap = 256
 
+// DefaultSLOWindow is the rolling-window length (in requests) of each
+// session's competitive-ratio SLO tracker unless WithSLOWindow overrides
+// it.
+const DefaultSLOWindow = 64
+
 // Server is the HTTP facade. The zero value is not usable; call New.
 type Server struct {
-	mux      *http.ServeMux
-	log      *slog.Logger
-	reg      *obs.Registry
-	traceCap int
+	mux         *http.ServeMux
+	log         *slog.Logger
+	reg         *obs.Registry
+	traceCap    int
+	sloWindow   int
+	runtimeMetr bool
 
 	// Hot-path metric handles, resolved once at construction so request
 	// serving performs no registry lookups (and, unlike the former
@@ -62,6 +77,10 @@ type Server struct {
 	sessionOpt   *obs.GaugeVec     // session
 	sessionRatio *obs.GaugeVec     // session
 	sessionLive  *obs.GaugeVec     // session
+	sessionWRat  *obs.GaugeVec     // session (windowed ratio)
+	serverCost   *obs.GaugeVec     // session, server, kind: caching|transfer
+	alertState   *obs.GaugeVec     // session, alert (numeric AlertState code)
+	alertTrans   *obs.CounterVec   // alert, to
 	sessionsOpen *obs.Gauge
 	streamsOpen  *obs.Gauge
 
@@ -91,6 +110,20 @@ func WithTraceCap(n int) Option {
 	return func(s *Server) { s.traceCap = n }
 }
 
+// WithSLOWindow sets the per-session SLO rolling-window length in
+// requests (0 disables SLO tracking and the alert routes' content,
+// default DefaultSLOWindow).
+func WithSLOWindow(n int) Option {
+	return func(s *Server) { s.sloWindow = n }
+}
+
+// WithRuntimeMetrics additionally exports Go runtime health (goroutines,
+// heap bytes, GC pauses) on /metrics. Off by default so embedded test
+// servers scrape deterministically; cmd/dcserved turns it on.
+func WithRuntimeMetrics() Option {
+	return func(s *Server) { s.runtimeMetr = true }
+}
+
 // routeDocs describes every route for /v1/spec.
 var routeDocs = map[string]string{
 	"/healthz":     "GET liveness and version",
@@ -104,24 +137,30 @@ var routeDocs = map[string]string{
 	"/v1/stream":   "POST {m, origin, model} -> incremental planning stream",
 	"/v1/stream/":  "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
 	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?} -> live policy-serving session",
-	"/v1/session/": "POST {id}/request, GET {id}, GET {id}/schedule, GET {id}/trace, DELETE {id} (close; returns final state + schedule)",
+	"/v1/session/": "POST {id}/request, GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, DELETE {id} (close; returns final state + schedule)",
+	"/v1/alerts":   "GET every live session's SLO alerts (pending, firing, resolved)",
 	"/v1/spec":     "GET this route list",
-	"/metrics":     "GET Prometheus text-format metrics (HTTP, engine, per-session)",
+	"/readyz":      "GET readiness: degraded while any SLO alert is firing",
+	"/metrics":     "GET Prometheus text-format metrics (HTTP, engine, per-session, SLO)",
 	"/metricz":     "GET per-route served counters (JSON alias of /metrics)",
 }
 
 // New builds the service with all routes mounted.
 func New(opts ...Option) *Server {
 	s := &Server{
-		mux:      http.NewServeMux(),
-		log:      obs.NopLogger(),
-		reg:      obs.NewRegistry(),
-		traceCap: DefaultTraceCap,
-		streams:  map[string]*offline.Incremental{},
-		sessions: map[string]*sessionEntry{},
+		mux:       http.NewServeMux(),
+		log:       obs.NopLogger(),
+		reg:       obs.NewRegistry(),
+		traceCap:  DefaultTraceCap,
+		sloWindow: DefaultSLOWindow,
+		streams:   map[string]*offline.Incremental{},
+		sessions:  map[string]*sessionEntry{},
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.runtimeMetr {
+		obs.RegisterRuntime(s.reg)
 	}
 	s.httpRequests = s.reg.CounterVec("dc_http_requests_total",
 		"HTTP requests served, by route and status code.", "route", "code")
@@ -144,6 +183,17 @@ func New(opts ...Option) *Server {
 		"Live competitive ratio of a session (Theorem 3 bounds SC by 3).", "session")
 	s.sessionLive = s.reg.GaugeVec("dc_session_live_copies",
 		"Live item copies a session currently maintains.", "session")
+	s.sessionWRat = s.reg.GaugeVec("dc_session_windowed_ratio",
+		"Competitive ratio of a session over its rolling SLO window.", "session")
+	s.serverCost = s.reg.GaugeVec("dc_session_server_cost",
+		"Per-server cost attribution of a live session: kind=caching is mu times copy-holding time on the server, kind=transfer is lambda times transfers received by it.",
+		"session", "server", "kind")
+	s.alertState = s.reg.GaugeVec("dc_alert_state",
+		"SLO alert standing per session and rule: 0 inactive, 1 pending, 2 firing, 3 resolved.",
+		"session", "alert")
+	s.alertTrans = s.reg.CounterVec("dc_alert_transitions_total",
+		"SLO alert state transitions across all sessions, by rule and destination state.",
+		"alert", "to")
 	s.sessionsOpen = s.reg.Gauge("dc_sessions_open", "Open live-serving sessions.")
 	s.streamsOpen = s.reg.Gauge("dc_streams_open", "Open incremental planning streams.")
 
@@ -159,7 +209,9 @@ func New(opts ...Option) *Server {
 	s.mount("/v1/stream/", s.handleStreamOp)
 	s.mount("/v1/session", s.handleSessionCreate)
 	s.mount("/v1/session/", s.handleSessionOp)
+	s.mount("/v1/alerts", s.handleAlerts)
 	s.mount("/v1/spec", s.handleSpec)
+	s.mount("/readyz", s.handleReady)
 	s.mount("/metrics", s.handlePrometheus)
 	s.mount("/metricz", s.handleMetricz)
 	return s

@@ -1,8 +1,12 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -23,10 +27,15 @@ import (
 // cost / optimum / cost_over_optimum / live_copies gauges on /metrics.
 
 // sessionEntry wraps a Session with its own lock so concurrent operations
-// on different sessions never serialize on the server-wide mutex.
+// on different sessions never serialize on the server-wide mutex. It also
+// remembers every metric label this session has published — the server
+// labels of dc_session_server_cost and the rule names of dc_alert_state —
+// so closing the session can retire exactly those series.
 type sessionEntry struct {
-	mu   sync.Mutex
-	sess *datacache.Session
+	mu      sync.Mutex
+	sess    *datacache.Session
+	servers map[string]bool
+	alerts  []string
 }
 
 // SessionCreateRequest is the /v1/session body.
@@ -81,6 +90,45 @@ type SessionCloseResponse struct {
 	Schedule *model.Schedule `json:"schedule"`
 }
 
+// SessionSLOResponse is the GET {id}/slo reply: the rolling-window SLO
+// reading plus the per-server cost attribution, alongside the cumulative
+// numbers for comparison.
+type SessionSLOResponse struct {
+	ID        string                 `json:"id"`
+	Policy    string                 `json:"policy"`
+	Cost      float64                `json:"cost"`
+	Optimal   float64                `json:"optimal"`
+	Ratio     float64                `json:"ratio"`
+	SLO       datacache.SLOSnapshot  `json:"slo"`
+	Breakdown []datacache.ServerCost `json:"breakdown"`
+}
+
+// SessionAlert is one session's standing on one alert rule, as listed by
+// GET /v1/alerts.
+type SessionAlert struct {
+	Session string          `json:"session"`
+	Alert   datacache.Alert `json:"alert"`
+}
+
+// AlertsResponse is the GET /v1/alerts reply. Alerts lists every
+// non-inactive rule across live sessions, firing first, then pending,
+// then resolved, ties broken by session id.
+type AlertsResponse struct {
+	Firing int            `json:"firing"`
+	Alerts []SessionAlert `json:"alerts"`
+}
+
+// ReadyResponse is the GET /readyz reply: "ready" normally, "degraded"
+// while any session's SLO alert is firing. The status code stays 200
+// either way — a degraded SLO means the policy is pricing badly, not
+// that the process should be restarted.
+type ReadyResponse struct {
+	Status       string `json:"status"`
+	Version      string `json:"version"`
+	SessionsOpen int    `json:"sessionsOpen"`
+	FiringAlerts int    `json:"firingAlerts"`
+}
+
 func sessionState(id string, sess *datacache.Session) SessionState {
 	return SessionState{
 		ID:         id,
@@ -108,20 +156,57 @@ func (s *Server) engineObserver() datacache.Observer {
 
 // publishSessionGauges refreshes the per-session metric series after a
 // state change. Callers hold the session entry lock.
-func (s *Server) publishSessionGauges(id string, sess *datacache.Session) {
+func (s *Server) publishSessionGauges(id string, e *sessionEntry) {
+	sess := e.sess
 	s.sessionCost.With(id).Set(sess.Cost())
 	s.sessionOpt.With(id).Set(sess.OptimalCost())
 	s.sessionRatio.With(id).Set(sess.Ratio())
 	s.sessionLive.With(id).Set(float64(sess.LiveCopies()))
+
+	// Per-server attribution: only servers that have accrued cost or hold
+	// a copy get a series, so an m=100 session with three active servers
+	// exports six cost series, not two hundred.
+	for _, sc := range sess.CostBreakdown() {
+		if !sc.Live && sc.Caching == 0 && sc.Transfers == 0 {
+			continue
+		}
+		srv := strconv.Itoa(int(sc.Server))
+		s.serverCost.With(id, srv, "caching").Set(sc.Caching)
+		s.serverCost.With(id, srv, "transfer").Set(sc.Transfer)
+		e.servers[srv] = true
+	}
+
+	if slo := sess.SLO(); slo != nil {
+		s.sessionWRat.With(id).Set(slo.WindowedRatio())
+		for _, a := range slo.Alerts() {
+			s.alertState.With(id, a.Rule.Name).Set(float64(a.State))
+		}
+	}
 }
 
 // dropSessionGauges removes a closed session's metric series so /metrics
-// does not grow without bound.
-func (s *Server) dropSessionGauges(id string) {
+// does not grow without bound. It takes the entry lock itself; callers
+// must not hold it.
+func (s *Server) dropSessionGauges(id string, e *sessionEntry) {
 	s.sessionCost.Delete(id)
 	s.sessionOpt.Delete(id)
 	s.sessionRatio.Delete(id)
 	s.sessionLive.Delete(id)
+	e.mu.Lock()
+	servers := make([]string, 0, len(e.servers))
+	for srv := range e.servers {
+		servers = append(servers, srv)
+	}
+	alerts := append([]string(nil), e.alerts...)
+	e.mu.Unlock()
+	for _, srv := range servers {
+		s.serverCost.Delete(id, srv, "caching")
+		s.serverCost.Delete(id, srv, "transfer")
+	}
+	s.sessionWRat.Delete(id)
+	for _, name := range alerts {
+		s.alertState.Delete(id, name)
+	}
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -137,19 +222,44 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		Window:         req.Window,
 		EpochTransfers: req.Epoch,
 		TraceCap:       s.traceCap,
+		SLOWindow:      s.sloWindow,
 		Observer:       s.engineObserver(),
 	})
 	if err != nil {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
+	entry := &sessionEntry{sess: sess, servers: map[string]bool{}}
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("sn-%d", s.nextID)
-	s.sessions[id] = &sessionEntry{sess: sess}
+	s.mu.Unlock()
+	if slo := sess.SLO(); slo != nil {
+		// The hook runs under the entry lock of whichever Serve triggers
+		// the transition; the gauge and counter writes are lock-free.
+		for _, a := range slo.Alerts() {
+			entry.alerts = append(entry.alerts, a.Rule.Name)
+		}
+		slo.SetTransitionHook(func(rule datacache.AlertRule, from, to datacache.AlertState, at, value float64) {
+			s.alertState.With(id, rule.Name).Set(float64(to))
+			s.alertTrans.With(rule.Name, to.String()).Inc()
+			s.log.LogAttrs(context.Background(), slog.LevelWarn, "slo alert transition",
+				slog.String("session", id),
+				slog.String("alert", rule.Name),
+				slog.String("from", from.String()),
+				slog.String("to", to.String()),
+				slog.Float64("at", at),
+				slog.Float64("value", value),
+			)
+		})
+	}
+	s.mu.Lock()
+	s.sessions[id] = entry
 	s.mu.Unlock()
 	s.sessionsOpen.Add(1)
-	s.publishSessionGauges(id, sess)
+	entry.mu.Lock()
+	s.publishSessionGauges(id, entry)
+	entry.mu.Unlock()
 	writeJSON(w, http.StatusCreated, sessionState(id, sess))
 }
 
@@ -180,7 +290,7 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		elapsed := time.Since(start)
 		n := entry.sess.N()
 		if err == nil {
-			s.publishSessionGauges(id, entry.sess)
+			s.publishSessionGauges(id, entry)
 		}
 		entry.mu.Unlock()
 		if err != nil {
@@ -220,6 +330,29 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, SessionTraceResponse{
 			ID: id, Cap: s.traceCap, Dropped: dropped, Events: events,
 		})
+	case op == "slo" && r.Method == http.MethodGet:
+		entry.mu.Lock()
+		slo := entry.sess.SLO()
+		var snap datacache.SLOSnapshot
+		if slo != nil {
+			snap = slo.Snapshot()
+		}
+		breakdown := entry.sess.CostBreakdown()
+		state := sessionState(id, entry.sess)
+		entry.mu.Unlock()
+		if slo == nil {
+			s.httpError(w, r, http.StatusNotFound, fmt.Errorf("session %q has SLO tracking disabled", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionSLOResponse{
+			ID:        id,
+			Policy:    state.Policy,
+			Cost:      state.Cost,
+			Optimal:   state.Optimal,
+			Ratio:     state.Ratio,
+			SLO:       snap,
+			Breakdown: breakdown,
+		})
 	case op == "" && r.Method == http.MethodDelete:
 		entry.mu.Lock()
 		sched, err := entry.sess.Close()
@@ -235,10 +368,90 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		if present { // racing DELETEs must tear down once
 			s.sessionsOpen.Add(-1)
-			s.dropSessionGauges(id)
+			s.dropSessionGauges(id, entry)
 		}
 		writeJSON(w, http.StatusOK, SessionCloseResponse{State: state, Schedule: sched})
 	default:
 		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown session operation %q %s", op, r.Method))
 	}
+}
+
+// collectAlerts snapshots every live session's non-inactive alerts. It
+// takes the server lock only to copy the session table, then each entry
+// lock in turn — the same s.mu-then-entry.mu order every handler uses.
+func (s *Server) collectAlerts() ([]SessionAlert, int) {
+	type idEntry struct {
+		id    string
+		entry *sessionEntry
+	}
+	s.mu.Lock()
+	entries := make([]idEntry, 0, len(s.sessions))
+	for id, e := range s.sessions {
+		entries = append(entries, idEntry{id, e})
+	}
+	s.mu.Unlock()
+
+	var out []SessionAlert
+	firing := 0
+	for _, ie := range entries {
+		ie.entry.mu.Lock()
+		slo := ie.entry.sess.SLO()
+		var alerts []datacache.Alert
+		if slo != nil {
+			alerts = slo.Alerts()
+		}
+		ie.entry.mu.Unlock()
+		for _, a := range alerts {
+			if a.State == datacache.AlertInactive {
+				continue
+			}
+			if a.State == datacache.AlertFiring {
+				firing++
+			}
+			out = append(out, SessionAlert{Session: ie.id, Alert: a})
+		}
+	}
+	// Firing first, then pending, then resolved; stable within a state.
+	rank := map[datacache.AlertState]int{
+		datacache.AlertFiring:   0,
+		datacache.AlertPending:  1,
+		datacache.AlertResolved: 2,
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := rank[out[i].Alert.State], rank[out[j].Alert.State]
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Session < out[j].Session
+	})
+	return out, firing
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	alerts, firing := s.collectAlerts()
+	if alerts == nil {
+		alerts = []SessionAlert{} // render [] rather than null
+	}
+	writeJSON(w, http.StatusOK, AlertsResponse{Firing: firing, Alerts: alerts})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	_, firing := s.collectAlerts()
+	s.mu.Lock()
+	open := len(s.sessions)
+	s.mu.Unlock()
+	status := "ready"
+	if firing > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{
+		Status:       status,
+		Version:      Version,
+		SessionsOpen: open,
+		FiringAlerts: firing,
+	})
 }

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"datacache"
+	"datacache/internal/model"
+)
+
+// getJSON decodes a GET reply, failing on a non-200 status.
+func getJSON(t *testing.T, url string, out interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// TestSLOAlertLifecycleHTTP drives an adversarial workload through a live
+// session under the always-migrate policy and watches the Theorem-3 alert
+// walk its whole lifecycle over HTTP: a long good prefix keeps it
+// inactive, a ping-pong tail blows the windowed ratio past 3 (pending,
+// then firing after three consecutive breaches) while the cumulative
+// ratio stays under the bound, and a calm tail resolves it. /v1/alerts,
+// /readyz and the dc_alert_state / dc_alert_transitions_total series
+// must all tell the same story.
+func TestSLOAlertLifecycleHTTP(t *testing.T) {
+	srv := httptest.NewServer(New(WithSLOWindow(16)))
+	defer srv.Close()
+
+	var state SessionState
+	post(t, srv.URL+"/v1/session", SessionCreateRequest{
+		M: 2, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 2}, Policy: "migrate",
+	}, &state)
+	id := state.ID
+	serve := func(server model.ServerID, at float64) {
+		post(t, srv.URL+"/v1/session/"+id+"/request",
+			StreamAppendRequest{Server: server, Time: at}, nil)
+	}
+
+	// Good prefix: one server, unit gaps. Holding the copy costs mu per
+	// request for policy and optimum alike, so every delta prices at
+	// ratio 1.
+	now := 0.0
+	for i := 0; i < 32; i++ {
+		now += 1
+		serve(1, now)
+	}
+	var slo SessionSLOResponse
+	getJSON(t, srv.URL+"/v1/session/"+id+"/slo", &slo)
+	if r := slo.SLO.WindowedRatio; r > 1.5 {
+		t.Fatalf("windowed ratio after good prefix = %v, want ~1", r)
+	}
+	for _, a := range slo.SLO.Alerts {
+		if a.State != datacache.AlertInactive {
+			t.Fatalf("alert %s = %v after good prefix, want inactive", a.Rule.Name, a.State)
+		}
+	}
+	var ready ReadyResponse
+	getJSON(t, srv.URL+"/readyz", &ready)
+	if ready.Status != "ready" || ready.FiringAlerts != 0 {
+		t.Fatalf("readyz before excursion = %+v, want ready / 0 firing", ready)
+	}
+
+	// Adversarial tail: ping-pong between the two servers with tiny gaps.
+	// Migrate pays lambda per request; the optimum just holds both copies
+	// for pennies, so windowed deltas price at ratio >> 3.
+	for i := 0; i < 24; i++ {
+		now += 0.01
+		serve(model.ServerID(1+i%2), now)
+	}
+	getJSON(t, srv.URL+"/v1/session/"+id+"/slo", &slo)
+	if r := slo.SLO.WindowedRatio; r <= 3 {
+		t.Fatalf("windowed ratio after adversarial tail = %v, want > 3", r)
+	}
+	if c := slo.SLO.CumulativeRatio; c >= 3 {
+		t.Fatalf("cumulative ratio = %v; the good prefix should keep it under 3 (that's the point of the window)", c)
+	}
+	firingSeen := false
+	for _, a := range slo.SLO.Alerts {
+		if a.Rule.Name == "theorem3_ratio" {
+			if a.State != datacache.AlertFiring {
+				t.Fatalf("theorem3_ratio = %v during excursion, want firing", a.State)
+			}
+			if a.Fired != 1 {
+				t.Errorf("theorem3_ratio fired %d times, want 1", a.Fired)
+			}
+			firingSeen = true
+		}
+	}
+	if !firingSeen {
+		t.Fatal("no theorem3_ratio alert in the SLO snapshot")
+	}
+
+	var alerts AlertsResponse
+	getJSON(t, srv.URL+"/v1/alerts", &alerts)
+	if alerts.Firing != 1 || len(alerts.Alerts) != 1 {
+		t.Fatalf("alerts during excursion = %+v, want exactly one firing", alerts)
+	}
+	if a := alerts.Alerts[0]; a.Session != id || a.Alert.State != datacache.AlertFiring {
+		t.Fatalf("alert listing = %+v, want session %s firing", a, id)
+	}
+	getJSON(t, srv.URL+"/readyz", &ready)
+	if ready.Status != "degraded" || ready.FiringAlerts != 1 {
+		t.Fatalf("readyz during excursion = %+v, want degraded / 1 firing", ready)
+	}
+
+	sc := scrape(t, srv.URL)
+	if v := sc.mustSample(t, fmt.Sprintf(`dc_alert_state{session="%s",alert="theorem3_ratio"}`, id)); v != 2 {
+		t.Errorf("dc_alert_state = %v during excursion, want 2 (firing)", v)
+	}
+	if v := sc.mustSample(t, fmt.Sprintf(`dc_session_windowed_ratio{session="%s"}`, id)); v <= 3 {
+		t.Errorf("dc_session_windowed_ratio = %v, want > 3", v)
+	}
+	if v := sc.mustSample(t, `dc_alert_transitions_total{alert="theorem3_ratio",to="pending"}`); v != 1 {
+		t.Errorf("transitions to pending = %v, want 1", v)
+	}
+	if v := sc.mustSample(t, `dc_alert_transitions_total{alert="theorem3_ratio",to="firing"}`); v != 1 {
+		t.Errorf("transitions to firing = %v, want 1", v)
+	}
+
+	// Calm tail: back to one server, unit gaps, until the whole window is
+	// good again and the ratio falls through the hysteresis floor.
+	for i := 0; i < 40; i++ {
+		now += 1
+		serve(2, now)
+	}
+	getJSON(t, srv.URL+"/v1/session/"+id+"/slo", &slo)
+	for _, a := range slo.SLO.Alerts {
+		if a.Rule.Name == "theorem3_ratio" && a.State != datacache.AlertResolved {
+			t.Fatalf("theorem3_ratio = %v after calm tail, want resolved", a.State)
+		}
+	}
+	getJSON(t, srv.URL+"/v1/alerts", &alerts)
+	if alerts.Firing != 0 || len(alerts.Alerts) != 1 || alerts.Alerts[0].Alert.State != datacache.AlertResolved {
+		t.Fatalf("alerts after calm tail = %+v, want one resolved", alerts)
+	}
+	getJSON(t, srv.URL+"/readyz", &ready)
+	if ready.Status != "ready" {
+		t.Fatalf("readyz after calm tail = %+v, want ready", ready)
+	}
+	sc = scrape(t, srv.URL)
+	if v := sc.mustSample(t, fmt.Sprintf(`dc_alert_state{session="%s",alert="theorem3_ratio"}`, id)); v != 3 {
+		t.Errorf("dc_alert_state = %v after calm tail, want 3 (resolved)", v)
+	}
+	if v := sc.mustSample(t, `dc_alert_transitions_total{alert="theorem3_ratio",to="resolved"}`); v != 1 {
+		t.Errorf("transitions to resolved = %v, want 1", v)
+	}
+
+	// The SLO reply's breakdown must account for the whole session cost.
+	sum := 0.0
+	for _, b := range slo.Breakdown {
+		sum += b.Cost()
+	}
+	if diff := sum - slo.Cost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("breakdown sums to %v, session cost %v", sum, slo.Cost)
+	}
+}
+
+// TestSessionSeriesRetiredOnClose is the series-lifecycle regression
+// test: every per-session series — the PR 2 gauges plus the new
+// dc_session_server_cost, dc_session_windowed_ratio and dc_alert_state —
+// must disappear from /metrics once the session is deleted.
+func TestSessionSeriesRetiredOnClose(t *testing.T) {
+	srv := httptest.NewServer(New(WithSLOWindow(8)))
+	defer srv.Close()
+
+	var state SessionState
+	post(t, srv.URL+"/v1/session", SessionCreateRequest{
+		M: 3, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1}, Policy: "migrate",
+	}, &state)
+	id := state.ID
+	for i := 0; i < 12; i++ {
+		post(t, srv.URL+"/v1/session/"+id+"/request",
+			StreamAppendRequest{Server: model.ServerID(1 + i%3), Time: float64(i+1) * 0.4}, nil)
+	}
+
+	label := fmt.Sprintf(`session="%s"`, id)
+	sc := scrape(t, srv.URL)
+	present := map[string]bool{}
+	for series := range sc.samples {
+		if strings.Contains(series, label) {
+			present[strings.SplitN(series, "{", 2)[0]] = true
+		}
+	}
+	for _, fam := range []string{
+		"dc_session_cost", "dc_session_optimal_cost", "dc_session_cost_over_optimum",
+		"dc_session_live_copies", "dc_session_windowed_ratio",
+		"dc_session_server_cost", "dc_alert_state",
+	} {
+		if !present[fam] {
+			t.Errorf("family %s has no series for the live session (families seen: %v)", fam, present)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/session/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sc = scrape(t, srv.URL)
+	for series := range sc.samples {
+		if strings.Contains(series, label) {
+			t.Errorf("series %s survived session close", series)
+		}
+	}
+}
+
+// TestSLODisabled checks WithSLOWindow(0): sessions still serve, the slo
+// route 404s, and the alert routes stay empty rather than erroring.
+func TestSLODisabled(t *testing.T) {
+	srv := httptest.NewServer(New(WithSLOWindow(0)))
+	defer srv.Close()
+
+	var state SessionState
+	post(t, srv.URL+"/v1/session", SessionCreateRequest{
+		M: 2, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1},
+	}, &state)
+	post(t, srv.URL+"/v1/session/"+state.ID+"/request",
+		StreamAppendRequest{Server: 1, Time: 1}, nil)
+
+	resp, err := http.Get(srv.URL + "/v1/session/" + state.ID + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET slo with SLO disabled: status %d, want 404", resp.StatusCode)
+	}
+	var alerts AlertsResponse
+	getJSON(t, srv.URL+"/v1/alerts", &alerts)
+	if alerts.Firing != 0 || len(alerts.Alerts) != 0 {
+		t.Fatalf("alerts with SLO disabled = %+v, want none", alerts)
+	}
+	var ready ReadyResponse
+	getJSON(t, srv.URL+"/readyz", &ready)
+	if ready.Status != "ready" || ready.SessionsOpen != 1 {
+		t.Fatalf("readyz = %+v, want ready with 1 session", ready)
+	}
+}

@@ -30,6 +30,39 @@ const (
 	TraceEpochReset = obs.KindEpochReset
 )
 
+// ServerCost is one server's share of a session's accumulated cost; see
+// Session.CostBreakdown.
+type ServerCost = engine.ServerCost
+
+// SLO is the rolling-window competitive-ratio tracker behind
+// Session.SLO: windowed ratio, EWMA, and alert rules with hysteresis.
+type SLO = obs.SLO
+
+// SLOSnapshot is one point-in-time SLO reading.
+type SLOSnapshot = obs.SLOSnapshot
+
+// AlertRule configures one alert over the windowed competitive ratio.
+type AlertRule = obs.Rule
+
+// Alert is a snapshot of one rule's standing.
+type Alert = obs.Alert
+
+// AlertState is an alert rule's lifecycle position.
+type AlertState = obs.AlertState
+
+// Alert lifecycle states, re-exported for callers inspecting Session
+// alerts.
+const (
+	AlertInactive = obs.AlertInactive
+	AlertPending  = obs.AlertPending
+	AlertFiring   = obs.AlertFiring
+	AlertResolved = obs.AlertResolved
+)
+
+// Theorem3Rule is the default SLO alert: the windowed ratio exceeding
+// the paper's 3-competitive bound (Theorem 3).
+func Theorem3Rule() AlertRule { return obs.Theorem3Rule() }
+
 // SessionOptions selects and parameterizes the policy behind a Session.
 // The zero value (or a nil *SessionOptions) is the paper's canonical SC.
 type SessionOptions struct {
@@ -49,6 +82,14 @@ type SessionOptions struct {
 	// happens (metrics hooks, live dashboards). It runs synchronously on
 	// the serving path, so it must be cheap.
 	Observer Observer
+	// SLOWindow, when positive, tracks the competitive ratio over a
+	// rolling window of that many requests (readable via SLO), with
+	// SLORules evaluated after every served request. Zero disables SLO
+	// tracking.
+	SLOWindow int
+	// SLORules overrides the alert rules evaluated on the windowed ratio.
+	// Nil with SLOWindow > 0 installs the single Theorem3Rule.
+	SLORules []AlertRule
 }
 
 // Decision reports what one live request caused: whether it hit a cached
@@ -81,8 +122,11 @@ type Session struct {
 	stream *engine.Stream
 	inc    *offline.Incremental
 	ring   *obs.Ring // nil unless SessionOptions.TraceCap > 0
+	slo    *obs.SLO  // nil unless SessionOptions.SLOWindow > 0
 	closed bool
 	final  *Schedule
+
+	prevCost, prevOpt float64 // last served totals, for SLO deltas
 }
 
 // NewSession opens a live serving session over m servers with the initial
@@ -136,7 +180,15 @@ func NewSession(m int, origin ServerID, cm CostModel, opts *SessionOptions) (*Se
 	if err != nil {
 		return nil, err
 	}
-	return &Session{policy: policy, cm: cm, stream: stream, inc: inc, ring: ring}, nil
+	var slo *obs.SLO
+	if opts.SLOWindow > 0 {
+		rules := opts.SLORules
+		if rules == nil {
+			rules = []AlertRule{Theorem3Rule()}
+		}
+		slo = obs.NewSLO(opts.SLOWindow, rules...)
+	}
+	return &Session{policy: policy, cm: cm, stream: stream, inc: inc, ring: ring, slo: slo}, nil
 }
 
 // Serve handles one live request. Times must be strictly increasing and
@@ -162,6 +214,10 @@ func (s *Session) Serve(server ServerID, t float64) (Decision, error) {
 		Optimal: s.inc.Cost(),
 	}
 	d.Ratio = ratioOf(d.Cost, d.Optimal)
+	if s.slo != nil {
+		s.slo.Observe(t, d.Cost-s.prevCost, d.Optimal-s.prevOpt)
+	}
+	s.prevCost, s.prevOpt = d.Cost, d.Optimal
 	return d, nil
 }
 
@@ -184,6 +240,16 @@ func (s *Session) OptimalCost() float64 { return s.inc.Cost() }
 // Ratio returns Cost / OptimalCost, the live competitive ratio (1 while the
 // optimum is zero).
 func (s *Session) Ratio() float64 { return ratioOf(s.Cost(), s.OptimalCost()) }
+
+// CostBreakdown attributes the accumulated cost per server: caching cost
+// for the time each server held a copy, transfer cost for the copies it
+// received. The entries' Caching + Transfer sum to exactly Cost().
+func (s *Session) CostBreakdown() []ServerCost { return s.stream.CostBreakdown(s.cm) }
+
+// SLO returns the rolling-window ratio tracker, or nil when the session
+// was opened without SLOWindow. The tracker shares the session's
+// synchronization: read it only while no Serve is in flight.
+func (s *Session) SLO() *SLO { return s.slo }
 
 // Policy returns the canonical name of the session's policy.
 func (s *Session) Policy() string { return s.policy }

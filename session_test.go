@@ -1,10 +1,13 @@
 package datacache_test
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
 	"datacache"
+	"datacache/internal/offline"
 )
 
 // randomSequence builds a valid workload: m servers, n strictly increasing
@@ -163,5 +166,112 @@ func TestSessionErrors(t *testing.T) {
 	}
 	if _, err := sess.Close(); err != nil {
 		t.Error("second Close should be a no-op")
+	}
+}
+
+// TestSessionCostBreakdownFig6 checks the per-server cost attribution on
+// the paper's Fig. 6 instance: after every served request and again after
+// Close, the breakdown's caching and transfer shares must sum to exactly
+// the session's total cost, and the per-server transfer counts to the
+// session's transfer count.
+func TestSessionCostBreakdownFig6(t *testing.T) {
+	seq, cm := offline.Fig6Instance()
+	sess, err := datacache.NewSession(seq.M, seq.Origin, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(when string) {
+		t.Helper()
+		sum, transfers, live := 0.0, 0, 0
+		for _, sc := range sess.CostBreakdown() {
+			if sc.Caching < 0 || sc.Transfer < 0 {
+				t.Fatalf("%s: negative share on server %d: %+v", when, sc.Server, sc)
+			}
+			sum += sc.Cost()
+			transfers += sc.Transfers
+			if sc.Live {
+				live++
+			}
+		}
+		if diff := math.Abs(sum - sess.Cost()); diff > 1e-9 {
+			t.Fatalf("%s: breakdown sums to %v, session cost %v (diff %g)", when, sum, sess.Cost(), diff)
+		}
+		if transfers != sess.Transfers() {
+			t.Fatalf("%s: breakdown transfers %d, session transfers %d", when, transfers, sess.Transfers())
+		}
+		if !sess.Closed() && live != sess.LiveCopies() {
+			t.Fatalf("%s: breakdown live %d, session live copies %d", when, live, sess.LiveCopies())
+		}
+	}
+	for i, r := range seq.Requests {
+		if _, err := sess.Serve(r.Server, r.Time); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("after request %d", i))
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check("after close")
+}
+
+// TestSessionSLOLifecycle drives the library-level Session through a good
+// prefix, an adversarial ping-pong tail and a calm recovery, and checks
+// the embedded SLO tracker walks the Theorem-3 alert through pending,
+// firing and resolved while the windowed ratio diverges from (and then
+// rejoins) the cumulative one.
+func TestSessionSLOLifecycle(t *testing.T) {
+	cm := datacache.CostModel{Mu: 1, Lambda: 2}
+	sess, err := datacache.NewSession(2, 1, cm, &datacache.SessionOptions{
+		Policy:    "migrate",
+		SLOWindow: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo := sess.SLO()
+	if slo == nil {
+		t.Fatal("SLO() nil with SLOWindow set")
+	}
+	var transitions []string
+	slo.SetTransitionHook(func(rule datacache.AlertRule, from, to datacache.AlertState, at, value float64) {
+		transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+	})
+
+	now := 0.0
+	for i := 0; i < 32; i++ { // good prefix: unit gaps, single server
+		now += 1
+		if _, err := sess.Serve(1, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := slo.WindowedRatio(); r > 1.5 {
+		t.Fatalf("windowed ratio after good prefix = %v", r)
+	}
+	for i := 0; i < 24; i++ { // adversarial tail: ping-pong, tiny gaps
+		now += 0.01
+		if _, err := sess.Serve(datacache.ServerID(1+i%2), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w, c := slo.WindowedRatio(), slo.CumulativeRatio(); w <= 3 || c >= 3 {
+		t.Fatalf("after tail: windowed %v (want > 3), cumulative %v (want < 3)", w, c)
+	}
+	alerts := slo.Alerts()
+	if len(alerts) != 1 || alerts[0].State != datacache.AlertFiring {
+		t.Fatalf("alerts after tail = %+v, want theorem3_ratio firing", alerts)
+	}
+	for i := 0; i < 40; i++ { // calm recovery
+		now += 1
+		if _, err := sess.Serve(2, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := slo.Alerts()[0].State; st != datacache.AlertResolved {
+		t.Fatalf("alert after recovery = %v, want resolved", st)
+	}
+	want := []string{"inactive->pending", "pending->firing", "firing->resolved"}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
 	}
 }
