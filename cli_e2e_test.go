@@ -147,7 +147,7 @@ func extractAfter(t *testing.T, s, prefix string) string {
 // TestCLIVersionFlags checks every binary answers -version with its name
 // and the service version, so deployed fleets can be audited.
 func TestCLIVersionFlags(t *testing.T) {
-	names := []string{"dcbench", "dcgen", "dcopt", "dcplan", "dcserved", "dcsim", "dctop"}
+	names := []string{"dcbench", "dcgen", "dcload", "dcopt", "dcplan", "dcserved", "dcsim", "dctop"}
 	bins := buildTools(t, names...)
 	for _, name := range names {
 		out, _ := run(t, bins[name], nil, "-version")
@@ -155,6 +155,56 @@ func TestCLIVersionFlags(t *testing.T) {
 		if out != want {
 			t.Errorf("%s -version = %q, want %q", name, out, want)
 		}
+	}
+}
+
+// TestCLIDcloadSmoke runs the load generator end to end against an
+// in-process dcserved: a deterministic zipf run through the batch
+// endpoint must finish with zero errors, every session under the
+// Theorem-3 ratio bound, and a latency report both on stdout and in the
+// -out file.
+func TestCLIDcloadSmoke(t *testing.T) {
+	bins := buildTools(t, "dcload")
+	srv := httptest.NewServer(service.New())
+	defer srv.Close()
+
+	reportFile := filepath.Join(t.TempDir(), "report.txt")
+	out, _ := run(t, bins["dcload"], nil,
+		"-addr", srv.URL, "-n", "600", "-c", "2", "-batch", "32",
+		"-workload", "zipf", "-m", "8", "-seed", "1",
+		"-max-ratio", "3", "-out", reportFile)
+	for _, want := range []string{
+		"dcload report",
+		"workload      zipf(m=8,s=1.2)  batch=32",
+		"served        600 requests",
+		"errors        4xx=0 5xx=0 transport=0",
+		"final ratios  worst",
+		"latency       mean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dcload output missing %q:\n%s", want, out)
+		}
+	}
+	written, err := os.ReadFile(reportFile)
+	if err != nil {
+		t.Fatalf("report file: %v", err)
+	}
+	if string(written) != out {
+		t.Errorf("-out file differs from stdout:\n%s", written)
+	}
+
+	// The single-request path (-batch 1) and NDJSON bodies work too.
+	out2, _ := run(t, bins["dcload"], nil,
+		"-addr", srv.URL, "-n", "40", "-c", "1", "-batch", "1",
+		"-workload", "uniform", "-m", "4", "-seed", "2", "-max-ratio", "3")
+	if !strings.Contains(out2, "errors        4xx=0 5xx=0 transport=0") {
+		t.Errorf("dcload -batch 1 reported errors:\n%s", out2)
+	}
+	out3, _ := run(t, bins["dcload"], nil,
+		"-addr", srv.URL, "-n", "128", "-c", "1", "-batch", "64", "-ndjson",
+		"-workload", "adversarial", "-m", "2", "-seed", "3")
+	if !strings.Contains(out3, "errors        4xx=0 5xx=0 transport=0") {
+		t.Errorf("dcload -ndjson reported errors:\n%s", out3)
 	}
 }
 

@@ -1,0 +1,228 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"datacache/client"
+	"datacache/internal/offline"
+	"datacache/internal/service"
+)
+
+func newClient(t *testing.T) *client.Client {
+	t.Helper()
+	ts := httptest.NewServer(service.New())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL)
+}
+
+func fig6Config() (client.SessionConfig, int) {
+	seq, cm := offline.Fig6Instance()
+	return client.SessionConfig{
+		M: seq.M, Origin: seq.Origin, Mu: cm.Mu, Lambda: cm.Lambda,
+	}, seq.N()
+}
+
+func fig6Requests() []client.Request {
+	seq, _ := offline.Fig6Instance()
+	reqs := make([]client.Request, 0, seq.N())
+	for _, r := range seq.Requests {
+		reqs = append(reqs, client.Request{Server: r.Server, T: r.Time})
+	}
+	return reqs
+}
+
+// TestClientSessionRoundTrip walks the full surface against a real
+// server: create, single serve, batch, reads, close.
+func TestClientSessionRoundTrip(t *testing.T) {
+	cl := newClient(t)
+	ctx := context.Background()
+
+	status, version, err := cl.Health(ctx)
+	if err != nil || status != "ok" || version == "" {
+		t.Fatalf("health = (%q, %q, %v)", status, version, err)
+	}
+
+	cfg, n := fig6Config()
+	sess, err := cl.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID == "" || sess.Created.Policy != "sc" {
+		t.Fatalf("created session %+v", sess)
+	}
+
+	reqs := fig6Requests()
+	// First request through the single path, the rest as one batch.
+	d, err := sess.Serve(ctx, reqs[0].Server, reqs[0].T)
+	if err != nil || d.N != 1 {
+		t.Fatalf("serve = (%+v, %v)", d, err)
+	}
+	batch, err := sess.ServeBatch(ctx, reqs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Applied != n-1 || batch.FirstRejected != -1 || batch.N != n {
+		t.Fatalf("batch = %+v, want %d applied", batch, n-1)
+	}
+	if batch.Ratio > 3+1e-9 {
+		t.Errorf("ratio %v breaks Theorem 3", batch.Ratio)
+	}
+
+	st, err := sess.State(ctx)
+	if err != nil || st.N != n || st.Cost != batch.Cost {
+		t.Fatalf("state = (%+v, %v), want n=%d cost=%v", st, err, n, batch.Cost)
+	}
+	if _, err := sess.Trace(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.SLO(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sched, err := sess.Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := offline.Fig6Instance()
+	if err := sched.Validate(seq); err != nil {
+		t.Errorf("schedule infeasible: %v", err)
+	}
+
+	closed, err := sess.Close(ctx)
+	if err != nil || closed.State.N != n {
+		t.Fatalf("close = (%+v, %v)", closed, err)
+	}
+	// Closed handles surface not_found.
+	if _, err := sess.State(ctx); !client.IsNotFound(err) {
+		t.Errorf("state after close: %v, want not_found", err)
+	}
+}
+
+// TestClientBatchNDJSON pins the NDJSON path to the JSON path.
+func TestClientBatchNDJSON(t *testing.T) {
+	cl := newClient(t)
+	ctx := context.Background()
+	cfg, n := fig6Config()
+
+	jsonSess, err := cl.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndSess, err := cl.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := fig6Requests()
+	jb, err := jsonSess.ServeBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := ndSess.ServeBatchNDJSON(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.Applied != n || nb.Applied != n || jb.Cost != nb.Cost || jb.Optimal != nb.Optimal {
+		t.Errorf("NDJSON batch %+v differs from JSON batch %+v", nb, jb)
+	}
+}
+
+// TestClientErrorDecoding pins the APIError mapping: envelope fields,
+// helper predicates and the Retry-After hint.
+func TestClientErrorDecoding(t *testing.T) {
+	cl := newClient(t)
+	ctx := context.Background()
+
+	// Real not_found from the service, with a request id attached.
+	_, err := cl.OpenSession("sn-999").State(ctx)
+	var ae *client.APIError
+	if !client.IsNotFound(err) {
+		t.Fatalf("missing session error = %v, want not_found", err)
+	}
+	if !asAPIError(err, &ae) || ae.Status != http.StatusNotFound || ae.RequestID == "" || ae.Message == "" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+
+	// Synthetic overloaded reply with a Retry-After hint.
+	overloaded := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error": {"code": "overloaded", "message": "budget exhausted", "request_id": "req-1"}}`))
+	}))
+	defer overloaded.Close()
+	_, err = client.New(overloaded.URL).OpenSession("sn-1").ServeBatch(ctx, nil)
+	if !client.IsOverloaded(err) {
+		t.Fatalf("overloaded error = %v", err)
+	}
+	if got := client.RetryAfterOf(err); got != 2*time.Second {
+		t.Errorf("RetryAfterOf = %v, want 2s", got)
+	}
+
+	// Non-envelope bodies (proxy errors) degrade to the raw text.
+	raw := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer raw.Close()
+	_, _, err = client.New(raw.URL).Health(ctx)
+	if !asAPIError(err, &ae) || ae.Status != http.StatusBadGateway || ae.Message != "bad gateway" {
+		t.Fatalf("raw-body error = %+v (%v)", ae, err)
+	}
+}
+
+// TestClientMetrics exercises the text-format parse against a live scrape.
+func TestClientMetrics(t *testing.T) {
+	cl := newClient(t)
+	ctx := context.Background()
+	cfg, _ := fig6Config()
+	sess, err := cl.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ServeBatch(ctx, fig6Requests()); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples["dc_sessions_open"] != 1 {
+		t.Errorf("dc_sessions_open = %v, want 1", samples["dc_sessions_open"])
+	}
+	if samples["dc_session_batch_size_count"] != 1 {
+		t.Errorf("dc_session_batch_size_count = %v, want 1", samples["dc_session_batch_size_count"])
+	}
+}
+
+// TestClientAlertsAndReady smoke-tests the cluster-level reads.
+func TestClientAlertsAndReady(t *testing.T) {
+	cl := newClient(t)
+	ctx := context.Background()
+	if _, err := cl.Alerts(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ready, err := cl.Ready(ctx)
+	if err != nil || ready.Status != "ready" {
+		t.Fatalf("ready = (%+v, %v)", ready, err)
+	}
+	spec, err := cl.Spec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := spec["/v1/session/"]; !ok {
+		t.Errorf("spec missing the session route family: %v", spec)
+	}
+}
+
+func asAPIError(err error, target **client.APIError) bool {
+	if err == nil {
+		return false
+	}
+	ae, ok := err.(*client.APIError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}

@@ -1,0 +1,100 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"datacache/internal/service"
+)
+
+// Code is the machine-readable error class of the service's envelope,
+// re-exported so callers can switch without importing the service.
+type Code = service.ErrCode
+
+// The codes the service emits.
+const (
+	CodeBadRequest = service.CodeBadRequest
+	CodeNotFound   = service.CodeNotFound
+	CodeConflict   = service.CodeConflict
+	CodeOverloaded = service.CodeOverloaded
+	CodeInternal   = service.CodeInternal
+)
+
+// APIError is a decoded {"error": {"code", "message", "request_id"}}
+// envelope, annotated with the HTTP status and, for overloaded replies,
+// the server's Retry-After hint.
+type APIError struct {
+	Status     int           // HTTP status code
+	Code       Code          // machine-readable class
+	Message    string        // human-readable detail
+	RequestID  string        // X-Request-Id of the failed request
+	RetryAfter time.Duration // backoff hint on 429 (0 when absent)
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("datacache API: %s (%d): %s [request %s]", e.Code, e.Status, e.Message, e.RequestID)
+}
+
+// IsNotFound reports whether err is an APIError with code not_found.
+func IsNotFound(err error) bool { return hasCode(err, CodeNotFound) }
+
+// IsConflict reports whether err is an APIError with code conflict
+// (operation against a closed session).
+func IsConflict(err error) bool { return hasCode(err, CodeConflict) }
+
+// IsOverloaded reports whether err is an APIError with code overloaded
+// (the per-session inflight budget shed the request); pair with
+// RetryAfterOf for the backoff hint.
+func IsOverloaded(err error) bool { return hasCode(err, CodeOverloaded) }
+
+// RetryAfterOf extracts the Retry-After hint from an overloaded error
+// (0 when err carries none).
+func RetryAfterOf(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+func hasCode(err error, code Code) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError. Bodies that
+// are not the uniform envelope (proxies, panics) degrade to the raw text.
+func decodeAPIError(resp *http.Response) error {
+	ae := &APIError{
+		Status:    resp.StatusCode,
+		Code:      CodeInternal,
+		RequestID: resp.Header.Get("X-Request-Id"),
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var envelope service.ErrorBody
+	if err := json.Unmarshal(body, &envelope); err == nil && envelope.Error.Code != "" {
+		ae.Code = envelope.Error.Code
+		ae.Message = envelope.Error.Message
+		if envelope.Error.RequestID != "" {
+			ae.RequestID = envelope.Error.RequestID
+		}
+		return ae
+	}
+	ae.Message = strings.TrimSpace(string(body))
+	if ae.Message == "" {
+		ae.Message = http.StatusText(resp.StatusCode)
+	}
+	return ae
+}

@@ -1,0 +1,349 @@
+// Command dcload is a closed-loop load generator for dcserved, built on
+// the typed client package. It opens one serving session per worker,
+// drives a deterministic workload through the bulk-ingestion endpoint
+// (POST /v1/session/{id}/requests) and reports a latency histogram, the
+// achieved throughput, and every session's final competitive ratio.
+//
+// Usage:
+//
+//	dcload -addr http://localhost:8080 -n 10000 -c 4 -batch 64
+//	dcload -workload zipf -m 16 -seed 7 -qps 2000 -out report.txt
+//	dcload -workload adversarial -batch 1          # single-request path
+//
+// Exit status is non-zero when any request fails with a 5xx (or a
+// transport error), or when -max-ratio is set and any session finishes
+// above it — which is what the CI smoke job asserts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"datacache/client"
+	"datacache/internal/model"
+	"datacache/internal/service"
+	"datacache/internal/stats"
+	"datacache/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "dcserved base URL")
+		n        = flag.Int("n", 10000, "total requests across all workers")
+		c        = flag.Int("c", 4, "concurrent workers, one session each")
+		batch    = flag.Int("batch", 64, "requests per batch (1 uses the single-request endpoint)")
+		wl       = flag.String("workload", "zipf", "workload: uniform|zipf|adversarial")
+		m        = flag.Int("m", 16, "number of servers")
+		mu       = flag.Float64("mu", 1, "transfer cost μ")
+		lambda   = flag.Float64("lambda", 2, "holding cost λ per unit time")
+		policy   = flag.String("policy", "sc", "serving policy")
+		gap      = flag.Float64("gap", 1.0, "mean inter-arrival time of the generated trace")
+		seed     = flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
+		qps      = flag.Float64("qps", 0, "target aggregate requests/sec (0 = closed loop)")
+		ndjson   = flag.Bool("ndjson", false, "send batches as NDJSON instead of JSON")
+		maxRatio = flag.Float64("max-ratio", 0, "fail if any session's final ratio exceeds this (0 disables)")
+		out      = flag.String("out", "", "also write the report to this file")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-call HTTP timeout")
+		version  = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("dcload " + service.Version)
+		return
+	}
+	if *n <= 0 || *c <= 0 || *batch <= 0 {
+		fmt.Fprintln(os.Stderr, "dcload: -n, -c and -batch must be positive")
+		os.Exit(2)
+	}
+	if *c > *n {
+		*c = *n
+	}
+
+	gen, err := makeGenerator(*wl, *m, *gap, *mu, *lambda)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcload: %v\n", err)
+		os.Exit(2)
+	}
+
+	cl := client.New(*addr, client.WithHTTPClient(&http.Client{Timeout: *timeout}))
+	ctx := context.Background()
+	if _, _, err := cl.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dcload: server not reachable at %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+
+	// Split n across workers; the first n%c workers take one extra.
+	results := make([]workerResult, *c)
+	done := make(chan int, *c)
+	perWorkerQPS := *qps / float64(*c)
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		share := *n / *c
+		if w < *n%*c {
+			share++
+		}
+		cfg := workerConfig{
+			id:     w,
+			n:      share,
+			batch:  *batch,
+			seq:    gen.Generate(rand.New(rand.NewSource(*seed+int64(w))), share),
+			policy: *policy,
+			mu:     *mu,
+			lambda: *lambda,
+			qps:    perWorkerQPS,
+			ndjson: *ndjson,
+		}
+		go func(w int, cfg workerConfig) {
+			results[w] = runWorker(ctx, cl, cfg)
+			done <- w
+		}(w, cfg)
+	}
+	for i := 0; i < *c; i++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	rep := buildReport(gen.Name(), *batch, elapsed, results)
+	text := rep.String()
+	fmt.Print(text)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dcload: writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+
+	if rep.Errs5xx > 0 || rep.Transport > 0 {
+		fmt.Fprintf(os.Stderr, "dcload: FAIL: %d server errors, %d transport errors\n", rep.Errs5xx, rep.Transport)
+		os.Exit(1)
+	}
+	if *maxRatio > 0 && rep.MaxSessionRatio > *maxRatio {
+		fmt.Fprintf(os.Stderr, "dcload: FAIL: worst session ratio %.4f exceeds -max-ratio %.4f\n", rep.MaxSessionRatio, *maxRatio)
+		os.Exit(1)
+	}
+}
+
+func makeGenerator(name string, m int, gap, mu, lambda float64) (workload.Generator, error) {
+	switch name {
+	case "uniform":
+		return workload.Uniform{M: m, MeanGap: gap}, nil
+	case "zipf":
+		return workload.Zipf{M: m, S: 1.2, MeanGap: gap}, nil
+	case "adversarial":
+		// The anti-SC pattern: gaps just past the speculative window Δt=λ/μ.
+		return workload.Adversarial{M: m, Window: lambda / mu}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (uniform|zipf|adversarial)", name)
+	}
+}
+
+type workerConfig struct {
+	id     int
+	n      int
+	batch  int
+	seq    *model.Sequence
+	policy string
+	mu     float64
+	lambda float64
+	qps    float64 // this worker's pacing target; 0 = closed loop
+	ndjson bool
+}
+
+type workerResult struct {
+	Served     int
+	Latencies  []float64 // seconds per round-trip (batch or single)
+	Sheds      int       // 429 retries
+	Errs4xx    int       // non-429 client errors
+	Errs5xx    int
+	Transport  int
+	FinalRatio float64
+	Err        error // first fatal error (session create, etc.)
+}
+
+// runWorker drives one session to completion. Batches retry on 429 using
+// the server's Retry-After hint; every other error drops the batch and is
+// counted by class.
+func runWorker(ctx context.Context, cl *client.Client, cfg workerConfig) workerResult {
+	var res workerResult
+	sess, err := cl.CreateSession(ctx, client.SessionConfig{
+		M:      cfg.seq.M,
+		Origin: cfg.seq.Origin,
+		Mu:     cfg.mu,
+		Lambda: cfg.lambda,
+		Policy: cfg.policy,
+	})
+	if err != nil {
+		res.Err = fmt.Errorf("worker %d: create session: %w", cfg.id, err)
+		res.Transport++
+		return res
+	}
+	defer sess.Close(ctx)
+
+	var interval time.Duration
+	if cfg.qps > 0 {
+		interval = time.Duration(float64(cfg.batch) / cfg.qps * float64(time.Second))
+	}
+	next := time.Now()
+
+	reqs := cfg.seq.Requests
+	for off := 0; off < len(reqs); off += cfg.batch {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		end := off + cfg.batch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		chunk := make([]client.Request, 0, end-off)
+		for _, r := range reqs[off:end] {
+			chunk = append(chunk, client.Request{Server: r.Server, T: r.Time})
+		}
+		ratio, ok := res.serveChunk(ctx, sess, chunk, cfg)
+		if ok {
+			res.FinalRatio = ratio
+		}
+	}
+	return res
+}
+
+// serveChunk submits one chunk, retrying overload sheds, and returns the
+// post-batch ratio when the chunk applied.
+func (res *workerResult) serveChunk(ctx context.Context, sess *client.Session, chunk []client.Request, cfg workerConfig) (float64, bool) {
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		var ratio float64
+		var served int
+		var err error
+		if cfg.batch == 1 {
+			var d client.Decision
+			d, err = sess.Serve(ctx, chunk[0].Server, chunk[0].T)
+			ratio, served = d.Ratio, 1
+		} else if cfg.ndjson {
+			var b client.BatchResponse
+			b, err = sess.ServeBatchNDJSON(ctx, chunk)
+			ratio, served = b.Ratio, b.Applied
+		} else {
+			var b client.BatchResponse
+			b, err = sess.ServeBatch(ctx, chunk)
+			ratio, served = b.Ratio, b.Applied
+		}
+		if err == nil {
+			res.Latencies = append(res.Latencies, time.Since(t0).Seconds())
+			res.Served += served
+			return ratio, true
+		}
+		if client.IsOverloaded(err) && attempt < 50 {
+			res.Sheds++
+			backoff := client.RetryAfterOf(err)
+			if backoff <= 0 {
+				backoff = 50 * time.Millisecond
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		res.countError(err)
+		return 0, false
+	}
+}
+
+func (res *workerResult) countError(err error) {
+	var ae *client.APIError
+	switch {
+	case errors.As(err, &ae) && ae.Status >= 500:
+		res.Errs5xx++
+	case ae != nil:
+		res.Errs4xx++
+	default:
+		res.Transport++
+	}
+	if res.Err == nil {
+		res.Err = err
+	}
+}
+
+// report aggregates every worker's outcome into the printed summary.
+type report struct {
+	Workload        string
+	Batch           int
+	Elapsed         time.Duration
+	Served          int
+	Sheds           int
+	Errs4xx         int
+	Errs5xx         int
+	Transport       int
+	Lat             stats.Summary
+	LatP999, LatMax float64
+	MaxSessionRatio float64
+	Ratios          []float64
+	FirstErr        error
+}
+
+func buildReport(workloadName string, batch int, elapsed time.Duration, results []workerResult) *report {
+	rep := &report{Workload: workloadName, Batch: batch, Elapsed: elapsed}
+	var all []float64
+	for _, r := range results {
+		rep.Served += r.Served
+		rep.Sheds += r.Sheds
+		rep.Errs4xx += r.Errs4xx
+		rep.Errs5xx += r.Errs5xx
+		rep.Transport += r.Transport
+		all = append(all, r.Latencies...)
+		if r.Served > 0 {
+			rep.Ratios = append(rep.Ratios, r.FinalRatio)
+			if r.FinalRatio > rep.MaxSessionRatio {
+				rep.MaxSessionRatio = r.FinalRatio
+			}
+		}
+		if rep.FirstErr == nil && r.Err != nil {
+			rep.FirstErr = r.Err
+		}
+	}
+	rep.Lat = stats.Summarize(all)
+	if len(all) > 0 {
+		sort.Float64s(all)
+		rep.LatP999 = stats.Percentile(all, 0.999)
+		rep.LatMax = all[len(all)-1]
+	}
+	return rep
+}
+
+func (rep *report) String() string {
+	var b strings.Builder
+	ms := func(s float64) string { return fmt.Sprintf("%.3f ms", s*1e3) }
+	fmt.Fprintf(&b, "dcload report\n")
+	fmt.Fprintf(&b, "  workload      %s  batch=%d\n", rep.Workload, rep.Batch)
+	fmt.Fprintf(&b, "  served        %d requests in %v (%.0f req/s)\n",
+		rep.Served, rep.Elapsed.Round(time.Millisecond), float64(rep.Served)/rep.Elapsed.Seconds())
+	fmt.Fprintf(&b, "  round-trips   %d  (sheds retried: %d)\n", rep.Lat.N, rep.Sheds)
+	if rep.Lat.N > 0 {
+		fmt.Fprintf(&b, "  latency       mean %s  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
+			ms(rep.Lat.Mean), ms(rep.Lat.P50), ms(rep.Lat.P90), ms(rep.Lat.P99), ms(rep.LatP999), ms(rep.LatMax))
+	}
+	fmt.Fprintf(&b, "  errors        4xx=%d 5xx=%d transport=%d\n", rep.Errs4xx, rep.Errs5xx, rep.Transport)
+	if len(rep.Ratios) > 0 {
+		fmt.Fprintf(&b, "  final ratios  worst %.4f  per-session %s\n", rep.MaxSessionRatio, fmtRatios(rep.Ratios))
+	}
+	if rep.FirstErr != nil {
+		fmt.Fprintf(&b, "  first error   %v\n", rep.FirstErr)
+	}
+	return b.String()
+}
+
+func fmtRatios(rs []float64) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("%.3f", r)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -19,8 +19,9 @@
 //	GET  /v1/stream/{id}              stream state
 //	GET  /v1/stream/{id}/schedule     optimal schedule for the streamed prefix
 //	DELETE /v1/stream/{id}            drop the stream
-//	POST /v1/session                  {m, origin, model, policy?, window?, epoch?} → live serving session
+//	POST /v1/session                  {m, origin, model, policy?, window?, epoch?} → live serving session (201 + Location)
 //	POST /v1/session/{id}/request     {server, time} → decision + running cost/optimum/ratio
+//	POST /v1/session/{id}/requests    {requests: [{server, t}]} or NDJSON lines → bulk decisions + post-batch snapshot
 //	GET  /v1/session/{id}             session state
 //	GET  /v1/session/{id}/schedule    schedule realized so far
 //	GET  /v1/session/{id}/trace       bounded ring of recent decision events
@@ -55,6 +56,7 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
 		traceCap  = flag.Int("trace-cap", service.DefaultTraceCap, "per-session decision-trace ring size (0 disables)")
 		sloWindow = flag.Int("slo-window", service.DefaultSLOWindow, "per-session SLO rolling-window length in requests (0 disables)")
+		inflight  = flag.Int("inflight-budget", service.DefaultInflightBudget, "per-session concurrent serve/batch budget before 429 shedding")
 		noRuntime = flag.Bool("no-runtime-metrics", false, "disable Go runtime metrics on /metrics")
 		version   = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -90,6 +92,7 @@ func main() {
 		service.WithLogger(logger),
 		service.WithTraceCap(*traceCap),
 		service.WithSLOWindow(*sloWindow),
+		service.WithInflightBudget(*inflight),
 	}
 	if !*noRuntime {
 		opts = append(opts, service.WithRuntimeMetrics())

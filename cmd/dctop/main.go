@@ -11,22 +11,22 @@
 //	dctop -addr http://localhost:8080 -once      # one plain frame, no ANSI
 //
 // Without -session, dctop picks the lexicographically first session that
-// exports a dc_session_cost series. Everything is stdlib; the Prometheus
-// scrape uses its own minimal text-format parser.
+// exports a dc_session_cost series. All transport goes through the typed
+// client package — dctop holds no HTTP plumbing of its own.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
+	"datacache/client"
 	"datacache/internal/service"
 	"datacache/internal/stats"
 )
@@ -45,10 +45,10 @@ func main() {
 		return
 	}
 
-	base := strings.TrimRight(*addr, "/")
-	client := &http.Client{Timeout: 5 * time.Second}
+	cl := client.New(*addr, client.WithHTTPClient(&http.Client{Timeout: 5 * time.Second}))
+	ctx := context.Background()
 	if *once {
-		frame, err := renderFrame(client, base, *session)
+		frame, err := renderFrame(ctx, cl, *session)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dctop: %v\n", err)
 			os.Exit(1)
@@ -57,7 +57,7 @@ func main() {
 		return
 	}
 	for {
-		frame, err := renderFrame(client, base, *session)
+		frame, err := renderFrame(ctx, cl, *session)
 		// Home the cursor, redraw, and clear whatever an earlier (taller)
 		// frame left below — steadier than a full-screen wipe per tick.
 		fmt.Print("\x1b[H\x1b[2J")
@@ -71,15 +71,12 @@ func main() {
 }
 
 // renderFrame assembles one full console frame.
-func renderFrame(client *http.Client, base, session string) (string, error) {
-	samples, err := scrapeMetrics(client, base)
+func renderFrame(ctx context.Context, cl *client.Client, session string) (string, error) {
+	samples, err := cl.Metrics(ctx)
 	if err != nil {
 		return "", err
 	}
-	var health struct {
-		Version string `json:"version"`
-	}
-	_ = getJSON(client, base+"/healthz", &health) // cosmetic only
+	_, serverVersion, _ := cl.Health(ctx) // cosmetic only
 
 	if session == "" {
 		session = pickSession(samples)
@@ -87,12 +84,12 @@ func renderFrame(client *http.Client, base, session string) (string, error) {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "dctop — datacache live console    server %s    %s\n",
-		health.Version, time.Now().Format("15:04:05"))
+		serverVersion, time.Now().Format("15:04:05"))
 	fmt.Fprintf(&b, "sessions open: %.0f    streams open: %.0f\n",
 		samples["dc_sessions_open"], samples["dc_streams_open"])
 
-	var alerts service.AlertsResponse
-	if err := getJSON(client, base+"/v1/alerts", &alerts); err != nil {
+	alerts, err := cl.Alerts(ctx)
+	if err != nil {
 		return "", err
 	}
 
@@ -102,8 +99,9 @@ func renderFrame(client *http.Client, base, session string) (string, error) {
 		return b.String(), nil
 	}
 
-	var slo service.SessionSLOResponse
-	if err := getJSON(client, base+"/v1/session/"+session+"/slo", &slo); err != nil {
+	sess := cl.OpenSession(session)
+	slo, err := sess.SLO(ctx)
+	if err != nil {
 		return "", fmt.Errorf("session %s: %w", session, err)
 	}
 
@@ -129,8 +127,7 @@ func renderFrame(client *http.Client, base, session string) (string, error) {
 
 	writeAlerts(&b, alerts)
 
-	var tr service.SessionTraceResponse
-	if err := getJSON(client, base+"/v1/session/"+session+"/trace", &tr); err == nil && len(tr.Events) > 0 {
+	if tr, err := sess.Trace(ctx); err == nil && len(tr.Events) > 0 {
 		b.WriteString("\nrecent events:\n")
 		events := tr.Events
 		if len(events) > 8 {
@@ -148,7 +145,7 @@ func renderFrame(client *http.Client, base, session string) (string, error) {
 	return b.String(), nil
 }
 
-func writeAlerts(b *strings.Builder, alerts service.AlertsResponse) {
+func writeAlerts(b *strings.Builder, alerts client.AlertsResponse) {
 	b.WriteString("\nalerts:")
 	if len(alerts.Alerts) == 0 {
 		b.WriteString(" none\n")
@@ -181,53 +178,4 @@ func pickSession(samples map[string]float64) string {
 		return ""
 	}
 	return ids[0]
-}
-
-// scrapeMetrics fetches /metrics and parses the Prometheus 0.0.4 text
-// format just far enough for a console: comment lines are skipped and
-// every sample line becomes series-with-labels -> value.
-func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
-	resp, err := client.Get(base + "/metrics")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]float64{}
-	for _, line := range strings.Split(string(body), "\n") {
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		// The value follows the last space; label values may contain
-		// escaped quotes but never a raw newline, so line-by-line holds.
-		cut := strings.LastIndexByte(line, ' ')
-		if cut <= 0 {
-			continue
-		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(line[cut+1:]), 64)
-		if err != nil {
-			continue
-		}
-		out[line[:cut]] = v
-	}
-	return out, nil
-}
-
-func getJSON(client *http.Client, url string, dst interface{}) error {
-	resp, err := client.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
-	}
-	return json.NewDecoder(resp.Body).Decode(dst)
 }

@@ -76,6 +76,22 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ExponentialBuckets returns n histogram bounds starting at start and
+// multiplying by factor — the natural shape for batch sizes and other
+// quantities spanning orders of magnitude. start must be positive and
+// factor > 1 (panics otherwise, like the registration-time validation).
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: invalid exponential buckets (start=%v, factor=%v, n=%d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
 // bucketIndex locates the bucket for v: the first bound >= v, or the
 // +Inf bucket past the end. Bounds are sorted (enforced at registration),
 // so a binary search wins once the layout grows past a cacheline of

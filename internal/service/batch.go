@@ -1,0 +1,214 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"datacache/internal/model"
+)
+
+// POST /v1/session/{id}/requests is the batch-first ingestion path: an
+// ordered batch of requests serves under ONE entry-lock acquisition and
+// one HTTP round-trip, instead of one of each per request. Two bodies are
+// accepted:
+//
+//   - JSON: {"requests": [{"server": 2, "t": 0.5}, ...]} — or the bare
+//     array as a shorthand. "time" is accepted as an alias of "t" to
+//     match the single-request DTO.
+//   - NDJSON (Content-Type: application/x-ndjson): one {"server", "t"}
+//     object per line, the streaming shape a forwarder naturally emits.
+//
+// Failure is partial, mirroring datacache.Session.ServeBatch: the first
+// request the engine rejects stops the batch; the reply reports the
+// applied prefix's decisions, the first-rejected index and the reason,
+// with status 200 (the batch itself was processed). Whole-batch failures
+// use the error envelope: 404 unknown session, 409 closed session,
+// 400 malformed body or oversized batch, 429 inflight budget exceeded.
+
+// MaxBatchRequests bounds one bulk-ingestion batch; larger batches are
+// rejected with 400 before any request applies.
+const MaxBatchRequests = 65536
+
+// BatchRequestItem is one {server, t} pair of a bulk batch.
+type BatchRequestItem struct {
+	Server model.ServerID `json:"server"`
+	T      float64        `json:"t,omitempty"`
+	Time   float64        `json:"time,omitempty"` // alias of t
+}
+
+// at returns the request instant, honoring the t/time alias.
+func (b BatchRequestItem) at() float64 {
+	if b.T != 0 {
+		return b.T
+	}
+	return b.Time
+}
+
+// SessionBatchRequest is the JSON body of POST /v1/session/{id}/requests.
+type SessionBatchRequest struct {
+	Requests []BatchRequestItem `json:"requests"`
+}
+
+// BatchDecision is one applied request's outcome inside a batch reply —
+// the same readout a single POST {id}/request returns.
+type BatchDecision struct {
+	Server  model.ServerID `json:"server"`
+	Time    float64        `json:"time"`
+	Hit     bool           `json:"hit"`
+	From    model.ServerID `json:"from,omitempty"`
+	Cost    float64        `json:"cost"`
+	Optimal float64        `json:"optimal"`
+	Ratio   float64        `json:"ratio"`
+}
+
+// SessionBatchResponse is the bulk-ingestion reply: per-request decisions
+// for the applied prefix, partial-failure standing, and the post-batch
+// cost/optimum/ratio snapshot.
+type SessionBatchResponse struct {
+	ID            string          `json:"id"`
+	N             int             `json:"n"`       // total requests served after the batch
+	Applied       int             `json:"applied"` // requests of this batch that applied
+	FirstRejected int             `json:"firstRejected"`
+	RejectReason  string          `json:"rejectReason,omitempty"`
+	Decisions     []BatchDecision `json:"decisions"`
+	Cost          float64         `json:"cost"`
+	Optimal       float64         `json:"optimal"`
+	Ratio         float64         `json:"ratio"`
+}
+
+// decodeBatch parses the batch body in any of its three accepted shapes.
+func decodeBatch(r *http.Request) ([]BatchRequestItem, error) {
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "ndjson") {
+		return decodeNDJSON(r.Body)
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<26)) // 64 MiB guard
+	if err != nil {
+		return nil, fmt.Errorf("reading batch body: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "[") {
+		var items []BatchRequestItem
+		if err := json.Unmarshal(body, &items); err != nil {
+			return nil, fmt.Errorf("bad batch array: %w", err)
+		}
+		return items, nil
+	}
+	var req SessionBatchRequest
+	dec := json.NewDecoder(strings.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad batch body: %w", err)
+	}
+	return req.Requests, nil
+}
+
+// decodeNDJSON reads one BatchRequestItem per line. json.Decoder handles
+// the framing itself (values are self-delimiting), so blank lines and
+// ordinary newlines both work.
+func decodeNDJSON(body io.Reader) ([]BatchRequestItem, error) {
+	var items []BatchRequestItem
+	dec := json.NewDecoder(body)
+	for {
+		var item BatchRequestItem
+		if err := dec.Decode(&item); err != nil {
+			if errors.Is(err, io.EOF) {
+				return items, nil
+			}
+			return nil, fmt.Errorf("bad NDJSON line %d: %w", len(items)+1, err)
+		}
+		items = append(items, item)
+		if len(items) > MaxBatchRequests {
+			return nil, fmt.Errorf("batch exceeds %d requests", MaxBatchRequests)
+		}
+	}
+}
+
+// handleSessionBatch serves POST /v1/session/{id}/requests. The caller
+// has resolved the entry; this handler owns budget admission, locking and
+// the reply.
+func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request, id string, entry *sessionEntry) {
+	items, err := decodeBatch(r)
+	if err != nil {
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if len(items) > MaxBatchRequests {
+		s.httpError(w, r, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds the %d-request bound", len(items), MaxBatchRequests))
+		return
+	}
+	reqs := make([]model.Request, len(items))
+	for i, it := range items {
+		reqs[i] = model.Request{Server: it.Server, Time: it.at()}
+	}
+
+	if !s.acquireServeSlot(w, r, id, entry) {
+		return
+	}
+	defer entry.inflight.Add(-1)
+	if !s.lockEntry(w, r, entry) {
+		return
+	}
+	if entry.sess.Closed() {
+		entry.lk.unlock()
+		s.httpError(w, r, http.StatusConflict, fmt.Errorf("session %q is closed", id))
+		return
+	}
+	start := time.Now()
+	res, err := entry.sess.ServeBatch(r.Context(), reqs)
+	elapsed := time.Since(start)
+	var n int
+	if res != nil {
+		n = entry.sess.N()
+		if len(res.Decisions) > 0 {
+			s.publishSessionGauges(id, entry)
+		}
+	}
+	entry.lk.unlock()
+	if err != nil {
+		// ServeBatch fails outright only on a closed session (handled
+		// above) or a context canceled mid-batch; the applied prefix
+		// stays applied either way.
+		applied := 0
+		if res != nil {
+			applied = len(res.Decisions)
+		}
+		s.httpError(w, r, StatusClientClosedRequest,
+			fmt.Errorf("batch aborted after %d of %d requests: %v", applied, len(reqs), err))
+		return
+	}
+	s.batchSize.Observe(float64(len(reqs)))
+	if applied := len(res.Decisions); applied > 0 {
+		// One sample of the mean per-decision latency across the batch;
+		// the single-request path samples every decision individually.
+		s.decisionSec.Observe(elapsed.Seconds() / float64(applied))
+	}
+	resp := SessionBatchResponse{
+		ID:            id,
+		N:             n,
+		Applied:       len(res.Decisions),
+		FirstRejected: res.FirstRejected,
+		RejectReason:  res.RejectReason,
+		Decisions:     make([]BatchDecision, len(res.Decisions)),
+		Cost:          res.Cost,
+		Optimal:       res.Optimal,
+		Ratio:         res.Ratio,
+	}
+	for i, d := range res.Decisions {
+		resp.Decisions[i] = BatchDecision{
+			Server:  d.Server,
+			Time:    d.Time,
+			Hit:     d.Hit,
+			From:    d.From,
+			Cost:    d.Cost,
+			Optimal: d.Optimal,
+			Ratio:   d.Ratio,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

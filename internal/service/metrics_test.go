@@ -423,8 +423,9 @@ func TestTraceRingBounded(t *testing.T) {
 	}
 }
 
-// TestErrorCarriesRequestID checks that error bodies echo the request ID
-// issued in the X-Request-Id response header.
+// TestErrorCarriesRequestID checks that error bodies use the uniform
+// {"error": {"code", "message", "request_id"}} envelope and echo the
+// request ID issued in the X-Request-Id response header.
 func TestErrorCarriesRequestID(t *testing.T) {
 	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/v1/session/absent")
@@ -439,18 +440,69 @@ func TestErrorCarriesRequestID(t *testing.T) {
 	if header == "" {
 		t.Fatal("missing X-Request-Id header")
 	}
-	var body struct {
-		Error     string `json:"error"`
-		RequestID string `json:"requestId"`
-	}
+	var body ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if body.Error == "" {
-		t.Error("error body has no error message")
+	if body.Error.Code != CodeNotFound {
+		t.Errorf("error code = %q, want %q", body.Error.Code, CodeNotFound)
 	}
-	if body.RequestID != header {
-		t.Errorf("body requestId %q != header %q", body.RequestID, header)
+	if body.Error.Message == "" {
+		t.Error("error body has no message")
+	}
+	if body.Error.RequestID != header {
+		t.Errorf("body request_id %q != header %q", body.Error.RequestID, header)
+	}
+}
+
+// TestErrorEnvelopeAcrossRoutes pins the machine-readable code every
+// error class maps to, across routes that used to answer with ad-hoc
+// bodies.
+func TestErrorEnvelopeAcrossRoutes(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		do     func() (*http.Response, error)
+		status int
+		code   ErrCode
+	}{
+		{"unknown session", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/session/nope")
+		}, http.StatusNotFound, CodeNotFound},
+		{"unknown stream", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/stream/nope")
+		}, http.StatusNotFound, CodeNotFound},
+		{"bad optimize body", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(`{"nonsense": 1}`))
+		}, http.StatusBadRequest, CodeBadRequest},
+		{"wrong verb on stream create", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/stream")
+		}, http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+		{"bad generate params", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/generate", "application/json", strings.NewReader(`{"workload":"uniform","m":0,"n":5,"seed":1}`))
+		}, http.StatusBadRequest, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := tc.do()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			var body ErrorBody
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("decoding envelope: %v", err)
+			}
+			if body.Error.Code != tc.code {
+				t.Errorf("code = %q, want %q", body.Error.Code, tc.code)
+			}
+			if body.Error.Message == "" || body.Error.RequestID == "" {
+				t.Errorf("incomplete envelope: %+v", body.Error)
+			}
+		})
 	}
 }
 

@@ -21,6 +21,16 @@
 // lists every session's alert standing, GET /readyz degrades while any
 // alert is firing, and /metrics carries dc_session_server_cost,
 // dc_alert_state and dc_alert_transitions_total.
+//
+// The serving core is batch-first and lock-striped: session and stream
+// ids hash onto independent registry shards (registry.go), per-session
+// serialization lives in a context-aware entry lock that a disconnected
+// client abandons, POST /v1/session/{id}/requests ingests an ordered
+// batch (JSON array or NDJSON) under one lock acquisition with
+// partial-failure semantics, and a per-session inflight budget sheds
+// excess load with 429 + Retry-After. All /v1/* errors share the
+// {"error": {"code", "message", "request_id"}} envelope (errors.go),
+// which the typed Go client package (client/) decodes.
 package service
 
 import (
@@ -33,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datacache/internal/model"
@@ -44,7 +55,7 @@ import (
 )
 
 // Version identifies the service build in /healthz and /v1/spec.
-const Version = "1.2.0"
+const Version = "1.3.0"
 
 // DefaultTraceCap bounds each session's decision-event ring unless
 // WithTraceCap overrides it.
@@ -55,6 +66,12 @@ const DefaultTraceCap = 256
 // it.
 const DefaultSLOWindow = 64
 
+// DefaultInflightBudget bounds how many serve operations (single or
+// batch) may queue against one session at a time unless
+// WithInflightBudget overrides it. Excess requests are shed with
+// 429 + Retry-After instead of piling up behind the session lock.
+const DefaultInflightBudget = 64
+
 // Server is the HTTP facade. The zero value is not usable; call New.
 type Server struct {
 	mux         *http.ServeMux
@@ -62,6 +79,7 @@ type Server struct {
 	reg         *obs.Registry
 	traceCap    int
 	sloWindow   int
+	inflight    int64
 	runtimeMetr bool
 
 	// Hot-path metric handles, resolved once at construction so request
@@ -83,11 +101,24 @@ type Server struct {
 	alertTrans   *obs.CounterVec   // alert, to
 	sessionsOpen *obs.Gauge
 	streamsOpen  *obs.Gauge
+	batchSize    *obs.Histogram // requests per accepted batch
+	batchShed    *obs.Counter   // batches shed by the inflight budget
+	shardSess    [numShards]*obs.Gauge
 
-	mu       sync.Mutex
-	streams  map[string]*offline.Incremental
-	sessions map[string]*sessionEntry
-	nextID   int
+	// The session and stream tables are lock-striped (registry.go): ids
+	// hash onto numShards shards, each behind its own RWMutex, so
+	// operations on unrelated sessions never contend. Per-session
+	// serialization lives in each entry's own context-aware lock.
+	streams  *registry[*streamEntry]
+	sessions *registry[*sessionEntry]
+	nextID   atomic.Int64
+}
+
+// streamEntry wraps an incremental planning stream with its own lock, so
+// appends to different streams proceed in parallel.
+type streamEntry struct {
+	mu  sync.Mutex
+	inc *offline.Incremental
 }
 
 // Option customizes a Server.
@@ -124,6 +155,18 @@ func WithRuntimeMetrics() Option {
 	return func(s *Server) { s.runtimeMetr = true }
 }
 
+// WithInflightBudget sets how many serve operations may wait on one
+// session before further ones are shed with 429 (default
+// DefaultInflightBudget; values < 1 are clamped to 1).
+func WithInflightBudget(n int) Option {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.inflight = int64(n)
+	}
+}
+
 // routeDocs describes every route for /v1/spec.
 var routeDocs = map[string]string{
 	"/healthz":     "GET liveness and version",
@@ -136,13 +179,13 @@ var routeDocs = map[string]string{
 	"/v1/policies": "GET policy names",
 	"/v1/stream":   "POST {m, origin, model} -> incremental planning stream",
 	"/v1/stream/":  "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
-	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?} -> live policy-serving session",
-	"/v1/session/": "POST {id}/request, GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, DELETE {id} (close; returns final state + schedule)",
+	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?} -> live policy-serving session (201 + Location)",
+	"/v1/session/": "POST {id}/request, POST {id}/requests (bulk: JSON {requests:[{server,t}]} or NDJSON lines; partial apply + firstRejected), GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, DELETE {id} (close; returns final state + schedule)",
 	"/v1/alerts":   "GET every live session's SLO alerts (pending, firing, resolved)",
 	"/v1/spec":     "GET this route list",
 	"/readyz":      "GET readiness: degraded while any SLO alert is firing",
 	"/metrics":     "GET Prometheus text-format metrics (HTTP, engine, per-session, SLO)",
-	"/metricz":     "GET per-route served counters (JSON alias of /metrics)",
+	"/metricz":     "DEPRECATED alias of /metrics: GET per-route served counters as JSON; prefer /metrics",
 }
 
 // New builds the service with all routes mounted.
@@ -153,8 +196,9 @@ func New(opts ...Option) *Server {
 		reg:       obs.NewRegistry(),
 		traceCap:  DefaultTraceCap,
 		sloWindow: DefaultSLOWindow,
-		streams:   map[string]*offline.Incremental{},
-		sessions:  map[string]*sessionEntry{},
+		inflight:  DefaultInflightBudget,
+		streams:   newRegistry[*streamEntry](),
+		sessions:  newRegistry[*sessionEntry](),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -196,6 +240,21 @@ func New(opts ...Option) *Server {
 		"alert", "to")
 	s.sessionsOpen = s.reg.Gauge("dc_sessions_open", "Open live-serving sessions.")
 	s.streamsOpen = s.reg.Gauge("dc_streams_open", "Open incremental planning streams.")
+	s.batchSize = s.reg.Histogram("dc_session_batch_size",
+		"Requests per accepted bulk-ingestion batch (POST /v1/session/{id}/requests).",
+		obs.ExponentialBuckets(1, 2, 11))
+	s.batchShed = s.reg.Counter("dc_session_batches_shed_total",
+		"Serve operations rejected with 429 by the per-session inflight budget.")
+	shardGauges := s.reg.GaugeVec("dc_registry_shard_sessions",
+		"Live sessions registered per lock-stripe shard of the session registry.", "shard")
+	for i := range s.shardSess {
+		s.shardSess[i] = shardGauges.With(strconv.Itoa(i))
+	}
+	s.reg.RegisterCollector(func() {
+		for i, n := range s.sessions.shardLens() {
+			s.shardSess[i].Set(float64(n))
+		}
+	})
 
 	s.mount("/healthz", s.handleHealth)
 	s.mount("/v1/optimize", s.handleOptimize)
@@ -649,12 +708,10 @@ func (s *Server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("st-%d", s.nextID)
-	s.streams[id] = inc
-	s.mu.Unlock()
+	id := fmt.Sprintf("st-%d", s.nextID.Add(1))
+	s.streams.put(id, &streamEntry{inc: inc})
 	s.streamsOpen.Add(1)
+	w.Header().Set("Location", "/v1/stream/"+id)
 	writeJSON(w, http.StatusCreated, StreamState{ID: id, N: 0, Cost: 0})
 }
 
@@ -666,9 +723,7 @@ func (s *Server) handleStreamOp(w http.ResponseWriter, r *http.Request) {
 	if len(parts) == 2 {
 		op = parts[1]
 	}
-	s.mu.Lock()
-	inc, ok := s.streams[id]
-	s.mu.Unlock()
+	entry, ok := s.streams.get(id)
 	if !ok {
 		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown stream %q", id))
 		return
@@ -679,24 +734,24 @@ func (s *Server) handleStreamOp(w http.ResponseWriter, r *http.Request) {
 		if !s.readJSON(w, r, &req) {
 			return
 		}
-		s.mu.Lock()
-		err := inc.Append(model.Request{Server: req.Server, Time: req.Time})
-		state := StreamState{ID: id, N: inc.N(), Cost: inc.Cost()}
-		s.mu.Unlock()
+		entry.mu.Lock()
+		err := entry.inc.Append(model.Request{Server: req.Server, Time: req.Time})
+		state := StreamState{ID: id, N: entry.inc.N(), Cost: entry.inc.Cost()}
+		entry.mu.Unlock()
 		if err != nil {
 			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, state)
 	case op == "" && r.Method == http.MethodGet:
-		s.mu.Lock()
-		state := StreamState{ID: id, N: inc.N(), Cost: inc.Cost()}
-		s.mu.Unlock()
+		entry.mu.Lock()
+		state := StreamState{ID: id, N: entry.inc.N(), Cost: entry.inc.Cost()}
+		entry.mu.Unlock()
 		writeJSON(w, http.StatusOK, state)
 	case op == "schedule" && r.Method == http.MethodGet:
-		s.mu.Lock()
-		res := inc.Result()
-		s.mu.Unlock()
+		entry.mu.Lock()
+		res := entry.inc.Result()
+		entry.mu.Unlock()
 		sched, err := res.Schedule()
 		if err != nil {
 			s.httpError(w, r, http.StatusInternalServerError, err)
@@ -704,11 +759,7 @@ func (s *Server) handleStreamOp(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, sched)
 	case op == "" && r.Method == http.MethodDelete:
-		s.mu.Lock()
-		_, present := s.streams[id]
-		delete(s.streams, id)
-		s.mu.Unlock()
-		if present { // racing DELETEs must decrement once
+		if s.streams.delete(id) { // racing DELETEs must decrement once
 			s.streamsOpen.Add(-1)
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
@@ -737,23 +788,4 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-// httpError replies with a JSON error body carrying the request ID and
-// logs the failure (client errors at WARN, server errors at ERROR) instead
-// of silently returning JSON only.
-func (s *Server) httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
-	id := obs.RequestIDFrom(r.Context())
-	level := slog.LevelWarn
-	if status >= http.StatusInternalServerError {
-		level = slog.LevelError
-	}
-	s.log.LogAttrs(r.Context(), level, "request error",
-		slog.String("id", id),
-		slog.String("method", r.Method),
-		slog.String("path", r.URL.Path),
-		slog.Int("status", status),
-		slog.String("error", err.Error()),
-	)
-	writeJSON(w, status, map[string]string{"error": err.Error(), "requestId": id})
 }

@@ -8,7 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"datacache"
@@ -26,16 +26,24 @@ import (
 // counters, the decision-latency histogram and the per-session
 // cost / optimum / cost_over_optimum / live_copies gauges on /metrics.
 
-// sessionEntry wraps a Session with its own lock so concurrent operations
-// on different sessions never serialize on the server-wide mutex. It also
-// remembers every metric label this session has published — the server
-// labels of dc_session_server_cost and the rule names of dc_alert_state —
-// so closing the session can retire exactly those series.
+// sessionEntry wraps a Session with its own context-aware lock so
+// concurrent operations on different sessions never serialize anywhere:
+// the registry shard lock is held only for the lookup, and the entry lock
+// (an entryLock semaphore) is abandoned when the waiting client
+// disconnects. It also remembers every metric label this session has
+// published — the server labels of dc_session_server_cost and the rule
+// names of dc_alert_state — so closing the session can retire exactly
+// those series.
+//
+// inflight counts the serve operations (single requests and batches)
+// currently queued against the entry; the handler sheds work beyond the
+// server's inflight budget with 429 before ever touching the lock.
 type sessionEntry struct {
-	mu      sync.Mutex
-	sess    *datacache.Session
-	servers map[string]bool
-	alerts  []string
+	lk       entryLock
+	inflight atomic.Int64
+	sess     *datacache.Session
+	servers  map[string]bool
+	alerts   []string
 }
 
 // SessionCreateRequest is the /v1/session body.
@@ -192,13 +200,13 @@ func (s *Server) dropSessionGauges(id string, e *sessionEntry) {
 	s.sessionOpt.Delete(id)
 	s.sessionRatio.Delete(id)
 	s.sessionLive.Delete(id)
-	e.mu.Lock()
+	_ = e.lk.lock(context.Background()) // never fails: the context cannot be canceled
 	servers := make([]string, 0, len(e.servers))
 	for srv := range e.servers {
 		servers = append(servers, srv)
 	}
 	alerts := append([]string(nil), e.alerts...)
-	e.mu.Unlock()
+	e.lk.unlock()
 	for _, srv := range servers {
 		s.serverCost.Delete(id, srv, "caching")
 		s.serverCost.Delete(id, srv, "transfer")
@@ -229,11 +237,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	entry := &sessionEntry{sess: sess, servers: map[string]bool{}}
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("sn-%d", s.nextID)
-	s.mu.Unlock()
+	entry := &sessionEntry{lk: newEntryLock(), sess: sess, servers: map[string]bool{}}
+	id := fmt.Sprintf("sn-%d", s.nextID.Add(1))
 	if slo := sess.SLO(); slo != nil {
 		// The hook runs under the entry lock of whichever Serve triggers
 		// the transition; the gauge and counter writes are lock-free.
@@ -253,14 +258,42 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			)
 		})
 	}
-	s.mu.Lock()
-	s.sessions[id] = entry
-	s.mu.Unlock()
+	s.sessions.put(id, entry)
 	s.sessionsOpen.Add(1)
-	entry.mu.Lock()
+	_ = entry.lk.lock(context.Background())
 	s.publishSessionGauges(id, entry)
-	entry.mu.Unlock()
+	entry.lk.unlock()
+	w.Header().Set("Location", "/v1/session/"+id)
 	writeJSON(w, http.StatusCreated, sessionState(id, sess))
+}
+
+// lockEntry acquires the entry lock honoring the request context: a
+// client that disconnects while queued behind a long batch stops waiting
+// and its slot is released. Reports whether the lock is held; on failure
+// the 499 envelope has already been written.
+func (s *Server) lockEntry(w http.ResponseWriter, r *http.Request, e *sessionEntry) bool {
+	if err := e.lk.lock(r.Context()); err != nil {
+		s.httpError(w, r, StatusClientClosedRequest,
+			fmt.Errorf("client gone while waiting for session lock: %v", err))
+		return false
+	}
+	return true
+}
+
+// acquireServeSlot admits a serve operation (single or batch) against the
+// session's inflight budget, shedding excess load with 429 + Retry-After
+// before the operation ever queues on the entry lock. On success the
+// caller must release the slot with entry.inflight.Add(-1).
+func (s *Server) acquireServeSlot(w http.ResponseWriter, r *http.Request, id string, e *sessionEntry) bool {
+	if e.inflight.Add(1) > s.inflight {
+		e.inflight.Add(-1)
+		s.batchShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, r, http.StatusTooManyRequests,
+			fmt.Errorf("session %q has %d serve operations inflight (budget %d)", id, s.inflight, s.inflight))
+		return false
+	}
+	return true
 }
 
 func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
@@ -271,9 +304,7 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 	if len(parts) == 2 {
 		op = parts[1]
 	}
-	s.mu.Lock()
-	entry, ok := s.sessions[id]
-	s.mu.Unlock()
+	entry, ok := s.sessions.get(id)
 	if !ok {
 		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
 		return
@@ -284,7 +315,13 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		if !s.readJSON(w, r, &req) {
 			return
 		}
-		entry.mu.Lock()
+		if !s.acquireServeSlot(w, r, id, entry) {
+			return
+		}
+		defer entry.inflight.Add(-1)
+		if !s.lockEntry(w, r, entry) {
+			return
+		}
 		start := time.Now()
 		d, err := entry.sess.Serve(req.Server, req.Time)
 		elapsed := time.Since(start)
@@ -292,7 +329,7 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		if err == nil {
 			s.publishSessionGauges(id, entry)
 		}
-		entry.mu.Unlock()
+		entry.lk.unlock()
 		if err != nil {
 			s.httpError(w, r, http.StatusBadRequest, err)
 			return
@@ -309,21 +346,29 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			Optimal: d.Optimal,
 			Ratio:   d.Ratio,
 		})
+	case op == "requests" && r.Method == http.MethodPost:
+		s.handleSessionBatch(w, r, id, entry)
 	case op == "" && r.Method == http.MethodGet:
-		entry.mu.Lock()
+		if !s.lockEntry(w, r, entry) {
+			return
+		}
 		state := sessionState(id, entry.sess)
-		entry.mu.Unlock()
+		entry.lk.unlock()
 		writeJSON(w, http.StatusOK, state)
 	case op == "schedule" && r.Method == http.MethodGet:
-		entry.mu.Lock()
+		if !s.lockEntry(w, r, entry) {
+			return
+		}
 		sched := entry.sess.Schedule()
-		entry.mu.Unlock()
+		entry.lk.unlock()
 		writeJSON(w, http.StatusOK, sched)
 	case op == "trace" && r.Method == http.MethodGet:
-		entry.mu.Lock()
+		if !s.lockEntry(w, r, entry) {
+			return
+		}
 		events := entry.sess.Trace()
 		dropped := entry.sess.TraceDropped()
-		entry.mu.Unlock()
+		entry.lk.unlock()
 		if events == nil {
 			events = []datacache.TraceEvent{} // render [] rather than null
 		}
@@ -331,7 +376,9 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			ID: id, Cap: s.traceCap, Dropped: dropped, Events: events,
 		})
 	case op == "slo" && r.Method == http.MethodGet:
-		entry.mu.Lock()
+		if !s.lockEntry(w, r, entry) {
+			return
+		}
 		slo := entry.sess.SLO()
 		var snap datacache.SLOSnapshot
 		if slo != nil {
@@ -339,7 +386,7 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		}
 		breakdown := entry.sess.CostBreakdown()
 		state := sessionState(id, entry.sess)
-		entry.mu.Unlock()
+		entry.lk.unlock()
 		if slo == nil {
 			s.httpError(w, r, http.StatusNotFound, fmt.Errorf("session %q has SLO tracking disabled", id))
 			return
@@ -354,19 +401,17 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			Breakdown: breakdown,
 		})
 	case op == "" && r.Method == http.MethodDelete:
-		entry.mu.Lock()
+		if !s.lockEntry(w, r, entry) {
+			return
+		}
 		sched, err := entry.sess.Close()
 		state := sessionState(id, entry.sess)
-		entry.mu.Unlock()
+		entry.lk.unlock()
 		if err != nil {
 			s.httpError(w, r, http.StatusInternalServerError, err)
 			return
 		}
-		s.mu.Lock()
-		_, present := s.sessions[id]
-		delete(s.sessions, id)
-		s.mu.Unlock()
-		if present { // racing DELETEs must tear down once
+		if s.sessions.delete(id) { // racing DELETEs must tear down once
 			s.sessionsOpen.Add(-1)
 			s.dropSessionGauges(id, entry)
 		}
@@ -376,31 +421,22 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// collectAlerts snapshots every live session's non-inactive alerts. It
-// takes the server lock only to copy the session table, then each entry
-// lock in turn — the same s.mu-then-entry.mu order every handler uses.
+// collectAlerts snapshots every live session's non-inactive alerts. The
+// registry iteration is shard-local — it snapshots one shard at a time
+// under that shard's read lock, then takes each entry lock in turn, so a
+// full alert sweep never stalls serving on more than one session at a
+// time.
 func (s *Server) collectAlerts() ([]SessionAlert, int) {
-	type idEntry struct {
-		id    string
-		entry *sessionEntry
-	}
-	s.mu.Lock()
-	entries := make([]idEntry, 0, len(s.sessions))
-	for id, e := range s.sessions {
-		entries = append(entries, idEntry{id, e})
-	}
-	s.mu.Unlock()
-
 	var out []SessionAlert
 	firing := 0
-	for _, ie := range entries {
-		ie.entry.mu.Lock()
-		slo := ie.entry.sess.SLO()
+	s.sessions.forEach(func(id string, entry *sessionEntry) {
+		_ = entry.lk.lock(context.Background())
+		slo := entry.sess.SLO()
 		var alerts []datacache.Alert
 		if slo != nil {
 			alerts = slo.Alerts()
 		}
-		ie.entry.mu.Unlock()
+		entry.lk.unlock()
 		for _, a := range alerts {
 			if a.State == datacache.AlertInactive {
 				continue
@@ -408,9 +444,9 @@ func (s *Server) collectAlerts() ([]SessionAlert, int) {
 			if a.State == datacache.AlertFiring {
 				firing++
 			}
-			out = append(out, SessionAlert{Session: ie.id, Alert: a})
+			out = append(out, SessionAlert{Session: id, Alert: a})
 		}
-	}
+	})
 	// Firing first, then pending, then resolved; stable within a state.
 	rank := map[datacache.AlertState]int{
 		datacache.AlertFiring:   0,
@@ -441,9 +477,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	_, firing := s.collectAlerts()
-	s.mu.Lock()
-	open := len(s.sessions)
-	s.mu.Unlock()
+	open := s.sessions.len()
 	status := "ready"
 	if firing > 0 {
 		status = "degraded"

@@ -1,6 +1,7 @@
 package datacache
 
 import (
+	"context"
 	"fmt"
 
 	"datacache/internal/engine"
@@ -219,6 +220,73 @@ func (s *Session) Serve(server ServerID, t float64) (Decision, error) {
 	}
 	s.prevCost, s.prevOpt = d.Cost, d.Optimal
 	return d, nil
+}
+
+// ServeBatchResult reports how a batch fared: one Decision per applied
+// request, the index of the first rejected request (-1 when the whole
+// batch applied) and the post-batch cost picture.
+type ServeBatchResult struct {
+	// Decisions holds one entry per applied request, in order; identical
+	// to what the same requests served one Serve call at a time would
+	// have returned.
+	Decisions []Decision
+	// FirstRejected is the index of the first request the engine refused
+	// (out-of-range server, non-monotonic time), or -1 when every request
+	// applied. Requests before it are applied and stay applied; requests
+	// after it were not attempted.
+	FirstRejected int
+	// RejectReason explains the rejection ("" when FirstRejected is -1).
+	RejectReason string
+	// Cost, Optimal and Ratio snapshot the session after the batch —
+	// equal to the last decision's readout when any request applied.
+	Cost    float64
+	Optimal float64
+	Ratio   float64
+}
+
+// ServeBatch serves an ordered batch of requests under one call: each
+// request runs through exactly the same path as Serve (engine decision,
+// streaming-DP append, SLO observation), so a batch of n requests leaves
+// the session in a state indistinguishable from n single Serve calls.
+//
+// Failure is partial: the first request the engine rejects stops the
+// batch, with the prefix before it applied and reported in Decisions and
+// FirstRejected naming the offender. A closed session rejects the whole
+// batch with an error instead.
+//
+// The context is honored between requests: when ctx is canceled
+// mid-batch, ServeBatch stops before the next request and returns the
+// partial result alongside the context's error.
+func (s *Session) ServeBatch(ctx context.Context, reqs []Request) (*ServeBatchResult, error) {
+	if s.closed {
+		return nil, fmt.Errorf("datacache: session is closed")
+	}
+	res := &ServeBatchResult{
+		Decisions:     make([]Decision, 0, len(reqs)),
+		FirstRejected: -1,
+	}
+	for i, r := range reqs {
+		if err := ctx.Err(); err != nil {
+			s.snapshotInto(res)
+			return res, err
+		}
+		d, err := s.Serve(r.Server, r.Time)
+		if err != nil {
+			res.FirstRejected = i
+			res.RejectReason = err.Error()
+			break
+		}
+		res.Decisions = append(res.Decisions, d)
+	}
+	s.snapshotInto(res)
+	return res, nil
+}
+
+// snapshotInto fills the post-batch cost/optimum/ratio readout.
+func (s *Session) snapshotInto(res *ServeBatchResult) {
+	res.Cost = s.Cost()
+	res.Optimal = s.OptimalCost()
+	res.Ratio = ratioOf(res.Cost, res.Optimal)
 }
 
 // N returns the number of requests served.

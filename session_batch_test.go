@@ -1,0 +1,158 @@
+package datacache_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"datacache"
+	"datacache/internal/offline"
+)
+
+// TestServeBatchEquivalence is the batch-path acceptance check: one
+// 100-request ServeBatch call must leave a session in a state bitwise
+// identical — cost, optimum, trace ring, SLO tracker — to 100 single
+// Serve calls on a twin session, because both run the same engine path.
+// Also pinned on the paper's Fig. 6 running example.
+func TestServeBatchEquivalence(t *testing.T) {
+	cm := datacache.CostModel{Mu: 1, Lambda: 2}
+	opts := &datacache.SessionOptions{TraceCap: 64, SLOWindow: 16}
+
+	fig6, fig6cm := offline.Fig6Instance()
+	cases := []struct {
+		name string
+		seq  *datacache.Sequence
+		cm   datacache.CostModel
+	}{
+		{"fig6", fig6, fig6cm},
+		{"random-100", randomSequence(rand.New(rand.NewSource(42)), 5, 100), cm},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			single, err := datacache.NewSession(tc.seq.M, tc.seq.Origin, tc.cm, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := datacache.NewSession(tc.seq.M, tc.seq.Origin, tc.cm, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var lastSingle datacache.Decision
+			for _, r := range tc.seq.Requests {
+				d, err := single.Serve(r.Server, r.Time)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lastSingle = d
+			}
+			res, err := batched.ServeBatch(context.Background(), tc.seq.Requests)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if res.FirstRejected != -1 || len(res.Decisions) != tc.seq.N() {
+				t.Fatalf("batch result %+v, want all %d applied", res, tc.seq.N())
+			}
+			if res.Cost != single.Cost() || res.Optimal != single.OptimalCost() || res.Ratio != single.Ratio() {
+				t.Errorf("batch snapshot (%v, %v, %v) != sequential (%v, %v, %v)",
+					res.Cost, res.Optimal, res.Ratio, single.Cost(), single.OptimalCost(), single.Ratio())
+			}
+			if last := res.Decisions[len(res.Decisions)-1]; last != lastSingle {
+				t.Errorf("last batch decision %+v != last single decision %+v", last, lastSingle)
+			}
+			if batched.N() != single.N() || batched.Hits() != single.Hits() || batched.Transfers() != single.Transfers() {
+				t.Errorf("counters (n=%d h=%d x=%d) != sequential (n=%d h=%d x=%d)",
+					batched.N(), batched.Hits(), batched.Transfers(),
+					single.N(), single.Hits(), single.Transfers())
+			}
+			if !reflect.DeepEqual(batched.Trace(), single.Trace()) {
+				t.Error("trace rings diverge between batch and sequential serving")
+			}
+			bs, ss := batched.SLO(), single.SLO()
+			if bs.N() != ss.N() || bs.WindowedRatio() != ss.WindowedRatio() ||
+				bs.CumulativeRatio() != ss.CumulativeRatio() || bs.EWMA() != ss.EWMA() {
+				t.Errorf("SLO state diverges: batch (n=%d w=%v c=%v e=%v) vs sequential (n=%d w=%v c=%v e=%v)",
+					bs.N(), bs.WindowedRatio(), bs.CumulativeRatio(), bs.EWMA(),
+					ss.N(), ss.WindowedRatio(), ss.CumulativeRatio(), ss.EWMA())
+			}
+			if !reflect.DeepEqual(batched.Schedule(), single.Schedule()) {
+				t.Error("schedules diverge between batch and sequential serving")
+			}
+		})
+	}
+}
+
+func TestServeBatchEmpty(t *testing.T) {
+	sess, err := datacache.NewSession(3, 1, datacache.CostModel{Mu: 1, Lambda: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.ServeBatch(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 0 || res.FirstRejected != -1 || res.Cost != 0 {
+		t.Errorf("empty batch result %+v", res)
+	}
+}
+
+func TestServeBatchPartial(t *testing.T) {
+	sess, err := datacache.NewSession(3, 1, datacache.CostModel{Mu: 1, Lambda: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []datacache.Request{
+		{Server: 2, Time: 1},
+		{Server: 3, Time: 2},
+		{Server: 1, Time: 1.5}, // non-monotonic — rejected
+		{Server: 2, Time: 3},   // never reached
+	}
+	res, err := sess.ServeBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err) // partial failure is reported in the result, not an error
+	}
+	if res.FirstRejected != 2 || res.RejectReason == "" || len(res.Decisions) != 2 {
+		t.Fatalf("partial result %+v, want firstRejected=2 with 2 decisions", res)
+	}
+	if sess.N() != 2 {
+		t.Errorf("session advanced to n=%d, want the 2-request prefix", sess.N())
+	}
+	// The session still serves forward from the applied prefix.
+	if _, err := sess.Serve(1, 2.5); err != nil {
+		t.Errorf("serve after partial batch: %v", err)
+	}
+}
+
+func TestServeBatchClosed(t *testing.T) {
+	sess, err := datacache.NewSession(3, 1, datacache.CostModel{Mu: 1, Lambda: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ServeBatch(context.Background(), []datacache.Request{{Server: 2, Time: 1}}); err == nil {
+		t.Fatal("batch against a closed session must error")
+	}
+}
+
+func TestServeBatchContextCancel(t *testing.T) {
+	sess, err := datacache.NewSession(3, 1, datacache.CostModel{Mu: 1, Lambda: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sess.ServeBatch(ctx, []datacache.Request{{Server: 2, Time: 1}})
+	if err == nil {
+		t.Fatal("batch under a canceled context must return the context error")
+	}
+	if res == nil || len(res.Decisions) != 0 {
+		t.Fatalf("canceled batch result %+v, want empty partial snapshot", res)
+	}
+	if sess.N() != 0 {
+		t.Errorf("canceled batch advanced the session to n=%d", sess.N())
+	}
+}
