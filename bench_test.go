@@ -360,6 +360,64 @@ func BenchmarkEngineDecisionTracedSLO(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineDecisionSpans stacks the distributed-tracing tier on the
+// decision path: per request, one head-sampled root span plus one serve
+// child annotated with the decision's regret, ended into the bounded span
+// store — the span work a /v1/session serve performs beyond the engine.
+// Two budgets: the untraced engine path (BenchmarkEngineDecision/m=100)
+// must stay within 5% of its pre-tracing cost — the drop accounting added
+// to Stream.Serve is plain integer arithmetic and measures as noise — and
+// this benchmark prices the full span tier itself (ids, two spans, store
+// insert), which the service amortizes to one root per HTTP request
+// however many decisions a batch carries.
+func BenchmarkEngineDecisionSpans(b *testing.B) {
+	const m = 100
+	rng := rand.New(rand.NewSource(61))
+	servers := make([]model.ServerID, 4096)
+	for i := range servers {
+		servers[i] = model.ServerID(1 + rng.Intn(m))
+	}
+	gap := benchModel.Delta() / 2
+	tracer, err := obs.NewTracer(obs.TracerOptions{
+		Rand:       rand.New(rand.NewSource(1)),
+		SampleRate: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newStream := func() *engine.Stream {
+		st, err := engine.NewStream(&engine.SC{}, engine.State{M: m, Origin: 1, Model: benchModel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	st := newStream()
+	t := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%8192 == 8191 {
+			b.StopTimer()
+			st, t = newStream(), 0
+			b.StartTimer()
+		}
+		t += gap
+		root := tracer.StartRoot("/v1/session/", obs.SpanContext{})
+		sp := root.StartChild("serve")
+		d, err := st.Serve(servers[i%len(servers)], t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp.Regret = float64(d.Drops) // stand-in regret; the store path is what's priced
+		sp.End()
+		root.End()
+	}
+	if tracer.SpanCount() == 0 {
+		b.Fatal("tracer stored nothing")
+	}
+}
+
 // The event-driven simulator against the closed form (cross-check cost).
 func BenchmarkSimulatorSC(b *testing.B) {
 	seq := workload.MarkovHop{M: 8, Stay: 0.8, MeanGap: benchModel.Delta() / 2}.

@@ -131,6 +131,20 @@ func TestCLIDcplanCatalog(t *testing.T) {
 	}
 }
 
+// isHex32 reports whether s is exactly 32 lowercase hex chars (a trace id).
+func isHex32(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 func extractAfter(t *testing.T, s, prefix string) string {
 	t.Helper()
 	i := strings.Index(s, prefix)
@@ -172,7 +186,7 @@ func TestCLIDcloadSmoke(t *testing.T) {
 	out, _ := run(t, bins["dcload"], nil,
 		"-addr", srv.URL, "-n", "600", "-c", "2", "-batch", "32",
 		"-workload", "zipf", "-m", "8", "-seed", "1",
-		"-max-ratio", "3", "-out", reportFile)
+		"-max-ratio", "3", "-out", reportFile, "-keep-sessions")
 	for _, want := range []string{
 		"dcload report",
 		"workload      zipf(m=8,s=1.2)  batch=32",
@@ -180,10 +194,32 @@ func TestCLIDcloadSmoke(t *testing.T) {
 		"errors        4xx=0 5xx=0 transport=0",
 		"final ratios  worst",
 		"latency       mean",
+		"slowest traces (GET /v1/traces/{id}):",
+		"highest-regret traces (GET /v1/traces/{id}):",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dcload output missing %q:\n%s", want, out)
 		}
+	}
+	// The reported trace ids must resolve on the server.
+	checked := 0
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if len(line) < 32 || !isHex32(line[:32]) {
+			continue
+		}
+		checked++
+		resp, err := http.Get(srv.URL + "/v1/traces/" + line[:32])
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("reported trace %s not retained (status %d)", line[:32], resp.StatusCode)
+		}
+	}
+	if checked == 0 {
+		t.Error("report printed no trace ids to check")
 	}
 	written, err := os.ReadFile(reportFile)
 	if err != nil {
@@ -279,5 +315,33 @@ func TestCLIDctopFrame(t *testing.T) {
 		if !strings.Contains(out, row) {
 			t.Errorf("frame missing server row %q:\n%s", row, out)
 		}
+	}
+	// The slow-traces panel lists the session's retained traces with a
+	// resolvable id, a duration, a regret and a decision column.
+	if !strings.Contains(out, "slow traces (by regret):") {
+		t.Fatalf("frame missing the slow-traces panel:\n%s", out)
+	}
+	panel := out[strings.Index(out, "slow traces (by regret):"):]
+	lines := strings.Split(panel, "\n")
+	if len(lines) < 3 {
+		t.Fatalf("slow-traces panel too short:\n%s", panel)
+	}
+	if !strings.Contains(lines[1], "trace id") || !strings.Contains(lines[1], "regret") {
+		t.Errorf("slow-traces header = %q", lines[1])
+	}
+	first := strings.TrimSpace(lines[2])
+	if len(first) < 32 || !isHex32(first[:32]) {
+		t.Fatalf("slow-traces row has no trace id: %q", first)
+	}
+	resp, err := http.Get(srv.URL + "/v1/traces/" + first[:32])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("panel trace %s not retained (status %d)", first[:32], resp.StatusCode)
+	}
+	if !strings.Contains(first, "ms") {
+		t.Errorf("slow-traces row missing duration: %q", first)
 	}
 }

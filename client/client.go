@@ -24,9 +24,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"datacache"
@@ -71,11 +73,19 @@ type SessionConfig struct {
 	Epoch  int     // sc epoch restarts (0 disables)
 }
 
+// DefaultTraceSeed seeds the client's trace-id generator unless
+// WithTraceSeed overrides it. Ids come from an injected seeded source,
+// never the global math/rand state, so runs are reproducible.
+const DefaultTraceSeed = 1
+
 // Client talks to one dcserved base URL. Create it with New; the zero
 // value is not usable.
 type Client struct {
 	base string
 	http *http.Client
+
+	mu  sync.Mutex // guards rng (math/rand.Rand is not goroutine-safe)
+	rng *rand.Rand
 }
 
 // Option customizes a Client.
@@ -92,12 +102,21 @@ func WithHTTPClient(h *http.Client) Option {
 	}
 }
 
+// WithTraceSeed reseeds the trace-id generator (default DefaultTraceSeed).
+// Seed with time.Now().UnixNano() for distinct ids across processes.
+func WithTraceSeed(seed int64) Option {
+	return func(c *Client) {
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
 // New builds a client for the service at baseURL (scheme://host[:port],
 // with or without a trailing slash).
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base: strings.TrimRight(baseURL, "/"),
 		http: &http.Client{Timeout: 30 * time.Second},
+		rng:  rand.New(rand.NewSource(DefaultTraceSeed)),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -221,6 +240,14 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, co
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	// Every call carries W3C trace context: either the caller's (set via
+	// WithTraceparent, e.g. a load generator's per-batch root) or a fresh
+	// sampled one minted from the client's seeded generator.
+	tp, _ := ctx.Value(traceparentKey{}).(string)
+	if tp == "" {
+		tp = c.NewTraceparent()
+	}
+	req.Header.Set("Traceparent", tp)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err

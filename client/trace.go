@@ -1,0 +1,105 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"datacache/internal/obs"
+	"datacache/internal/service"
+)
+
+// Distributed-tracing surface: every client call carries a W3C
+// traceparent header (minted from the client's seeded generator, or
+// supplied by the caller via WithTraceparent), and the read side queries
+// the server's retained traces through /v1/traces.
+
+// Re-exported trace types, aliased so the wire contract has one
+// definition.
+type (
+	// Span is one timed operation of a retained trace.
+	Span = obs.Span
+	// TraceSummary is the one-line view /v1/traces returns per trace.
+	TraceSummary = obs.TraceSummary
+	// TraceListResponse is the GET /v1/traces reply.
+	TraceListResponse = service.TraceListResponse
+	// TraceGetResponse is the GET /v1/traces/{id} reply.
+	TraceGetResponse = service.TraceGetResponse
+)
+
+type traceparentKey struct{}
+
+// WithTraceparent returns a context that pins the Traceparent header of
+// every client call made with it — the way a caller threads one trace
+// across several calls (e.g. a load generator grouping a batch under one
+// root span). The value must be a valid W3C traceparent; NewTraceparent
+// mints one.
+func WithTraceparent(ctx context.Context, traceparent string) context.Context {
+	return context.WithValue(ctx, traceparentKey{}, traceparent)
+}
+
+// NewTraceparent mints a fresh sampled W3C traceparent from the client's
+// seeded id generator. Safe for concurrent use.
+func (c *Client) NewTraceparent() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.FormatTraceparent(obs.SpanContext{
+		TraceID: obs.NewTraceID(c.rng),
+		SpanID:  obs.NewSpanID(c.rng),
+		Sampled: true,
+	})
+}
+
+// TraceIDOf extracts the 32-hex trace id from a traceparent string.
+func TraceIDOf(traceparent string) (string, error) {
+	sc, err := obs.ParseTraceparent(traceparent)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	return sc.TraceID.String(), nil
+}
+
+// TraceQuery filters Traces. The zero value lists the most recent 100
+// retained traces ordered by summed regret descending.
+type TraceQuery struct {
+	Session     string  // only traces touching this session
+	MinRegret   float64 // summed-regret floor (sent when nonzero)
+	MinDuration float64 // root-duration floor, seconds (sent when nonzero)
+	ErrorOnly   bool    // only traces containing an error span
+	Limit       int     // at most this many summaries (server default 100)
+}
+
+// Traces lists retained traces matching q, highest regret first.
+func (c *Client) Traces(ctx context.Context, q TraceQuery) (TraceListResponse, error) {
+	vals := url.Values{}
+	if q.Session != "" {
+		vals.Set("session", q.Session)
+	}
+	if q.MinRegret != 0 {
+		vals.Set("min_regret", strconv.FormatFloat(q.MinRegret, 'g', -1, 64))
+	}
+	if q.MinDuration != 0 {
+		vals.Set("min_duration", strconv.FormatFloat(q.MinDuration, 'g', -1, 64))
+	}
+	if q.ErrorOnly {
+		vals.Set("error", "true")
+	}
+	if q.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(q.Limit))
+	}
+	path := "/v1/traces"
+	if enc := vals.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out TraceListResponse
+	err := c.get(ctx, path, &out)
+	return out, err
+}
+
+// TraceByID fetches every span of one retained trace, local root first.
+func (c *Client) TraceByID(ctx context.Context, traceID string) (TraceGetResponse, error) {
+	var out TraceGetResponse
+	err := c.get(ctx, "/v1/traces/"+url.PathEscape(traceID), &out)
+	return out, err
+}

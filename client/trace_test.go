@@ -1,0 +1,123 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"datacache/client"
+	"datacache/internal/service"
+)
+
+// TestClientTraceparentInjection verifies every call carries a valid W3C
+// traceparent minted from the client's seeded generator — deterministic
+// per seed, distinct across calls — and that WithTraceparent pins it.
+func TestClientTraceparentInjection(t *testing.T) {
+	var seen []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = append(seen, r.Header.Get("Traceparent"))
+		w.Write([]byte(`{"status":"ok","version":"test"}`))
+	}))
+	defer ts.Close()
+	ctx := context.Background()
+
+	cl := client.New(ts.URL, client.WithTraceSeed(7))
+	if _, _, err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] == "" || seen[0] == seen[1] {
+		t.Fatalf("traceparents = %q, want two distinct non-empty", seen)
+	}
+	for _, tp := range seen {
+		if _, err := client.TraceIDOf(tp); err != nil {
+			t.Errorf("injected traceparent %q invalid: %v", tp, err)
+		}
+	}
+
+	// Same seed, fresh client: the same id sequence (no global rand).
+	first := seen[0]
+	seen = nil
+	cl2 := client.New(ts.URL, client.WithTraceSeed(7))
+	if _, _, err := cl2.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if seen[0] != first {
+		t.Fatalf("seed 7 minted %q then %q, want deterministic ids", first, seen[0])
+	}
+
+	// WithTraceparent pins the exact header.
+	pinned := cl.NewTraceparent()
+	seen = nil
+	if _, _, err := cl.Health(client.WithTraceparent(ctx, pinned)); err != nil {
+		t.Fatal(err)
+	}
+	if seen[0] != pinned {
+		t.Fatalf("pinned traceparent not sent: got %q, want %q", seen[0], pinned)
+	}
+}
+
+// TestClientTraces exercises the read side against a live server: serve
+// a session under a pinned per-batch root, then find that exact trace via
+// Traces filters and TraceByID.
+func TestClientTraces(t *testing.T) {
+	ts := httptest.NewServer(service.New())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	cfg, n := fig6Config()
+	sess, err := cl.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := cl.NewTraceparent()
+	traceID, err := client.TraceIDOf(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ServeBatch(client.WithTraceparent(ctx, tp), fig6Requests()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trace retention happens after the response reaches the client; poll.
+	var got client.TraceGetResponse
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err = cl.TraceByID(ctx, traceID)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("pinned batch trace %s never retained: %v", traceID, err)
+	}
+	if len(got.Spans) != 1+n {
+		t.Fatalf("batch trace has %d spans, want %d", len(got.Spans), 1+n)
+	}
+
+	list, err := cl.Traces(ctx, client.TraceQuery{Session: sess.ID, Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 1 || list.Traces[0].TraceID != traceID {
+		t.Fatalf("Traces(session) = %+v, want the pinned trace", list)
+	}
+	if list.Traces[0].Spans != 1+n {
+		t.Errorf("summary spans = %d, want %d", list.Traces[0].Spans, 1+n)
+	}
+
+	// A regret floor above the trace's sum excludes it.
+	high, err := cl.Traces(ctx, client.TraceQuery{Session: sess.ID, MinRegret: list.Traces[0].Regret + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Count != 0 {
+		t.Fatalf("min_regret above sum still returned %d traces", high.Count)
+	}
+}

@@ -10,9 +10,15 @@
 //	dcload -workload zipf -m 16 -seed 7 -qps 2000 -out report.txt
 //	dcload -workload adversarial -batch 1          # single-request path
 //
+// Every round-trip runs under its own root trace (the client mints a W3C
+// traceparent per batch), so the report can name the guilty requests: it
+// ends with the ten slowest and the ten highest-regret trace ids, ready
+// to paste into GET /v1/traces/{id} on the server.
+//
 // Exit status is non-zero when any request fails with a 5xx (or a
 // transport error), or when -max-ratio is set and any session finishes
-// above it — which is what the CI smoke job asserts.
+// above it — which is what the CI smoke job asserts. Tracing never
+// affects the exit status.
 package main
 
 import (
@@ -50,6 +56,7 @@ func main() {
 		qps      = flag.Float64("qps", 0, "target aggregate requests/sec (0 = closed loop)")
 		ndjson   = flag.Bool("ndjson", false, "send batches as NDJSON instead of JSON")
 		maxRatio = flag.Float64("max-ratio", 0, "fail if any session's final ratio exceeds this (0 disables)")
+		keep     = flag.Bool("keep-sessions", false, "leave sessions open after the run (closing one retires its retained traces, so use this when the reported trace ids should stay queryable)")
 		out      = flag.String("out", "", "also write the report to this file")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-call HTTP timeout")
 		version  = flag.Bool("version", false, "print the build version and exit")
@@ -73,7 +80,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	cl := client.New(*addr, client.WithHTTPClient(&http.Client{Timeout: *timeout}))
+	cl := client.New(*addr,
+		client.WithHTTPClient(&http.Client{Timeout: *timeout}),
+		client.WithTraceSeed(*seed))
 	ctx := context.Background()
 	if _, _, err := cl.Health(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "dcload: server not reachable at %s: %v\n", *addr, err)
@@ -100,6 +109,7 @@ func main() {
 			lambda: *lambda,
 			qps:    perWorkerQPS,
 			ndjson: *ndjson,
+			keep:   *keep,
 		}
 		go func(w int, cfg workerConfig) {
 			results[w] = runWorker(ctx, cl, cfg)
@@ -155,17 +165,28 @@ type workerConfig struct {
 	lambda float64
 	qps    float64 // this worker's pacing target; 0 = closed loop
 	ndjson bool
+	keep   bool // leave the session open after the run
+}
+
+// traceSample ties one round-trip's root trace id to its latency and the
+// regret the batch added (online cost delta − optimum delta).
+type traceSample struct {
+	TraceID string
+	Latency float64 // seconds
+	Regret  float64
 }
 
 type workerResult struct {
 	Served     int
-	Latencies  []float64 // seconds per round-trip (batch or single)
-	Sheds      int       // 429 retries
-	Errs4xx    int       // non-429 client errors
+	Latencies  []float64     // seconds per round-trip (batch or single)
+	Traces     []traceSample // one per applied round-trip
+	Sheds      int           // 429 retries
+	Errs4xx    int           // non-429 client errors
 	Errs5xx    int
 	Transport  int
 	FinalRatio float64
-	Err        error // first fatal error (session create, etc.)
+	Err        error   // first fatal error (session create, etc.)
+	prevGap    float64 // Cost − Optimal before the current chunk
 }
 
 // runWorker drives one session to completion. Batches retry on 429 using
@@ -185,7 +206,9 @@ func runWorker(ctx context.Context, cl *client.Client, cfg workerConfig) workerR
 		res.Transport++
 		return res
 	}
-	defer sess.Close(ctx)
+	if !cfg.keep {
+		defer sess.Close(ctx)
+	}
 
 	var interval time.Duration
 	if cfg.qps > 0 {
@@ -209,7 +232,7 @@ func runWorker(ctx context.Context, cl *client.Client, cfg workerConfig) workerR
 		for _, r := range reqs[off:end] {
 			chunk = append(chunk, client.Request{Server: r.Server, T: r.Time})
 		}
-		ratio, ok := res.serveChunk(ctx, sess, chunk, cfg)
+		ratio, ok := res.serveChunk(ctx, cl, sess, chunk, cfg)
 		if ok {
 			res.FinalRatio = ratio
 		}
@@ -217,30 +240,42 @@ func runWorker(ctx context.Context, cl *client.Client, cfg workerConfig) workerR
 	return res
 }
 
-// serveChunk submits one chunk, retrying overload sheds, and returns the
+// serveChunk submits one chunk under its own root trace, retrying
+// overload sheds (each attempt is a fresh trace), and returns the
 // post-batch ratio when the chunk applied.
-func (res *workerResult) serveChunk(ctx context.Context, sess *client.Session, chunk []client.Request, cfg workerConfig) (float64, bool) {
+func (res *workerResult) serveChunk(ctx context.Context, cl *client.Client, sess *client.Session, chunk []client.Request, cfg workerConfig) (float64, bool) {
 	for attempt := 0; ; attempt++ {
+		tp := cl.NewTraceparent()
+		traceID, _ := client.TraceIDOf(tp)
+		tctx := client.WithTraceparent(ctx, tp)
 		t0 := time.Now()
-		var ratio float64
+		var ratio, cost, opt float64
 		var served int
 		var err error
 		if cfg.batch == 1 {
 			var d client.Decision
-			d, err = sess.Serve(ctx, chunk[0].Server, chunk[0].T)
-			ratio, served = d.Ratio, 1
+			d, err = sess.Serve(tctx, chunk[0].Server, chunk[0].T)
+			ratio, served, cost, opt = d.Ratio, 1, d.Cost, d.Optimal
 		} else if cfg.ndjson {
 			var b client.BatchResponse
-			b, err = sess.ServeBatchNDJSON(ctx, chunk)
-			ratio, served = b.Ratio, b.Applied
+			b, err = sess.ServeBatchNDJSON(tctx, chunk)
+			ratio, served, cost, opt = b.Ratio, b.Applied, b.Cost, b.Optimal
 		} else {
 			var b client.BatchResponse
-			b, err = sess.ServeBatch(ctx, chunk)
-			ratio, served = b.Ratio, b.Applied
+			b, err = sess.ServeBatch(tctx, chunk)
+			ratio, served, cost, opt = b.Ratio, b.Applied, b.Cost, b.Optimal
 		}
 		if err == nil {
-			res.Latencies = append(res.Latencies, time.Since(t0).Seconds())
+			lat := time.Since(t0).Seconds()
+			res.Latencies = append(res.Latencies, lat)
 			res.Served += served
+			gap := cost - opt
+			res.Traces = append(res.Traces, traceSample{
+				TraceID: traceID,
+				Latency: lat,
+				Regret:  gap - res.prevGap,
+			})
+			res.prevGap = gap
 			return ratio, true
 		}
 		if client.IsOverloaded(err) && attempt < 50 {
@@ -286,6 +321,8 @@ type report struct {
 	LatP999, LatMax float64
 	MaxSessionRatio float64
 	Ratios          []float64
+	Slowest         []traceSample // top 10 by round-trip latency
+	TopRegret       []traceSample // top 10 by regret added
 	FirstErr        error
 }
 
@@ -315,7 +352,25 @@ func buildReport(workloadName string, batch int, elapsed time.Duration, results 
 		rep.LatP999 = stats.Percentile(all, 0.999)
 		rep.LatMax = all[len(all)-1]
 	}
+	var traces []traceSample
+	for _, r := range results {
+		traces = append(traces, r.Traces...)
+	}
+	rep.Slowest = topTraces(traces, func(a, b traceSample) bool { return a.Latency > b.Latency })
+	rep.TopRegret = topTraces(traces, func(a, b traceSample) bool { return a.Regret > b.Regret })
 	return rep
+}
+
+// topTraces returns the ten best samples under less (a "greater than"
+// comparator yields the top ten descending).
+func topTraces(ts []traceSample, less func(a, b traceSample) bool) []traceSample {
+	sorted := make([]traceSample, len(ts))
+	copy(sorted, ts)
+	sort.SliceStable(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+	if len(sorted) > 10 {
+		sorted = sorted[:10]
+	}
+	return sorted
 }
 
 func (rep *report) String() string {
@@ -333,6 +388,18 @@ func (rep *report) String() string {
 	fmt.Fprintf(&b, "  errors        4xx=%d 5xx=%d transport=%d\n", rep.Errs4xx, rep.Errs5xx, rep.Transport)
 	if len(rep.Ratios) > 0 {
 		fmt.Fprintf(&b, "  final ratios  worst %.4f  per-session %s\n", rep.MaxSessionRatio, fmtRatios(rep.Ratios))
+	}
+	if len(rep.Slowest) > 0 {
+		fmt.Fprintf(&b, "  slowest traces (GET /v1/traces/{id}):\n")
+		for _, ts := range rep.Slowest {
+			fmt.Fprintf(&b, "    %s  %s  regret %+.4f\n", ts.TraceID, ms(ts.Latency), ts.Regret)
+		}
+	}
+	if len(rep.TopRegret) > 0 {
+		fmt.Fprintf(&b, "  highest-regret traces (GET /v1/traces/{id}):\n")
+		for _, ts := range rep.TopRegret {
+			fmt.Fprintf(&b, "    %s  regret %+.4f  %s\n", ts.TraceID, ts.Regret, ms(ts.Latency))
+		}
 	}
 	if rep.FirstErr != nil {
 		fmt.Fprintf(&b, "  first error   %v\n", rep.FirstErr)

@@ -28,11 +28,15 @@
 //	GET  /v1/session/{id}/slo         windowed competitive ratio, alerts, per-server cost breakdown
 //	DELETE /v1/session/{id}           close the session → final state + schedule
 //	GET  /v1/alerts                   every live session's SLO alerts
+//	GET  /v1/traces                   retained traces, highest summed regret first (filters: session, min_regret, min_duration, error, limit)
+//	GET  /v1/traces/{id}              every span of one trace, local root first
 //	GET  /readyz                      readiness (degraded while any alert is firing)
 //
 // Every response carries an X-Request-Id header that also appears in the
-// structured log and in JSON error bodies. The optional -pprof listener
-// serves net/http/pprof on a separate address (keep it private).
+// structured log and in JSON error bodies, and a Traceparent header tying
+// it to the distributed trace (-trace-sample, -trace-regret, -span-cap,
+// -span-export configure retention). The optional -pprof listener serves
+// net/http/pprof on a separate address (keep it private).
 package main
 
 import (
@@ -58,6 +62,11 @@ func main() {
 		sloWindow = flag.Int("slo-window", service.DefaultSLOWindow, "per-session SLO rolling-window length in requests (0 disables)")
 		inflight  = flag.Int("inflight-budget", service.DefaultInflightBudget, "per-session concurrent serve/batch budget before 429 shedding")
 		noRuntime = flag.Bool("no-runtime-metrics", false, "disable Go runtime metrics on /metrics")
+		sample    = flag.Float64("trace-sample", 1, "head-sampling probability for distributed traces in [0,1]; >=1 keeps all")
+		traceSeed = flag.Int64("trace-seed", 0, "trace/span id seed (0 derives from the clock; fix it for reproducible ids)")
+		spanCap   = flag.Int("span-cap", obs.DefaultSpanCap, "bounded in-memory span store size behind /v1/traces")
+		regretMin = flag.Float64("trace-regret", 0, "always keep traces containing a span with regret >= this (0 disables the tail rule)")
+		spanOut   = flag.String("span-export", "", "append every kept span as NDJSON to this file; empty disables")
 		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -88,11 +97,27 @@ func main() {
 		}()
 	}
 
+	seed := *traceSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	opts := []service.Option{
 		service.WithLogger(logger),
 		service.WithTraceCap(*traceCap),
 		service.WithSLOWindow(*sloWindow),
 		service.WithInflightBudget(*inflight),
+		service.WithTraceSampling(*sample),
+		service.WithTraceSeed(seed),
+		service.WithTraceRegret(*regretMin),
+		service.WithSpanCap(*spanCap),
+	}
+	if *spanOut != "" {
+		f, err := os.OpenFile(*spanOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("dcserved: opening span export %s: %v", *spanOut, err)
+		}
+		defer f.Close()
+		opts = append(opts, service.WithSpanExporter(obs.NewNDJSONExporter(f)))
 	}
 	if !*noRuntime {
 		opts = append(opts, service.WithRuntimeMetrics())

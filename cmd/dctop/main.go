@@ -142,6 +142,20 @@ func renderFrame(ctx context.Context, cl *client.Client, session string) (string
 			b.WriteString(line + "\n")
 		}
 	}
+
+	// The session's worst retained traces, highest summed regret first —
+	// the ids paste straight into GET /v1/traces/{id}.
+	if traces, err := cl.Traces(ctx, client.TraceQuery{Session: session, Limit: 5}); err == nil && traces.Count > 0 {
+		b.WriteString("\nslow traces (by regret):\n  trace id                          duration    regret   decision\n")
+		for _, ts := range traces.Traces {
+			dec := ts.Decision
+			if dec == "" {
+				dec = "-"
+			}
+			fmt.Fprintf(&b, "  %s  %8.3f ms  %+8.4f  %s\n",
+				ts.TraceID, ts.Duration*1e3, ts.Regret, dec)
+		}
+	}
 	return b.String(), nil
 }
 

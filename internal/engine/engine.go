@@ -87,6 +87,7 @@ type Decision struct {
 	Time   float64
 	Hit    bool           // served by a live local copy
 	From   model.ServerID // transfer source when Hit is false
+	Drops  int            // copies dropped while serving (deadlines drained + policy drops)
 }
 
 // Stream drives a Decider one request at a time with no lookahead,
@@ -107,6 +108,7 @@ type Stream struct {
 	last     float64 // time of the last served request
 	served   int
 	hits     int
+	drops    int // lifetime ActDrop count, for per-decision attribution
 	finished bool
 	obs      obs.Observer // nil (the default) costs one branch per event site
 }
@@ -156,6 +158,7 @@ func (s *Stream) Serve(server model.ServerID, t float64) (Decision, error) {
 	if t <= 0 || t <= s.last {
 		return Decision{}, fmt.Errorf("engine: request time %v not after %v", t, s.last)
 	}
+	dropsBefore := s.drops
 	// Deliver every deadline strictly before the arrival; a copy whose
 	// deadline equals t still serves the request (Section V's semantics).
 	if err := s.drainTimers(t, false); err != nil {
@@ -188,6 +191,7 @@ func (s *Stream) Serve(server model.ServerID, t float64) (Decision, error) {
 	if dec.Hit {
 		s.hits++
 	}
+	dec.Drops = s.drops - dropsBefore
 	return dec, nil
 }
 
@@ -354,6 +358,7 @@ func (s *Stream) apply(acts []Action) error {
 			s.cacheDur[a.Server] += a.Time - s.created[a.Server]
 			s.alive[a.Server] = false
 			s.nAlive--
+			s.drops++
 			if s.obs != nil {
 				s.obs.Observe(obs.Event{At: a.Time, Kind: obs.KindDrop, Server: int(a.Server)})
 			}

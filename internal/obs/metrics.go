@@ -57,11 +57,14 @@ func (g *Gauge) Add(delta float64) {
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram counts observations into fixed buckets (upper bounds in
-// increasing order, +Inf implicit) and tracks their sum.
+// increasing order, +Inf implicit) and tracks their sum. Each bucket can
+// additionally hold the latest exemplar (see ObserveExemplar), rendered
+// only by the OpenMetrics exposition.
 type Histogram struct {
-	bounds  []float64
-	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	sumBits atomic.Uint64
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sumBits   atomic.Uint64
+	exemplars []atomic.Pointer[exemplar] // parallel to counts
 }
 
 // Observe records one observation.
@@ -178,7 +181,11 @@ func (f *family) get(values []string) interface{} {
 	case typeGauge:
 		m = &Gauge{}
 	case typeHistogram:
-		m = &Histogram{bounds: f.buckets, counts: make([]atomic.Int64, len(f.buckets)+1)}
+		m = &Histogram{
+			bounds:    f.buckets,
+			counts:    make([]atomic.Int64, len(f.buckets)+1),
+			exemplars: make([]atomic.Pointer[exemplar], len(f.buckets)+1),
+		}
 	}
 	f.series.Store(key, m)
 	return m

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) identifiers
+// and the traceparent header that carries them between processes:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	             ^^ ^^^^^^^^^^^^^^^^ trace-id ^^^^^ ^^ parent-id ^^^^ ^^ flags
+//
+// The typed client injects one on every route, the service middleware
+// parses it to adopt the caller's trace, and dcload mints one per batch
+// so a load-test report can name the exact server-side spans behind its
+// slowest round trips.
+
+// TraceID is the 16-byte trace identifier shared by every span of one
+// distributed trace.
+type TraceID [16]byte
+
+// SpanID is the 8-byte identifier of a single span.
+type SpanID [8]byte
+
+// String renders the id as 32 lowercase hex digits.
+func (t TraceID) String() string {
+	var buf [32]byte
+	hex.Encode(buf[:], t[:])
+	return string(buf[:])
+}
+
+// IsZero reports whether the id is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 16 lowercase hex digits.
+func (s SpanID) String() string {
+	var buf [16]byte
+	hex.Encode(buf[:], s[:])
+	return string(buf[:])
+}
+
+// IsZero reports whether the id is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// NewTraceID draws a non-zero trace id from rng. The generator is
+// injected — never package-global — so servers seed it once at
+// construction and tests get reproducible ids.
+func NewTraceID(rng *rand.Rand) TraceID {
+	var t TraceID
+	for t.IsZero() {
+		fillRand(rng, t[:])
+	}
+	return t
+}
+
+// NewSpanID draws a non-zero span id from rng.
+func NewSpanID(rng *rand.Rand) SpanID {
+	var s SpanID
+	for s.IsZero() {
+		fillRand(rng, s[:])
+	}
+	return s
+}
+
+// fillRand fills b 8 bytes at a time from rng's Uint64 stream.
+func fillRand(rng *rand.Rand, b []byte) {
+	for i := 0; i < len(b); i += 8 {
+		v := rng.Uint64()
+		for j := i; j < i+8 && j < len(b); j++ {
+			b[j] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// SpanContext is the propagated part of a span: the ids plus the sampled
+// flag. The zero value is invalid.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether both ids are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// FormatTraceparent renders the version-00 traceparent header value for
+// sc: 00-<trace-id>-<span-id>-<flags>.
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value per the W3C Trace
+// Context rules: 2 lowercase-hex version digits (ff is invalid), a
+// 32-digit non-zero trace-id, a 16-digit non-zero parent-id and 2 flag
+// digits, dash-separated. Version 00 admits nothing after the flags;
+// higher versions may carry extra fields, which are ignored.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	if len(s) < 55 {
+		return sc, fmt.Errorf("obs: traceparent %q too short (need at least 55 chars)", s)
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, fmt.Errorf("obs: traceparent %q not dash-delimited at 2/35/52", s)
+	}
+	version := s[0:2]
+	if !isLowerHex(version) {
+		return sc, fmt.Errorf("obs: traceparent version %q not hex", version)
+	}
+	if version == "ff" {
+		return sc, fmt.Errorf("obs: traceparent version ff is forbidden")
+	}
+	switch {
+	case len(s) == 55:
+		// The common case: exactly version, trace-id, parent-id, flags.
+	case version == "00":
+		return sc, fmt.Errorf("obs: version-00 traceparent has %d trailing bytes", len(s)-55)
+	case s[55] != '-':
+		return sc, fmt.Errorf("obs: traceparent %q has undelimited trailing data", s)
+	}
+	if !isLowerHex(s[3:35]) {
+		return sc, fmt.Errorf("obs: trace-id %q not 32 lowercase hex digits", s[3:35])
+	}
+	if !isLowerHex(s[36:52]) {
+		return sc, fmt.Errorf("obs: parent-id %q not 16 lowercase hex digits", s[36:52])
+	}
+	flags := s[53:55]
+	if !isLowerHex(flags) {
+		return sc, fmt.Errorf("obs: trace-flags %q not hex", flags)
+	}
+	hex.Decode(sc.TraceID[:], []byte(s[3:35]))
+	hex.Decode(sc.SpanID[:], []byte(s[36:52]))
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, fmt.Errorf("obs: all-zero trace-id is invalid")
+	}
+	if sc.SpanID.IsZero() {
+		return SpanContext{}, fmt.Errorf("obs: all-zero parent-id is invalid")
+	}
+	var f [1]byte
+	hex.Decode(f[:], []byte(flags))
+	sc.Sampled = f[0]&0x01 != 0
+	return sc, nil
+}
+
+// isLowerHex reports whether s consists only of 0-9a-f digits (the W3C
+// grammar forbids uppercase).
+func isLowerHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	return strings.IndexFunc(s, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) < 0
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		sc := SpanContext{
+			TraceID: NewTraceID(rng),
+			SpanID:  NewSpanID(rng),
+			Sampled: i%2 == 0,
+		}
+		hdr := FormatTraceparent(sc)
+		if len(hdr) != 55 {
+			t.Fatalf("header %q has length %d, want 55", hdr, len(hdr))
+		}
+		got, err := ParseTraceparent(hdr)
+		if err != nil {
+			t.Fatalf("ParseTraceparent(%q): %v", hdr, err)
+		}
+		if got != sc {
+			t.Fatalf("round trip: got %+v want %+v", got, sc)
+		}
+	}
+}
+
+func TestTraceparentSeededIDsDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		if NewTraceID(a) != NewTraceID(b) {
+			t.Fatal("same seed produced different trace ids")
+		}
+		if NewSpanID(a) != NewSpanID(b) {
+			t.Fatal("same seed produced different span ids")
+		}
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	const trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const span = "00f067aa0ba902b7"
+	cases := []struct {
+		name    string
+		in      string
+		sampled bool
+	}{
+		{"sampled", "00-" + trace + "-" + span + "-01", true},
+		{"not sampled", "00-" + trace + "-" + span + "-00", false},
+		{"extra flag bits", "00-" + trace + "-" + span + "-ff", true},
+		{"future version", "42-" + trace + "-" + span + "-01", true},
+		{"future version with trailing data", "42-" + trace + "-" + span + "-01-extra.stuff", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, err := ParseTraceparent(tc.in)
+			if err != nil {
+				t.Fatalf("ParseTraceparent(%q): %v", tc.in, err)
+			}
+			if sc.TraceID.String() != trace {
+				t.Fatalf("trace id = %s, want %s", sc.TraceID, trace)
+			}
+			if sc.SpanID.String() != span {
+				t.Fatalf("span id = %s, want %s", sc.SpanID, span)
+			}
+			if sc.Sampled != tc.sampled {
+				t.Fatalf("sampled = %v, want %v", sc.Sampled, tc.sampled)
+			}
+		})
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	const trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const span = "00f067aa0ba902b7"
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"short", "00-abc"},
+		{"truncated trace id", "00-4bf92f3577b34da6-" + span + "-01"},
+		{"uppercase trace id", "00-" + strings.ToUpper(trace) + "-" + span + "-01"},
+		{"uppercase version", "0A-" + trace + "-" + span + "-01"},
+		{"version ff", "ff-" + trace + "-" + span + "-01"},
+		{"non-hex version", "zz-" + trace + "-" + span + "-01"},
+		{"zero trace id", "00-00000000000000000000000000000000-" + span + "-01"},
+		{"zero parent id", "00-" + trace + "-0000000000000000-01"},
+		{"non-hex flags", "00-" + trace + "-" + span + "-zz"},
+		{"uppercase flags", "00-" + trace + "-" + span + "-0A"},
+		{"bad delimiters", "00_" + trace + "_" + span + "_01"},
+		{"version 00 trailing data", "00-" + trace + "-" + span + "-01-extra"},
+		{"future version undelimited trailing", "42-" + trace + "-" + span + "-01extra"},
+		{"non-hex trace id", "00-" + strings.Repeat("g", 32) + "-" + span + "-01"},
+		{"non-hex parent id", "00-" + trace + "-" + strings.Repeat("g", 16) + "-01"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if sc, err := ParseTraceparent(tc.in); err == nil {
+				t.Fatalf("ParseTraceparent(%q) = %+v, want error", tc.in, sc)
+			}
+		})
+	}
+}
+
+// FuzzTraceparent throws arbitrary strings at the parser; any input it
+// accepts must re-render (via the version-00 formatter) to a value that
+// parses back to the identical context, and the parser must never panic
+// or return an invalid context without an error.
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("42-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-more")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01")
+	f.Add("")
+	f.Add("00")
+	f.Add("00-")
+	f.Add(strings.Repeat("-", 60))
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := ParseTraceparent(s)
+		if err != nil {
+			if sc.Valid() {
+				t.Fatalf("error %v returned alongside valid context %+v", err, sc)
+			}
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("accepted %q but context %+v is invalid", s, sc)
+		}
+		hdr := FormatTraceparent(sc)
+		again, err := ParseTraceparent(hdr)
+		if err != nil {
+			t.Fatalf("re-parse of formatted %q: %v", hdr, err)
+		}
+		if again != sc {
+			t.Fatalf("format/parse round trip: %+v != %+v", again, sc)
+		}
+	})
+}

@@ -9,7 +9,9 @@ import (
 	"strings"
 	"time"
 
+	"datacache"
 	"datacache/internal/model"
+	"datacache/internal/obs"
 )
 
 // POST /v1/session/{id}/requests is the batch-first ingestion path: an
@@ -64,6 +66,7 @@ type BatchDecision struct {
 	Cost    float64        `json:"cost"`
 	Optimal float64        `json:"optimal"`
 	Ratio   float64        `json:"ratio"`
+	Regret  float64        `json:"regret"` // online cost delta − optimum delta
 }
 
 // SessionBatchResponse is the bulk-ingestion reply: per-request decisions
@@ -159,12 +162,19 @@ func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request, id s
 		s.httpError(w, r, http.StatusConflict, fmt.Errorf("session %q is closed", id))
 		return
 	}
+	root := obs.SpanFrom(r.Context())
+	if root != nil {
+		root.Session = id
+	}
+	entry.evs = entry.evs[:0]
 	start := time.Now()
 	res, err := entry.sess.ServeBatch(r.Context(), reqs)
 	elapsed := time.Since(start)
 	var n int
+	var evs []obs.Event
 	if res != nil {
 		n = entry.sess.N()
+		evs = append(evs, entry.evs...) // copied: the buffer is reused under the lock
 		if len(res.Decisions) > 0 {
 			s.publishSessionGauges(id, entry)
 		}
@@ -186,7 +196,26 @@ func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request, id s
 	if applied := len(res.Decisions); applied > 0 {
 		// One sample of the mean per-decision latency across the batch;
 		// the single-request path samples every decision individually.
-		s.decisionSec.Observe(elapsed.Seconds() / float64(applied))
+		perDecision := elapsed.Seconds() / float64(applied)
+		if root != nil && root.Sampled() {
+			s.decisionSec.ObserveExemplar(perDecision, root.TraceID)
+		} else {
+			s.decisionSec.Observe(perDecision)
+		}
+		// One serve child span per applied request, annotated with the
+		// decision events attributed to it; durations share the batch's
+		// mean since individual requests are not timed separately.
+		if root != nil {
+			runs := partitionEvents(evs, res.Decisions)
+			for i, d := range res.Decisions {
+				sp := root.StartChild("serve")
+				sp.Start = start
+				annotateServeSpan(sp, id, d, eventsLabel(runs[i]))
+				// Individual requests are not timed inside a batch; each
+				// child carries the batch's mean per-decision latency.
+				sp.Duration = perDecision
+			}
+		}
 	}
 	resp := SessionBatchResponse{
 		ID:            id,
@@ -208,7 +237,34 @@ func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request, id s
 			Cost:    d.Cost,
 			Optimal: d.Optimal,
 			Ratio:   d.Ratio,
+			Regret:  d.Regret,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// partitionEvents attributes a batch's decision-event stream to its
+// applied requests. Events arrive in serve order: each request's run is
+// the deadline expiries drained on its arrival, its own request/hit or
+// transfer, and any policy actions at its instant — so a new KindRequest
+// (or an event past the current request's time) opens the next run.
+func partitionEvents(evs []obs.Event, decisions []datacache.Decision) [][]obs.Event {
+	runs := make([][]obs.Event, len(decisions))
+	if len(decisions) == 0 {
+		return runs
+	}
+	j := 0
+	seenReq := false
+	for _, ev := range evs {
+		if seenReq && j+1 < len(decisions) &&
+			(ev.Kind == obs.KindRequest || ev.At > decisions[j].Time) {
+			j++
+			seenReq = false
+		}
+		if ev.Kind == obs.KindRequest {
+			seenReq = true
+		}
+		runs[j] = append(runs[j], ev)
+	}
+	return runs
 }

@@ -55,7 +55,7 @@ import (
 )
 
 // Version identifies the service build in /healthz and /v1/spec.
-const Version = "1.3.0"
+const Version = "1.4.0"
 
 // DefaultTraceCap bounds each session's decision-event ring unless
 // WithTraceCap overrides it.
@@ -72,6 +72,11 @@ const DefaultSLOWindow = 64
 // 429 + Retry-After instead of piling up behind the session lock.
 const DefaultInflightBudget = 64
 
+// DefaultTraceSeed seeds the tracer's span-id generator unless
+// WithTraceSeed overrides it. Trace ids never come from the global
+// math/rand state.
+const DefaultTraceSeed = 1
+
 // Server is the HTTP facade. The zero value is not usable; call New.
 type Server struct {
 	mux         *http.ServeMux
@@ -81,6 +86,17 @@ type Server struct {
 	sloWindow   int
 	inflight    int64
 	runtimeMetr bool
+
+	// Distributed tracing: the tracer mints server spans in the request
+	// middleware, the session handlers hang per-decision child spans off
+	// them, and /v1/traces queries the bounded store. Construction-time
+	// knobs below; the tracer itself is built in New.
+	tracer       *obs.Tracer
+	traceSeed    int64
+	traceSample  float64
+	traceRegret  float64
+	spanCap      int
+	spanExporter obs.SpanExporter
 
 	// Hot-path metric handles, resolved once at construction so request
 	// serving performs no registry lookups (and, unlike the former
@@ -167,6 +183,40 @@ func WithInflightBudget(n int) Option {
 	}
 }
 
+// WithTraceSampling sets the head-sampling rate of the request tracer in
+// [0, 1] (default 1: every trace is retained). Tail rules — error, shed,
+// or regret above the WithTraceRegret threshold — rescue traces head
+// sampling passed on.
+func WithTraceSampling(rate float64) Option {
+	return func(s *Server) { s.traceSample = rate }
+}
+
+// WithTraceSeed seeds the tracer's span-id generator (default
+// DefaultTraceSeed). Production servers pass something time-derived;
+// tests keep the default for reproducible ids.
+func WithTraceSeed(seed int64) Option {
+	return func(s *Server) { s.traceSeed = seed }
+}
+
+// WithTraceRegret enables the regret tail rule: any trace containing a
+// serve span whose per-request regret reaches the threshold is retained
+// even when head sampling passed on it (0, the default, disables it).
+func WithTraceRegret(threshold float64) Option {
+	return func(s *Server) { s.traceRegret = threshold }
+}
+
+// WithSpanCap bounds the in-memory span store (default
+// obs.DefaultSpanCap); the oldest spans are evicted past the cap.
+func WithSpanCap(n int) Option {
+	return func(s *Server) { s.spanCap = n }
+}
+
+// WithSpanExporter additionally streams every retained span to exp (for
+// example an obs.NDJSONExporter over a file).
+func WithSpanExporter(exp obs.SpanExporter) Option {
+	return func(s *Server) { s.spanExporter = exp }
+}
+
 // routeDocs describes every route for /v1/spec.
 var routeDocs = map[string]string{
 	"/healthz":     "GET liveness and version",
@@ -182,23 +232,27 @@ var routeDocs = map[string]string{
 	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?} -> live policy-serving session (201 + Location)",
 	"/v1/session/": "POST {id}/request, POST {id}/requests (bulk: JSON {requests:[{server,t}]} or NDJSON lines; partial apply + firstRejected), GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, DELETE {id} (close; returns final state + schedule)",
 	"/v1/alerts":   "GET every live session's SLO alerts (pending, firing, resolved)",
+	"/v1/traces":   "GET retained traces, regret-descending; filters: session, min_regret, min_duration, error, limit",
+	"/v1/traces/":  "GET {id} -> every span of one retained trace",
 	"/v1/spec":     "GET this route list",
 	"/readyz":      "GET readiness: degraded while any SLO alert is firing",
-	"/metrics":     "GET Prometheus text-format metrics (HTTP, engine, per-session, SLO)",
+	"/metrics":     "GET Prometheus text-format metrics (HTTP, engine, per-session, SLO); Accept: application/openmetrics-text selects OpenMetrics 1.0 with trace exemplars",
 	"/metricz":     "DEPRECATED alias of /metrics: GET per-route served counters as JSON; prefer /metrics",
 }
 
 // New builds the service with all routes mounted.
 func New(opts ...Option) *Server {
 	s := &Server{
-		mux:       http.NewServeMux(),
-		log:       obs.NopLogger(),
-		reg:       obs.NewRegistry(),
-		traceCap:  DefaultTraceCap,
-		sloWindow: DefaultSLOWindow,
-		inflight:  DefaultInflightBudget,
-		streams:   newRegistry[*streamEntry](),
-		sessions:  newRegistry[*sessionEntry](),
+		mux:         http.NewServeMux(),
+		log:         obs.NopLogger(),
+		reg:         obs.NewRegistry(),
+		traceCap:    DefaultTraceCap,
+		sloWindow:   DefaultSLOWindow,
+		inflight:    DefaultInflightBudget,
+		traceSeed:   DefaultTraceSeed,
+		traceSample: 1,
+		streams:     newRegistry[*streamEntry](),
+		sessions:    newRegistry[*sessionEntry](),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -206,6 +260,17 @@ func New(opts ...Option) *Server {
 	if s.runtimeMetr {
 		obs.RegisterRuntime(s.reg)
 	}
+	tracer, err := obs.NewTracer(obs.TracerOptions{
+		Rand:            rand.New(rand.NewSource(s.traceSeed)),
+		SampleRate:      s.traceSample,
+		RegretThreshold: s.traceRegret,
+		Cap:             s.spanCap,
+		Exporter:        s.spanExporter,
+	})
+	if err != nil {
+		panic(err) // unreachable: the rand source is always supplied
+	}
+	s.tracer = tracer
 	s.httpRequests = s.reg.CounterVec("dc_http_requests_total",
 		"HTTP requests served, by route and status code.", "route", "code")
 	s.routeHits = s.reg.CounterVec("dc_http_route_requests_total",
@@ -269,6 +334,8 @@ func New(opts ...Option) *Server {
 	s.mount("/v1/session", s.handleSessionCreate)
 	s.mount("/v1/session/", s.handleSessionOp)
 	s.mount("/v1/alerts", s.handleAlerts)
+	s.mount("/v1/traces", s.handleTraces)
+	s.mount("/v1/traces/", s.handleTraceByID)
 	s.mount("/v1/spec", s.handleSpec)
 	s.mount("/readyz", s.handleReady)
 	s.mount("/metrics", s.handlePrometheus)
@@ -292,22 +359,37 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // mount wraps a handler with the instrumentation middleware: request-ID
-// minting and propagation, status/latency metrics, and one structured log
-// line per request.
+// minting and propagation, a server span adopting any incoming
+// traceparent, status/latency metrics (with a trace exemplar when the
+// span is retained), and one structured log line per request.
 func (s *Server) mount(route string, h http.HandlerFunc) {
 	s.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := obs.NewRequestID()
-		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		parent, _ := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+		span := s.tracer.StartRoot(route, parent)
+		span.Route = route
+		ctx := obs.WithSpan(obs.WithRequestID(r.Context(), id), span)
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		sw.Header().Set("X-Request-Id", id)
+		sw.Header().Set("Traceparent", obs.FormatTraceparent(span.Context()))
 		h(sw, r)
 		elapsed := time.Since(start)
+		span.Status = sw.code
+		span.Error = sw.code >= 500
+		span.Shed = sw.code == http.StatusTooManyRequests
+		kept := span.End()
 		s.routeHits.With(route).Inc()
 		s.httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
-		s.httpLatency.With(route).Observe(elapsed.Seconds())
+		if kept {
+			s.httpLatency.With(route).ObserveExemplar(elapsed.Seconds(), span.TraceID)
+		} else {
+			s.httpLatency.With(route).Observe(elapsed.Seconds())
+		}
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("id", id),
+			slog.String("trace", span.TraceID),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.String("route", route),
@@ -321,9 +403,16 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, routeDocs)
 }
 
-// handlePrometheus renders every registered metric in the Prometheus text
-// exposition format.
+// handlePrometheus renders every registered metric, content-negotiating
+// between the Prometheus 0.0.4 text format (the default) and OpenMetrics
+// 1.0 — the latter carries trace exemplars on the latency histograms.
 func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+		w.WriteHeader(http.StatusOK)
+		s.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	s.reg.WritePrometheus(w)

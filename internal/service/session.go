@@ -44,6 +44,11 @@ type sessionEntry struct {
 	sess     *datacache.Session
 	servers  map[string]bool
 	alerts   []string
+	// evs buffers the engine events of the serve operation currently
+	// running under the entry lock; the handlers reset it before Serve and
+	// read it after, to annotate the request's trace span with what the
+	// decision actually did (hit/transfer/drop/timer/epoch-reset).
+	evs []obs.Event
 }
 
 // SessionCreateRequest is the /v1/session body.
@@ -89,6 +94,7 @@ type SessionDecision struct {
 	Cost    float64        `json:"cost"`
 	Optimal float64        `json:"optimal"`
 	Ratio   float64        `json:"ratio"`
+	Regret  float64        `json:"regret"` // online cost delta − optimum delta
 }
 
 // SessionCloseResponse is the DELETE reply: final state plus the realized
@@ -151,15 +157,54 @@ func sessionState(id string, sess *datacache.Session) SessionState {
 	}
 }
 
-// engineObserver feeds every decision event of every live session into
-// the kind-labeled engine counters. The counters are pre-resolved
-// atomics, so observation adds no locks to the serving path.
-func (s *Server) engineObserver() datacache.Observer {
+// engineObserver feeds every decision event of one session into the
+// kind-labeled engine counters and the entry's per-serve event buffer.
+// The counters are pre-resolved atomics, and the buffer append happens
+// under the entry lock every Serve already holds, so observation adds no
+// locks to the serving path.
+func (s *Server) engineObserver(entry *sessionEntry) datacache.Observer {
 	return obs.ObserverFunc(func(ev obs.Event) {
 		if k := int(ev.Kind); k >= 0 && k < len(s.engineEventK) {
 			s.engineEventK[k].Inc()
 		}
+		entry.evs = append(entry.evs, ev)
 	})
+}
+
+// eventsLabel joins decision-event kinds into the span annotation, e.g.
+// "request,transfer" or "drop,drop,request,hit".
+func eventsLabel(evs []obs.Event) string {
+	var b strings.Builder
+	for i, ev := range evs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(ev.Kind.String())
+	}
+	return b.String()
+}
+
+// decisionLabel names the serve outcome for span search.
+func decisionLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "transfer"
+}
+
+// annotateServeSpan fills one serve child span from a decision and ends
+// it. Nil-span safe, so untraced paths pay only the calls.
+func annotateServeSpan(sp *obs.Span, id string, d datacache.Decision, events string) {
+	if sp == nil {
+		return
+	}
+	sp.Session = id
+	sp.Server = int(d.Server)
+	sp.Decision = decisionLabel(d.Hit)
+	sp.Events = events
+	sp.Drops = d.Drops
+	sp.Regret = d.Regret
+	sp.End()
 }
 
 // publishSessionGauges refreshes the per-session metric series after a
@@ -215,6 +260,9 @@ func (s *Server) dropSessionGauges(id string, e *sessionEntry) {
 	for _, name := range alerts {
 		s.alertState.Delete(id, name)
 	}
+	// Retire the session's retained spans the same way: a closed session
+	// must not keep occupying the bounded span store.
+	s.tracer.DropSession(id)
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
@@ -225,19 +273,20 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Origin == 0 {
 		req.Origin = 1
 	}
+	entry := &sessionEntry{lk: newEntryLock(), servers: map[string]bool{}}
 	sess, err := datacache.NewSession(req.M, req.Origin, req.Model.toModel(), &datacache.SessionOptions{
 		Policy:         req.Policy,
 		Window:         req.Window,
 		EpochTransfers: req.Epoch,
 		TraceCap:       s.traceCap,
 		SLOWindow:      s.sloWindow,
-		Observer:       s.engineObserver(),
+		Observer:       s.engineObserver(entry),
 	})
 	if err != nil {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	entry := &sessionEntry{lk: newEntryLock(), sess: sess, servers: map[string]bool{}}
+	entry.sess = sess
 	id := fmt.Sprintf("sn-%d", s.nextID.Add(1))
 	if slo := sess.SLO(); slo != nil {
 		// The hook runs under the entry lock of whichever Serve triggers
@@ -322,19 +371,36 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		if !s.lockEntry(w, r, entry) {
 			return
 		}
+		root := obs.SpanFrom(r.Context())
+		if root != nil {
+			root.Session = id
+		}
+		span := root.StartChild("serve")
+		entry.evs = entry.evs[:0]
 		start := time.Now()
 		d, err := entry.sess.Serve(req.Server, req.Time)
 		elapsed := time.Since(start)
 		n := entry.sess.N()
+		events := eventsLabel(entry.evs)
 		if err == nil {
 			s.publishSessionGauges(id, entry)
 		}
 		entry.lk.unlock()
 		if err != nil {
+			if span != nil {
+				span.Session = id
+				span.Error = true
+				span.End()
+			}
 			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
-		s.decisionSec.Observe(elapsed.Seconds())
+		annotateServeSpan(span, id, d, events)
+		if root != nil && root.Sampled() {
+			s.decisionSec.ObserveExemplar(elapsed.Seconds(), root.TraceID)
+		} else {
+			s.decisionSec.Observe(elapsed.Seconds())
+		}
 		writeJSON(w, http.StatusOK, SessionDecision{
 			ID:      id,
 			N:       n,
@@ -345,6 +411,7 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			Cost:    d.Cost,
 			Optimal: d.Optimal,
 			Ratio:   d.Ratio,
+			Regret:  d.Regret,
 		})
 	case op == "requests" && r.Method == http.MethodPost:
 		s.handleSessionBatch(w, r, id, entry)

@@ -1,0 +1,478 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"datacache/internal/obs"
+	"datacache/internal/offline"
+)
+
+// waitTraces polls /v1/traces until the query returns want traces (want
+// < 0 reads once): a trace is retained when its root span ends in the
+// middleware, which runs after the response body reaches the client, so
+// an immediate read races the flush.
+func waitTraces(t *testing.T, base, query string, want int) TraceListResponse {
+	t.Helper()
+	var list TraceListResponse
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, base+"/v1/traces"+query, &list)
+		if want < 0 || list.Count == want || time.Now().After(deadline) {
+			return list
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTracesFig6 is the tentpole acceptance test: the Fig. 6 golden
+// workload served one request at a time yields one retained trace per
+// request, the summed span regret across them equals the session's
+// Cost() − OptimalCost() to 1e-9, /v1/traces orders by regret descending
+// and honors min_regret, and every trace is readable by id with its serve
+// span annotated (session, decision, events, regret).
+func TestTracesFig6(t *testing.T) {
+	ts := newTestServer(t)
+	seq, cm := offline.Fig6Instance()
+
+	var state SessionState
+	post(t, ts.URL+"/v1/session", SessionCreateRequest{
+		M: seq.M, Origin: seq.Origin, Model: CostModelDTO{Mu: cm.Mu, Lambda: cm.Lambda},
+	}, &state)
+	id := state.ID
+
+	var last SessionDecision
+	regretByServe := map[float64]float64{} // request time -> regret
+	for _, r := range seq.Requests {
+		resp := post(t, ts.URL+"/v1/session/"+id+"/request",
+			StreamAppendRequest{Server: r.Server, Time: r.Time}, &last)
+		if tp := resp.Header.Get("Traceparent"); tp == "" {
+			t.Fatal("serve response missing Traceparent header")
+		} else if _, err := obs.ParseTraceparent(tp); err != nil {
+			t.Fatalf("response Traceparent %q: %v", tp, err)
+		}
+		regretByServe[r.Time] = last.Regret
+	}
+
+	list := waitTraces(t, ts.URL, "?session="+id, seq.N())
+	if list.Count != seq.N() {
+		t.Fatalf("retained %d traces for the session, want %d: %+v", list.Count, seq.N(), list.Traces)
+	}
+	sum := 0.0
+	for i, tr := range list.Traces {
+		sum += tr.Regret
+		if tr.Session != id {
+			t.Errorf("trace %s session = %q, want %q", tr.TraceID, tr.Session, id)
+		}
+		if tr.Spans != 2 {
+			t.Errorf("trace %s has %d spans, want 2 (server root + serve child)", tr.TraceID, tr.Spans)
+		}
+		if i > 0 && list.Traces[i-1].Regret < tr.Regret {
+			t.Errorf("traces not regret-descending at %d: %v then %v", i, list.Traces[i-1].Regret, tr.Regret)
+		}
+	}
+	if diff := math.Abs(sum - (last.Cost - last.Optimal)); diff > 1e-9 {
+		t.Fatalf("summed span regret %v != Cost−Optimal %v (diff %g)", sum, last.Cost-last.Optimal, diff)
+	}
+
+	// min_regret filters and stays ordered.
+	filtered := waitTraces(t, ts.URL, "?session="+id+"&min_regret=0.5", -1)
+	if filtered.Count == 0 || filtered.Count >= list.Count {
+		t.Fatalf("min_regret=0.5 returned %d of %d traces, want a strict non-empty subset",
+			filtered.Count, list.Count)
+	}
+	for i, tr := range filtered.Traces {
+		if tr.Regret < 0.5 {
+			t.Errorf("min_regret leaked trace with regret %v", tr.Regret)
+		}
+		if i > 0 && filtered.Traces[i-1].Regret < tr.Regret {
+			t.Errorf("filtered traces not ordered at %d", i)
+		}
+	}
+
+	// Every trace dereferences, with its serve span fully annotated and
+	// the regret matching the decision readout for that request.
+	for _, tr := range list.Traces {
+		var got TraceGetResponse
+		getJSON(t, ts.URL+"/v1/traces/"+tr.TraceID, &got)
+		if len(got.Spans) != 2 {
+			t.Fatalf("trace %s: %d spans, want 2", tr.TraceID, len(got.Spans))
+		}
+		rootSpan, serve := got.Spans[0], got.Spans[1]
+		if rootSpan.Name != "/v1/session/" || rootSpan.Status != http.StatusOK || rootSpan.Session != id {
+			t.Errorf("root span: %+v", rootSpan)
+		}
+		if serve.ParentID != rootSpan.SpanID || serve.Name != "serve" {
+			t.Errorf("serve span not parented to root: %+v", serve)
+		}
+		if serve.Decision != "hit" && serve.Decision != "transfer" {
+			t.Errorf("serve span decision = %q", serve.Decision)
+		}
+		if serve.Events == "" || !strings.Contains(serve.Events, "request") {
+			t.Errorf("serve span events = %q, want request event", serve.Events)
+		}
+		found := false
+		for _, rg := range regretByServe {
+			if math.Abs(serve.Regret-rg) < 1e-12 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("serve span regret %v matches no decision regret %v", serve.Regret, regretByServe)
+		}
+	}
+
+	// Unknown trace id is a 404 with the error envelope.
+	resp, err := http.Get(ts.URL + "/v1/traces/ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTracesBatchSpans drives the same Fig. 6 workload through the batch
+// route: one trace whose serve children cover every applied request, with
+// regrets summing to Cost − Optimal and decision events partitioned
+// across the children (4 drops total, as the engine golden test pins).
+func TestTracesBatchSpans(t *testing.T) {
+	ts := newTestServer(t)
+	seq, cm := offline.Fig6Instance()
+
+	var state SessionState
+	post(t, ts.URL+"/v1/session", SessionCreateRequest{
+		M: seq.M, Origin: seq.Origin, Model: CostModelDTO{Mu: cm.Mu, Lambda: cm.Lambda},
+	}, &state)
+	id := state.ID
+
+	batch := SessionBatchRequest{}
+	for _, r := range seq.Requests {
+		batch.Requests = append(batch.Requests, BatchRequestItem{Server: r.Server, T: r.Time})
+	}
+	var res SessionBatchResponse
+	post(t, ts.URL+"/v1/session/"+id+"/requests", batch, &res)
+	if res.Applied != seq.N() {
+		t.Fatalf("applied %d of %d", res.Applied, seq.N())
+	}
+
+	list := waitTraces(t, ts.URL, "?session="+id, 1)
+	if list.Count != 1 {
+		t.Fatalf("batch produced %d traces, want 1", list.Count)
+	}
+	tr := list.Traces[0]
+	if tr.Spans != 1+seq.N() {
+		t.Fatalf("batch trace has %d spans, want %d", tr.Spans, 1+seq.N())
+	}
+	if diff := math.Abs(tr.Regret - (res.Cost - res.Optimal)); diff > 1e-9 {
+		t.Fatalf("batch trace regret %v != Cost−Optimal %v", tr.Regret, res.Cost-res.Optimal)
+	}
+
+	var got TraceGetResponse
+	getJSON(t, ts.URL+"/v1/traces/"+tr.TraceID, &got)
+	drops, serves := 0, 0
+	for _, sp := range got.Spans[1:] {
+		if sp.Name != "serve" || sp.Session != id {
+			t.Errorf("unexpected child span: %+v", sp)
+		}
+		serves++
+		drops += sp.Drops
+	}
+	if serves != seq.N() {
+		t.Errorf("%d serve children, want %d", serves, seq.N())
+	}
+	if drops != 4 {
+		t.Errorf("children attribute %d drops, want 4 (Fig. 6 SC)", drops)
+	}
+}
+
+// TestSessionSpanRetirement mirrors the PR 3 gauge-retirement regression
+// test for the span store: closing a session must retire its retained
+// spans, while other sessions' traces survive.
+func TestSessionSpanRetirement(t *testing.T) {
+	ts := newTestServer(t)
+	seq, cm := offline.Fig6Instance()
+
+	openSession := func() string {
+		var state SessionState
+		post(t, ts.URL+"/v1/session", SessionCreateRequest{
+			M: seq.M, Origin: seq.Origin, Model: CostModelDTO{Mu: cm.Mu, Lambda: cm.Lambda},
+		}, &state)
+		for _, r := range seq.Requests[:3] {
+			post(t, ts.URL+"/v1/session/"+state.ID+"/request",
+				StreamAppendRequest{Server: r.Server, Time: r.Time}, nil)
+		}
+		return state.ID
+	}
+	a, b := openSession(), openSession()
+	if got := waitTraces(t, ts.URL, "?session="+a, 3); got.Count != 3 {
+		t.Fatalf("session %s retained %d traces, want 3", a, got.Count)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+a, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The close itself traces (it is an HTTP request), but no span of the
+	// closed session may survive.
+	if got := waitTraces(t, ts.URL, "?session="+a, 0); got.Count != 0 {
+		t.Fatalf("closed session still has %d retained traces: %+v", got.Count, got.Traces)
+	}
+	if got := waitTraces(t, ts.URL, "?session="+b, 3); got.Count != 3 {
+		t.Fatalf("surviving session lost traces: %d, want 3", got.Count)
+	}
+}
+
+// TestTraceparentAdoption checks W3C context propagation: a caller-sent
+// traceparent is adopted (same trace id in the response header and the
+// retained trace), and an unsampled caller context with no tail trigger
+// is not retained.
+func TestTraceparentAdoption(t *testing.T) {
+	ts := newTestServer(t)
+
+	const caller = "00-aaaabbbbccccddddeeeeffff00001111-0123456789abcdef-01"
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("Traceparent", caller)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tp := resp.Header.Get("Traceparent")
+	sc, err := obs.ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", tp, err)
+	}
+	if sc.TraceID.String() != "aaaabbbbccccddddeeeeffff00001111" {
+		t.Fatalf("trace id not adopted: %s", sc.TraceID)
+	}
+	if sc.SpanID.String() == "0123456789abcdef" {
+		t.Fatal("server reused the caller's span id instead of minting its own")
+	}
+	var got TraceGetResponse
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r2, err := http.Get(ts.URL + "/v1/traces/aaaabbbbccccddddeeeeffff00001111")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(r2.Body).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+			r2.Body.Close()
+			break
+		}
+		r2.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("adopted trace never retained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Spans[0].ParentID != "0123456789abcdef" {
+		t.Fatalf("server span parent = %q, want the caller's span id", got.Spans[0].ParentID)
+	}
+
+	// An explicitly unsampled caller turns retention off for clean
+	// requests (no error, no shed, no regret rule configured).
+	unsampled := httptest.NewServer(New(WithTraceSampling(0)))
+	defer unsampled.Close()
+	req2, _ := http.NewRequest(http.MethodGet, unsampled.URL+"/healthz", nil)
+	req2.Header.Set("Traceparent", "00-22223333444455556666777788889999-0123456789abcdef-00")
+	r3, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	time.Sleep(50 * time.Millisecond)
+	r4, err := http.Get(unsampled.URL + "/v1/traces/22223333444455556666777788889999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Fatalf("unsampled clean trace retained (status %d)", r4.StatusCode)
+	}
+}
+
+// openMetricsSample matches one OpenMetrics sample line with an optional
+// exemplar: series value [# {trace_id="..."} value timestamp].
+var openMetricsSample = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?(?:[0-9.e+-]+|\+Inf|NaN))( # \{trace_id="([0-9a-f]{32})"\} (-?[0-9.e+-]+) ([0-9]+\.[0-9]+))?$`)
+
+// TestOpenMetricsLint is the CI lint: it serves traffic, scrapes /metrics
+// with the OpenMetrics Accept header, validates the exposition line by
+// line (TYPE naming, counter _total suffix rules, exemplar syntax, # EOF
+// terminator), verifies every exemplar's trace id dereferences through
+// /v1/traces/{id}, and writes the NDJSON span export (to DC_SPAN_EXPORT
+// when set, for the CI artifact) validating each line parses as a span.
+func TestOpenMetricsLint(t *testing.T) {
+	exportPath := os.Getenv("DC_SPAN_EXPORT")
+	if exportPath == "" {
+		exportPath = filepath.Join(t.TempDir(), "spans.ndjson")
+	}
+	exportFile, err := os.Create(exportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exportFile.Close()
+
+	ts := httptest.NewServer(New(WithSpanExporter(obs.NewNDJSONExporter(exportFile))))
+	defer ts.Close()
+	seq, cm := offline.Fig6Instance()
+
+	var state SessionState
+	post(t, ts.URL+"/v1/session", SessionCreateRequest{
+		M: seq.M, Origin: seq.Origin, Model: CostModelDTO{Mu: cm.Mu, Lambda: cm.Lambda},
+	}, &state)
+	for _, r := range seq.Requests {
+		post(t, ts.URL+"/v1/session/"+state.ID+"/request",
+			StreamAppendRequest{Server: r.Server, Time: r.Time}, nil)
+	}
+	waitTraces(t, ts.URL, "?session="+state.ID, seq.N())
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("OpenMetrics scrape content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if lines[len(lines)-1] != "# EOF" {
+		t.Fatalf("exposition does not end with # EOF: %q", lines[len(lines)-1])
+	}
+
+	types := map[string]string{}
+	exemplarIDs := map[string]bool{}
+	sawLatencyExemplar := false
+	for ln, line := range lines[:len(lines)-1] {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE %q", ln+1, line)
+			}
+			if fields[3] == "counter" && strings.HasSuffix(fields[2], "_total") {
+				t.Errorf("line %d: counter family %q keeps _total in its TYPE name", ln+1, fields[2])
+			}
+			types[fields[2]] = fields[3]
+		case strings.HasPrefix(line, "# HELP "):
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		default:
+			m := openMetricsSample.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed OpenMetrics sample %q", ln+1, line)
+			}
+			name := m[1]
+			if fam, ok := types[strings.TrimSuffix(name, "_total")]; ok && fam == "counter" {
+				if !strings.HasSuffix(name, "_total") {
+					t.Errorf("line %d: counter sample %q lacks _total", ln+1, name)
+				}
+			}
+			if m[4] != "" { // exemplar present
+				if !strings.Contains(name, "_bucket") {
+					t.Errorf("line %d: exemplar on non-bucket sample %q", ln+1, name)
+				}
+				exemplarIDs[m[5]] = true
+				if strings.HasPrefix(name, "dc_http_request_seconds_bucket") ||
+					strings.HasPrefix(name, "dc_engine_decision_seconds_bucket") {
+					sawLatencyExemplar = true
+				}
+			}
+		}
+	}
+	if !sawLatencyExemplar {
+		t.Fatal("no exemplar on the request/decision latency histograms")
+	}
+	// Every exemplar references a retained trace.
+	for id := range exemplarIDs {
+		r2, err := http.Get(ts.URL + "/v1/traces/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusOK {
+			t.Errorf("exemplar trace %s not retained (status %d)", id, r2.StatusCode)
+		}
+	}
+
+	// The NDJSON export parses span-per-line and covers the session.
+	if err := exportFile.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(exportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nspans, nserve := 0, 0
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var sp obs.Span
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("NDJSON line %d: %v (%q)", i+1, err, line)
+		}
+		if len(sp.TraceID) != 32 || len(sp.SpanID) != 16 {
+			t.Fatalf("NDJSON line %d: malformed ids %+v", i+1, sp)
+		}
+		nspans++
+		if sp.Name == "serve" && sp.Session == state.ID {
+			nserve++
+		}
+	}
+	if nserve != seq.N() {
+		t.Errorf("export has %d serve spans for the session, want %d (of %d total)",
+			nserve, seq.N(), nspans)
+	}
+}
+
+// TestSpanStoreCapBound pins the acceptance criterion that span-store
+// memory is bounded: a server with a tiny cap retains at most cap spans
+// no matter how much traffic it serves.
+func TestSpanStoreCapBound(t *testing.T) {
+	ts := httptest.NewServer(New(WithSpanCap(16)))
+	defer ts.Close()
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var list TraceListResponse
+	for time.Now().Before(deadline) {
+		getJSON(t, ts.URL+"/v1/traces?limit=1000", &list)
+		if list.Count >= 16 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if list.Count > 16 {
+		t.Fatalf("cap 16 retained %d traces", list.Count)
+	}
+}

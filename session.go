@@ -102,9 +102,17 @@ type Decision struct {
 	Time    float64  // request time
 	Hit     bool     // true when a live copy served it in place
 	From    ServerID // transfer source on a miss (0 on a hit)
+	Drops   int      // copies dropped while this request was served
 	Cost    float64  // policy cost accumulated through this request
 	Optimal float64  // off-line optimum of the prefix (FastDP, exact)
 	Ratio   float64  // Cost / Optimal (1 when Optimal == 0)
+	// Regret is this request's cost divergence from the clairvoyant
+	// optimum: (online cost delta) − (optimum delta). Regrets telescope —
+	// summed over every request they equal Cost − Optimal exactly — so
+	// high-regret requests are precisely the ones that pushed the ratio.
+	// Negative regret means the optimum's DP paid more for this prefix
+	// step than the online policy did.
+	Regret float64
 }
 
 // Session serves live traffic one request at a time with no lookahead: each
@@ -211,10 +219,12 @@ func (s *Session) Serve(server ServerID, t float64) (Decision, error) {
 		Time:    ed.Time,
 		Hit:     ed.Hit,
 		From:    ed.From,
+		Drops:   ed.Drops,
 		Cost:    s.stream.Cost(s.cm),
 		Optimal: s.inc.Cost(),
 	}
 	d.Ratio = ratioOf(d.Cost, d.Optimal)
+	d.Regret = (d.Cost - s.prevCost) - (d.Optimal - s.prevOpt)
 	if s.slo != nil {
 		s.slo.Observe(t, d.Cost-s.prevCost, d.Optimal-s.prevOpt)
 	}

@@ -275,3 +275,82 @@ func TestSessionSLOLifecycle(t *testing.T) {
 		t.Fatalf("transitions = %v, want %v", transitions, want)
 	}
 }
+
+// TestSessionRegretTelescopesFig6 pins the per-request regret definition
+// on the paper's Fig. 6 instance: each Decision.Regret is the online cost
+// delta minus the optimum delta for that request, so the regrets summed
+// over the whole run must telescope to Cost() − OptimalCost() to 1e-9,
+// and re-deriving each regret from consecutive cumulative readouts must
+// agree term by term. Also checked on a random workload for robustness.
+func TestSessionRegretTelescopesFig6(t *testing.T) {
+	seq, cm := offline.Fig6Instance()
+	sess, err := datacache.NewSession(seq.M, seq.Origin, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, prevCost, prevOpt float64
+	for i, r := range seq.Requests {
+		d, err := sess.Serve(r.Server, r.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (d.Cost - prevCost) - (d.Optimal - prevOpt)
+		if math.Abs(d.Regret-want) > 1e-12 {
+			t.Fatalf("request %d: Regret = %v, cumulative deltas give %v", i, d.Regret, want)
+		}
+		prevCost, prevOpt = d.Cost, d.Optimal
+		sum += d.Regret
+	}
+	if diff := math.Abs(sum - (sess.Cost() - sess.OptimalCost())); diff > 1e-9 {
+		t.Fatalf("regrets sum to %v, Cost−Optimal = %v (diff %g)",
+			sum, sess.Cost()-sess.OptimalCost(), diff)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	rseq := randomSequence(rng, 6, 150)
+	rs, err := datacache.NewSession(rseq.M, rseq.Origin, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum = 0
+	for _, r := range rseq.Requests {
+		d, err := rs.Serve(r.Server, r.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += d.Regret
+	}
+	if diff := math.Abs(sum - (rs.Cost() - rs.OptimalCost())); diff > 1e-9 {
+		t.Fatalf("random workload: regrets sum to %v, Cost−Optimal = %v (diff %g)",
+			sum, rs.Cost()-rs.OptimalCost(), diff)
+	}
+}
+
+// TestSessionDecisionDropsFig6 pins Decision.Drops on Fig. 6's canonical
+// SC run: four copies are dropped in total, attributed to the request
+// whose arrival drained the expired deadlines (t=2.6 collects the t=1.8
+// and two t=2.1 expiries; t=4.0 collects the t=3.6 one).
+func TestSessionDecisionDropsFig6(t *testing.T) {
+	seq, cm := offline.Fig6Instance()
+	sess, err := datacache.NewSession(seq.M, seq.Origin, cm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	byTime := map[float64]int{}
+	for _, r := range seq.Requests {
+		d, err := sess.Serve(r.Server, r.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d.Drops
+		byTime[d.Time] = d.Drops
+	}
+	if total != 4 {
+		t.Fatalf("total drops attributed = %d, want 4", total)
+	}
+	if byTime[2.6] != 3 || byTime[4.0] != 1 {
+		t.Fatalf("drop attribution: t=2.6 got %d (want 3), t=4.0 got %d (want 1); all: %v",
+			byTime[2.6], byTime[4.0], byTime)
+	}
+}
