@@ -242,6 +242,38 @@ func TestCLIDcloadSmoke(t *testing.T) {
 	if !strings.Contains(out3, "errors        4xx=0 5xx=0 transport=0") {
 		t.Errorf("dcload -ndjson reported errors:\n%s", out3)
 	}
+
+	// Pool mode: one shared multi-item pool, tenant-per-worker, skewed
+	// keyspace — the report switches to pool standings and tenant ratios,
+	// and -max-ratio gates on the worst tenant (exit 0 here means it held).
+	out4, _ := run(t, bins["dcload"], nil,
+		"-addr", srv.URL, "-n", "800", "-c", "2", "-batch", "32",
+		"-workload", "zipf", "-m", "8", "-seed", "1",
+		"-items", "64", "-item-dist", "zipf", "-max-ratio", "3")
+	for _, want := range []string{
+		"workload      zipf(m=8,s=1.2)/pool  batch=32",
+		"served        800 requests",
+		"errors        4xx=0 5xx=0 transport=0",
+		"pool          items=",
+		"tenant ratios worst",
+		"w0",
+		"w1",
+	} {
+		if !strings.Contains(out4, want) {
+			t.Errorf("dcload pool mode missing %q:\n%s", want, out4)
+		}
+	}
+	// Bounded engine state: evictions happen and the run still holds.
+	out5, _ := run(t, bins["dcload"], nil,
+		"-addr", srv.URL, "-n", "400", "-c", "1", "-batch", "16", "-ndjson",
+		"-workload", "uniform", "-m", "4", "-seed", "2",
+		"-items", "32", "-item-dist", "uniform", "-max-items", "8", "-max-ratio", "3")
+	if !strings.Contains(out5, "errors        4xx=0 5xx=0 transport=0") {
+		t.Errorf("dcload bounded pool mode reported errors:\n%s", out5)
+	}
+	if !strings.Contains(out5, "live=8 ") {
+		t.Errorf("dcload -max-items 8 did not bound live engine state:\n%s", out5)
+	}
 }
 
 // TestCLIDctopFrame runs dctop -once against an in-process dcserved
@@ -343,5 +375,40 @@ func TestCLIDctopFrame(t *testing.T) {
 	}
 	if !strings.Contains(first, "ms") {
 		t.Errorf("slow-traces row missing duration: %q", first)
+	}
+	// No pool exists yet, so no top-items panel.
+	if strings.Contains(out, "top items") {
+		t.Errorf("frame has a top-items panel without a live pool:\n%s", out)
+	}
+
+	// Open a multi-item pool and serve a few keys; the next frame must
+	// auto-pick it and append the top-items panel (by cost and by regret)
+	// with the tenant rollups.
+	var poolState service.PoolState
+	postJSON(srv.URL+"/v1/pool", map[string]interface{}{
+		"m": 3, "origin": 1, "model": map[string]float64{"mu": 1, "lambda": 2},
+	}, &poolState)
+	postJSON(srv.URL+"/v1/pool/"+poolState.ID+"/requests", map[string]interface{}{
+		"requests": []map[string]interface{}{
+			{"tenant": "acme", "item": "video", "server": 2, "t": 0.5},
+			{"tenant": "acme", "item": "video", "server": 3, "t": 1.1},
+			{"tenant": "acme", "item": "profile", "server": 2, "t": 0.9},
+			{"tenant": "beta", "item": "video", "server": 3, "t": 0.7},
+		},
+	}, nil)
+
+	out2, _ := run(t, bins["dctop"], nil, "-addr", srv.URL, "-once")
+	for _, want := range []string{
+		"pool " + poolState.ID,
+		"top items by cost:",
+		"top items by regret:",
+		"acme/video",
+		"acme/profile",
+		"beta/video",
+		"tenants:",
+	} {
+		if !strings.Contains(out2, want) {
+			t.Errorf("pool frame missing %q:\n%s", want, out2)
+		}
 	}
 }

@@ -1,0 +1,121 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"datacache/client"
+)
+
+// TestClientPoolRoundTrip walks the pool surface against a real server:
+// create, single serve, mixed-item batch (JSON and NDJSON), ranked item
+// reads, state, close.
+func TestClientPoolRoundTrip(t *testing.T) {
+	cl := newClient(t)
+	ctx := context.Background()
+
+	pool, err := cl.CreatePool(ctx, client.PoolConfig{M: 3, Origin: 1, Mu: 1, Lambda: 2, MaxItems: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.ID == "" || pool.Created.LiveItems != 0 {
+		t.Fatalf("created pool %+v", pool.Created)
+	}
+
+	d, err := pool.Serve(ctx, "acme", "video", 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Item != "video" || d.Tenant != "acme" || d.PoolCost <= 0 {
+		t.Fatalf("serve decision %+v", d)
+	}
+
+	br, err := pool.ServeBatch(ctx, []client.PoolRequest{
+		{Tenant: "acme", Item: "video", Server: 3, T: 1.2},
+		{Item: "video", Server: 1, T: 0.4}, // distinct key: default tenant
+		{Tenant: "acme", Item: "profile", Server: 2, T: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied != 3 || br.FirstRejected != -1 {
+		t.Fatalf("batch %+v, want all 3 applied", br)
+	}
+
+	nr, err := pool.ServeBatchNDJSON(ctx, []client.PoolRequest{
+		{Item: "video", Server: 2, T: 1.8},
+		{Tenant: "acme", Item: "profile", Server: 2, T: 2.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Applied != 2 {
+		t.Fatalf("NDJSON batch %+v, want 2 applied", nr)
+	}
+
+	items, err := pool.TopItems(ctx, "regret", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items.By != "regret" || items.Total != 3 || len(items.Items) != 2 {
+		t.Fatalf("top items %+v, want top-2 of 3 by regret", items)
+	}
+
+	st, err := pool.State(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 6 || st.Items != 3 || len(st.Tenants) != 2 {
+		t.Fatalf("state %+v, want n=6, 3 items, 2 tenants", st)
+	}
+
+	final, err := pool.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.N != 6 || final.LiveItems != 0 {
+		t.Fatalf("final state %+v, want all engine state drained", final)
+	}
+
+	// The id is gone; typed not_found surfaces.
+	if _, err := pool.State(ctx); err == nil || !client.IsNotFound(err) {
+		t.Fatalf("state after close: %v, want not_found", err)
+	}
+}
+
+// TestClientPoolPartialBatch pins per-item partial semantics through the
+// typed client.
+func TestClientPoolPartialBatch(t *testing.T) {
+	cl := newClient(t)
+	ctx := context.Background()
+
+	pool, err := cl.CreatePool(ctx, client.PoolConfig{M: 3, Origin: 1, Mu: 1, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := pool.ServeBatch(ctx, []client.PoolRequest{
+		{Item: "a", Server: 2, T: 1},
+		{Item: "b", Server: 3, T: 1.5},
+		{Item: "a", Server: 2, T: 0.5}, // out of order for a
+		{Item: "b", Server: 1, T: 2},   // b proceeds
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied != 3 || br.FirstRejected != 2 || len(br.Rejected) != 1 {
+		t.Fatalf("partial batch %+v, want 3 applied with index 2 rejected", br)
+	}
+
+	// OpenPool attaches by id.
+	again := cl.OpenPool(pool.ID)
+	st, err := again.State(ctx)
+	if err != nil || st.N != 3 {
+		t.Fatalf("reattached state %+v err=%v", st, err)
+	}
+
+	var apiErr *client.APIError
+	if _, err := cl.OpenPool("pl-404").State(ctx); !errors.As(err, &apiErr) {
+		t.Fatalf("unknown pool error %v, want *APIError", err)
+	}
+}

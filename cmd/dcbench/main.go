@@ -17,6 +17,12 @@
 //	dcbench budget             # E13: copy-budget sweep (capacity re-imposed)
 //	dcbench sweep              # seeded-replica stability sweep of all policies
 //	dcbench faults             # E14: fault injection and β-upload economics
+//	dcbench perf -json         # serving-path perf snapshot (BENCH_*.json)
+//
+// perf times the serving hot loops — single-item session, multi-item pool
+// (unbounded, batched, bounded with eviction churn) and the offline DP —
+// and with -json emits the snapshot committed as BENCH_pr<N>.json to track
+// the perf trajectory across PRs.
 package main
 
 import (
@@ -34,8 +40,10 @@ import (
 
 func main() {
 	var (
-		seed = flag.Int64("seed", 1, "random seed for all experiments")
-		n    = flag.Int("n", 2000, "workload size for ratio/policy experiments")
+		seed    = flag.Int64("seed", 1, "random seed for all experiments")
+		n       = flag.Int("n", 2000, "workload size for ratio/policy experiments")
+		asJSON  = flag.Bool("json", false, "emit machine-readable JSON (perf only)")
+		perfOps = flag.Int("perf-n", 50000, "requests per hot loop for the perf snapshot")
 	)
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -53,6 +61,12 @@ func main() {
 		err  error
 	)
 	switch cmd {
+	case "perf":
+		if err := runPerf(*seed, *perfOps, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "dcbench:", err)
+			os.Exit(1)
+		}
+		return
 	case "all":
 		reps, err = experiments.All(*seed)
 	case "table1":

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"datacache"
+	"datacache/internal/model"
+)
+
+// perfSnapshot is the committed perf-trajectory record (BENCH_pr6.json
+// and successors): one wall-clock measurement per serving-path hot loop,
+// taken on whatever machine ran it — the point is the trajectory across
+// PRs on the same CI hardware, not absolute numbers.
+type perfSnapshot struct {
+	Schema  string       `json:"schema"` // "dcbench-perf/v1"
+	Go      string       `json:"go"`
+	Arch    string       `json:"arch"`
+	Seed    int64        `json:"seed"`
+	Results []perfResult `json:"results"`
+}
+
+type perfResult struct {
+	Name      string  `json:"name"`
+	N         int     `json:"n"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Note      string  `json:"note,omitempty"`
+}
+
+// perfSweep times the serving hot paths: the single-item session loop,
+// the multi-item pool (unbounded, batch-grouped, and bounded with
+// eviction churn) and the offline DP. Each loop serves the same seeded
+// zipf traffic so numbers are comparable across runs.
+func perfSweep(seed int64, n int) (*perfSnapshot, error) {
+	const (
+		m        = 16
+		items    = 256
+		batch    = 64
+		maxItems = 64
+	)
+	snap := &perfSnapshot{
+		Schema: "dcbench-perf/v1",
+		Go:     runtime.Version(),
+		Arch:   runtime.GOOS + "/" + runtime.GOARCH,
+		Seed:   seed,
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	zipfSrv := rand.NewZipf(rng, 1.2, 1, uint64(m-1))
+	zipfItem := rand.NewZipf(rng, 1.2, 1, uint64(items-1))
+	reqs := make([]datacache.PoolRequest, n)
+	for i := range reqs {
+		reqs[i] = datacache.PoolRequest{
+			Item:   fmt.Sprintf("item-%d", zipfItem.Uint64()),
+			Server: datacache.ServerID(1 + zipfSrv.Uint64()),
+			Time:   float64(i+1) * 0.1,
+		}
+	}
+
+	timeLoop := func(name, note string, ops int, f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		el := time.Since(start)
+		snap.Results = append(snap.Results, perfResult{
+			Name:      name,
+			N:         ops,
+			NsPerOp:   float64(el.Nanoseconds()) / float64(ops),
+			OpsPerSec: float64(ops) / el.Seconds(),
+			Note:      note,
+		})
+		return nil
+	}
+
+	if err := timeLoop("session/serve", fmt.Sprintf("single item, m=%d, zipf servers", m), n, func() error {
+		s, err := datacache.NewSession(m, 1, datacache.Unit, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range reqs {
+			if _, err := s.Serve(r.Server, r.Time); err != nil {
+				return err
+			}
+		}
+		_, err = s.Close()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timeLoop("pool/serve", fmt.Sprintf("%d items zipf(1.2), unbounded, single path", items), n, func() error {
+		p, err := datacache.NewPool(m, 1, datacache.Unit, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range reqs {
+			if _, err := p.Serve("", r.Item, r.Server, r.Time); err != nil {
+				return err
+			}
+		}
+		return p.Close()
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timeLoop("pool/serve_batch", fmt.Sprintf("%d items zipf(1.2), batch=%d grouped by item", items, batch), n, func() error {
+		p, err := datacache.NewPool(m, 1, datacache.Unit, nil)
+		if err != nil {
+			return err
+		}
+		for lo := 0; lo < len(reqs); lo += batch {
+			hi := lo + batch
+			if hi > len(reqs) {
+				hi = len(reqs)
+			}
+			if _, err := p.ServeBatch(nil, reqs[lo:hi]); err != nil {
+				return err
+			}
+		}
+		return p.Close()
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timeLoop("pool/serve_bounded", fmt.Sprintf("%d items, MaxItems=%d (LRU eviction churn)", items, maxItems), n, func() error {
+		p, err := datacache.NewPool(m, 1, datacache.Unit, &datacache.PoolOptions{MaxItems: maxItems})
+		if err != nil {
+			return err
+		}
+		for _, r := range reqs {
+			if _, err := p.Serve("", r.Item, r.Server, r.Time); err != nil {
+				return err
+			}
+		}
+		return p.Close()
+	}); err != nil {
+		return nil, err
+	}
+
+	dpN := n
+	if dpN > 2000 {
+		dpN = 2000
+	}
+	seq := &model.Sequence{M: m, Origin: 1}
+	for i := 0; i < dpN; i++ {
+		seq.Requests = append(seq.Requests, model.Request{
+			Server: model.ServerID(1 + zipfSrv.Uint64()),
+			Time:   float64(i+1) * 0.1,
+		})
+	}
+	if err := timeLoop("offline/fastdp", fmt.Sprintf("FastDP optimum, m=%d", m), dpN, func() error {
+		_, err := datacache.Optimize(seq, datacache.Unit)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	return snap, nil
+}
+
+// runPerf executes the sweep and prints it as JSON (-json) or a table.
+func runPerf(seed int64, n int, asJSON bool) error {
+	snap, err := perfSweep(seed, n)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	fmt.Printf("== Perf: serving-path hot loops (%s, %s, seed %d) ==\n", snap.Go, snap.Arch, snap.Seed)
+	fmt.Printf("%-20s %9s %12s %14s  %s\n", "benchmark", "ops", "ns/op", "ops/sec", "note")
+	for _, r := range snap.Results {
+		fmt.Printf("%-20s %9d %12.0f %14.0f  %s\n", r.Name, r.N, r.NsPerOp, r.OpsPerSec, r.Note)
+	}
+	fmt.Println(strings.Repeat("-", 60))
+	return nil
+}

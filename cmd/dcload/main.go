@@ -9,6 +9,16 @@
 //	dcload -addr http://localhost:8080 -n 10000 -c 4 -batch 64
 //	dcload -workload zipf -m 16 -seed 7 -qps 2000 -out report.txt
 //	dcload -workload adversarial -batch 1          # single-request path
+//	dcload -items 256 -item-dist zipf -c 4         # multi-item pool mode
+//
+// With -items N > 0 dcload switches to pool mode: all workers share ONE
+// multi-item pool (POST /v1/pool), each worker serving as its own tenant
+// ("w0", "w1", ...) so per-key request times stay strictly increasing
+// under concurrency. Every request is assigned an item key from the
+// -item-dist distribution (zipf, the skew production caches see, or
+// uniform), -max-items forwards the pool's engine-state bound, and the
+// report adds per-tenant competitive ratios — -max-ratio then gates on
+// the worst tenant.
 //
 // Every round-trip runs under its own root trace (the client mints a W3C
 // traceparent per batch), so the report can name the guilty requests: it
@@ -55,6 +65,9 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
 		qps      = flag.Float64("qps", 0, "target aggregate requests/sec (0 = closed loop)")
 		ndjson   = flag.Bool("ndjson", false, "send batches as NDJSON instead of JSON")
+		items    = flag.Int("items", 0, "pool mode: spread requests over this many items through one shared /v1/pool (0 = per-worker sessions)")
+		itemDist = flag.String("item-dist", "zipf", "pool mode item-key distribution: zipf|uniform")
+		maxItems = flag.Int("max-items", 0, "pool mode: bound live engine state to this many items (0 = unbounded)")
 		maxRatio = flag.Float64("max-ratio", 0, "fail if any session's final ratio exceeds this (0 disables)")
 		keep     = flag.Bool("keep-sessions", false, "leave sessions open after the run (closing one retires its retained traces, so use this when the reported trace ids should stay queryable)")
 		out      = flag.String("out", "", "also write the report to this file")
@@ -87,6 +100,15 @@ func main() {
 	if _, _, err := cl.Health(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "dcload: server not reachable at %s: %v\n", *addr, err)
 		os.Exit(1)
+	}
+
+	if *items > 0 {
+		os.Exit(runPoolMode(ctx, cl, gen, poolModeConfig{
+			n: *n, c: *c, batch: *batch, items: *items, itemDist: *itemDist,
+			maxItems: *maxItems, m: *m, mu: *mu, lambda: *lambda, policy: *policy,
+			seed: *seed, qps: *qps, ndjson: *ndjson, keep: *keep,
+			maxRatio: *maxRatio, out: *out,
+		}))
 	}
 
 	// Split n across workers; the first n%c workers take one extra.
@@ -292,6 +314,202 @@ func (res *workerResult) serveChunk(ctx context.Context, cl *client.Client, sess
 	}
 }
 
+// --- pool mode ---
+
+type poolModeConfig struct {
+	n, c, batch     int
+	items, maxItems int
+	itemDist        string
+	m               int
+	mu, lambda      float64
+	policy          string
+	seed            int64
+	qps             float64
+	ndjson          bool
+	keep            bool
+	maxRatio        float64
+	out             string
+}
+
+// runPoolMode drives one shared multi-item pool from c tenant-workers and
+// returns the process exit code. Per-tenant final ratios come from the
+// pool's tenant rollups, and -max-ratio gates on the worst tenant.
+func runPoolMode(ctx context.Context, cl *client.Client, gen workload.Generator, cfg poolModeConfig) int {
+	pickItem, err := makeItemPicker(cfg.itemDist, cfg.items)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcload: %v\n", err)
+		return 2
+	}
+	pool, err := cl.CreatePool(ctx, client.PoolConfig{
+		M: cfg.m, Origin: 1, Mu: cfg.mu, Lambda: cfg.lambda,
+		Policy: cfg.policy, MaxItems: cfg.maxItems,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcload: create pool: %v\n", err)
+		return 1
+	}
+
+	results := make([]workerResult, cfg.c)
+	done := make(chan int, cfg.c)
+	perWorkerQPS := cfg.qps / float64(cfg.c)
+	start := time.Now()
+	for w := 0; w < cfg.c; w++ {
+		share := cfg.n / cfg.c
+		if w < cfg.n%cfg.c {
+			share++
+		}
+		// Each worker is its own tenant: per-(tenant, item) times are then
+		// strictly increasing no matter how workers interleave on the wire.
+		rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+		seq := gen.Generate(rand.New(rand.NewSource(cfg.seed+int64(w))), share)
+		reqs := make([]client.PoolRequest, 0, len(seq.Requests))
+		for _, r := range seq.Requests {
+			reqs = append(reqs, client.PoolRequest{
+				Tenant: fmt.Sprintf("w%d", w),
+				Item:   fmt.Sprintf("item-%d", pickItem(rng)),
+				Server: r.Server,
+				T:      r.Time,
+			})
+		}
+		go func(w int, reqs []client.PoolRequest) {
+			results[w] = runPoolWorker(ctx, cl, pool, reqs, cfg, perWorkerQPS)
+			done <- w
+		}(w, reqs)
+	}
+	for i := 0; i < cfg.c; i++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	state, stateErr := pool.State(ctx)
+	if !cfg.keep {
+		if _, err := pool.Close(ctx); err != nil && stateErr == nil {
+			stateErr = err
+		}
+	}
+
+	rep := buildReport(gen.Name()+"/pool", cfg.batch, elapsed, results)
+	rep.Pool = &state
+	rep.MaxSessionRatio = 0
+	rep.Ratios = rep.Ratios[:0]
+	for _, ts := range state.Tenants {
+		rep.Ratios = append(rep.Ratios, ts.Ratio)
+		if ts.Ratio > rep.MaxSessionRatio {
+			rep.MaxSessionRatio = ts.Ratio
+		}
+	}
+	if stateErr != nil && rep.FirstErr == nil {
+		rep.FirstErr = stateErr
+	}
+	text := rep.String()
+	fmt.Print(text)
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dcload: writing %s: %v\n", cfg.out, err)
+			return 1
+		}
+	}
+	if rep.Errs5xx > 0 || rep.Transport > 0 {
+		fmt.Fprintf(os.Stderr, "dcload: FAIL: %d server errors, %d transport errors\n", rep.Errs5xx, rep.Transport)
+		return 1
+	}
+	if cfg.maxRatio > 0 && rep.MaxSessionRatio > cfg.maxRatio {
+		fmt.Fprintf(os.Stderr, "dcload: FAIL: worst tenant ratio %.4f exceeds -max-ratio %.4f\n", rep.MaxSessionRatio, cfg.maxRatio)
+		return 1
+	}
+	return 0
+}
+
+// makeItemPicker returns a draw from the item-key distribution.
+func makeItemPicker(dist string, items int) (func(*rand.Rand) int, error) {
+	switch dist {
+	case "uniform":
+		return func(r *rand.Rand) int { return r.Intn(items) }, nil
+	case "zipf":
+		// s=1.2 matches the request-workload Zipf skew; item 0 is hottest.
+		return func(r *rand.Rand) int {
+			z := rand.NewZipf(r, 1.2, 1, uint64(items-1))
+			return int(z.Uint64())
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown item distribution %q (zipf|uniform)", dist)
+	}
+}
+
+// runPoolWorker drives one tenant's request stream against the shared
+// pool, chunked like the session path, retrying overload sheds.
+func runPoolWorker(ctx context.Context, cl *client.Client, pool *client.Pool, reqs []client.PoolRequest, cfg poolModeConfig, qps float64) workerResult {
+	var res workerResult
+	var interval time.Duration
+	if qps > 0 {
+		interval = time.Duration(float64(cfg.batch) / qps * float64(time.Second))
+	}
+	next := time.Now()
+	for off := 0; off < len(reqs); off += cfg.batch {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		end := off + cfg.batch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		res.servePoolChunk(ctx, cl, pool, reqs[off:end], cfg)
+	}
+	return res
+}
+
+// servePoolChunk submits one multi-item chunk under its own root trace.
+// Per-chunk regret is the sum of the applied decisions' per-request
+// regret — exact even though other tenants advance the pool concurrently.
+func (res *workerResult) servePoolChunk(ctx context.Context, cl *client.Client, pool *client.Pool, chunk []client.PoolRequest, cfg poolModeConfig) {
+	for attempt := 0; ; attempt++ {
+		tp := cl.NewTraceparent()
+		traceID, _ := client.TraceIDOf(tp)
+		tctx := client.WithTraceparent(ctx, tp)
+		t0 := time.Now()
+		var served int
+		var regret float64
+		var err error
+		if cfg.batch == 1 {
+			var d client.PoolDecision
+			d, err = pool.Serve(tctx, chunk[0].Tenant, chunk[0].Item, chunk[0].Server, chunk[0].T)
+			served, regret = 1, d.Regret
+		} else {
+			var b client.PoolBatchResponse
+			if cfg.ndjson {
+				b, err = pool.ServeBatchNDJSON(tctx, chunk)
+			} else {
+				b, err = pool.ServeBatch(tctx, chunk)
+			}
+			served = b.Applied
+			for _, d := range b.Decisions {
+				regret += d.Regret
+			}
+		}
+		if err == nil {
+			lat := time.Since(t0).Seconds()
+			res.Latencies = append(res.Latencies, lat)
+			res.Served += served
+			res.Traces = append(res.Traces, traceSample{TraceID: traceID, Latency: lat, Regret: regret})
+			return
+		}
+		if client.IsOverloaded(err) && attempt < 50 {
+			res.Sheds++
+			backoff := client.RetryAfterOf(err)
+			if backoff <= 0 {
+				backoff = 50 * time.Millisecond
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		res.countError(err)
+		return
+	}
+}
+
 func (res *workerResult) countError(err error) {
 	var ae *client.APIError
 	switch {
@@ -321,8 +539,9 @@ type report struct {
 	LatP999, LatMax float64
 	MaxSessionRatio float64
 	Ratios          []float64
-	Slowest         []traceSample // top 10 by round-trip latency
-	TopRegret       []traceSample // top 10 by regret added
+	Pool            *client.PoolState // pool mode: final pool standings
+	Slowest         []traceSample     // top 10 by round-trip latency
+	TopRegret       []traceSample     // top 10 by regret added
 	FirstErr        error
 }
 
@@ -386,7 +605,19 @@ func (rep *report) String() string {
 			ms(rep.Lat.Mean), ms(rep.Lat.P50), ms(rep.Lat.P90), ms(rep.Lat.P99), ms(rep.LatP999), ms(rep.LatMax))
 	}
 	fmt.Fprintf(&b, "  errors        4xx=%d 5xx=%d transport=%d\n", rep.Errs4xx, rep.Errs5xx, rep.Transport)
-	if len(rep.Ratios) > 0 {
+	if rep.Pool != nil {
+		fmt.Fprintf(&b, "  pool          items=%d live=%d evictions=%d revivals=%d ratio=%.4f\n",
+			rep.Pool.Items, rep.Pool.LiveItems, rep.Pool.Evictions, rep.Pool.Revivals, rep.Pool.Ratio)
+		fmt.Fprintf(&b, "  tenant ratios worst %.4f\n", rep.MaxSessionRatio)
+		for _, ts := range rep.Pool.Tenants {
+			name := ts.Tenant
+			if name == "" {
+				name = "(default)"
+			}
+			fmt.Fprintf(&b, "    %-10s n=%-7d items=%-5d ratio %.4f  windowed %.4f\n",
+				name, ts.N, ts.Items, ts.Ratio, ts.WindowedRatio)
+		}
+	} else if len(rep.Ratios) > 0 {
 		fmt.Fprintf(&b, "  final ratios  worst %.4f  per-session %s\n", rep.MaxSessionRatio, fmtRatios(rep.Ratios))
 	}
 	if len(rep.Slowest) > 0 {

@@ -11,8 +11,11 @@
 //	dctop -addr http://localhost:8080 -once      # one plain frame, no ANSI
 //
 // Without -session, dctop picks the lexicographically first session that
-// exports a dc_session_cost series. All transport goes through the typed
-// client package — dctop holds no HTTP plumbing of its own.
+// exports a dc_session_cost series. When any multi-item pool is live
+// (a dc_pool_items series exists, or -pool names one), the frame adds a
+// top-items panel: the pool's heaviest items by cumulative cost and by
+// regret, next to the slow-traces panel. All transport goes through the
+// typed client package — dctop holds no HTTP plumbing of its own.
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "dcserved base URL")
 		session  = flag.String("session", "", "session id to watch (default: first with a dc_session_cost series)")
+		pool     = flag.String("pool", "", "pool id for the top-items panel (default: first with a dc_pool_items series)")
 		interval = flag.Duration("interval", time.Second, "refresh interval")
 		once     = flag.Bool("once", false, "render a single frame without ANSI control sequences and exit")
 		version  = flag.Bool("version", false, "print the build version and exit")
@@ -48,7 +52,7 @@ func main() {
 	cl := client.New(*addr, client.WithHTTPClient(&http.Client{Timeout: 5 * time.Second}))
 	ctx := context.Background()
 	if *once {
-		frame, err := renderFrame(ctx, cl, *session)
+		frame, err := renderFrame(ctx, cl, *session, *pool)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dctop: %v\n", err)
 			os.Exit(1)
@@ -57,7 +61,7 @@ func main() {
 		return
 	}
 	for {
-		frame, err := renderFrame(ctx, cl, *session)
+		frame, err := renderFrame(ctx, cl, *session, *pool)
 		// Home the cursor, redraw, and clear whatever an earlier (taller)
 		// frame left below — steadier than a full-screen wipe per tick.
 		fmt.Print("\x1b[H\x1b[2J")
@@ -71,7 +75,7 @@ func main() {
 }
 
 // renderFrame assembles one full console frame.
-func renderFrame(ctx context.Context, cl *client.Client, session string) (string, error) {
+func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (string, error) {
 	samples, err := cl.Metrics(ctx)
 	if err != nil {
 		return "", err
@@ -81,12 +85,15 @@ func renderFrame(ctx context.Context, cl *client.Client, session string) (string
 	if session == "" {
 		session = pickSession(samples)
 	}
+	if pool == "" {
+		pool = pickPool(samples)
+	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "dctop — datacache live console    server %s    %s\n",
 		serverVersion, time.Now().Format("15:04:05"))
-	fmt.Fprintf(&b, "sessions open: %.0f    streams open: %.0f\n",
-		samples["dc_sessions_open"], samples["dc_streams_open"])
+	fmt.Fprintf(&b, "sessions open: %.0f    streams open: %.0f    pools open: %.0f\n",
+		samples["dc_sessions_open"], samples["dc_streams_open"], samples["dc_pools_open"])
 
 	alerts, err := cl.Alerts(ctx)
 	if err != nil {
@@ -96,6 +103,7 @@ func renderFrame(ctx context.Context, cl *client.Client, session string) (string
 	if session == "" {
 		b.WriteString("\nno live session to watch (create one via POST /v1/session)\n")
 		writeAlerts(&b, alerts)
+		writeTopItems(&b, ctx, cl, pool)
 		return b.String(), nil
 	}
 
@@ -156,7 +164,58 @@ func renderFrame(ctx context.Context, cl *client.Client, session string) (string
 				ts.TraceID, ts.Duration*1e3, ts.Regret, dec)
 		}
 	}
+
+	writeTopItems(&b, ctx, cl, pool)
 	return b.String(), nil
+}
+
+// writeTopItems renders the pool's heaviest items — by cumulative cost
+// and by regret — alongside its tenant rollups. No-op when no pool is
+// live or the pool vanished between the scrape and the read.
+func writeTopItems(b *strings.Builder, ctx context.Context, cl *client.Client, pool string) {
+	if pool == "" {
+		return
+	}
+	h := cl.OpenPool(pool)
+	state, err := h.State(ctx)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(b, "\npool %s    items %d (live %d)    evictions %d    ratio %.3f\n",
+		pool, state.Items, state.LiveItems, state.Evictions, state.Ratio)
+	for _, by := range []string{"cost", "regret"} {
+		top, err := h.TopItems(ctx, by, 5)
+		if err != nil || len(top.Items) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "top items by %s:\n  key                        n      %-10s ratio\n", by, by)
+		for _, it := range top.Items {
+			key := it.Item
+			if it.Tenant != "" {
+				key = it.Tenant + "/" + it.Item
+			}
+			metric := it.Cost
+			if by == "regret" {
+				metric = it.Regret
+			}
+			live := " "
+			if it.Live {
+				live = "*"
+			}
+			fmt.Fprintf(b, "  %-25s%s %-6d %-10.4g %.3f\n", key, live, it.N, metric, it.Ratio)
+		}
+	}
+	if len(state.Tenants) > 1 {
+		b.WriteString("tenants:\n")
+		for _, ts := range state.Tenants {
+			name := ts.Tenant
+			if name == "" {
+				name = "(default)"
+			}
+			fmt.Fprintf(b, "  %-12s n=%-7d ratio %.3f  windowed %.3f\n",
+				name, ts.N, ts.Ratio, ts.WindowedRatio)
+		}
+	}
 }
 
 func writeAlerts(b *strings.Builder, alerts client.AlertsResponse) {
@@ -183,6 +242,26 @@ func pickSession(samples map[string]float64) string {
 			continue
 		}
 		rest := strings.TrimPrefix(series, `dc_session_cost{session="`)
+		if end := strings.Index(rest, `"`); end >= 0 {
+			ids = append(ids, rest[:end])
+		}
+	}
+	sort.Strings(ids)
+	if len(ids) == 0 {
+		return ""
+	}
+	return ids[0]
+}
+
+// pickPool returns the lexicographically first pool label found on a
+// dc_pool_items series, or "".
+func pickPool(samples map[string]float64) string {
+	var ids []string
+	for series := range samples {
+		if !strings.HasPrefix(series, `dc_pool_items{`) {
+			continue
+		}
+		rest := strings.TrimPrefix(series, `dc_pool_items{pool="`)
 		if end := strings.Index(rest, `"`); end >= 0 {
 			ids = append(ids, rest[:end])
 		}

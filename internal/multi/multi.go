@@ -6,6 +6,14 @@
 // the event-stream plumbing (tagged traces, demultiplexing), a parallel
 // catalog planner built on offline.OptimizeBatch, and an online catalog
 // server running one SC instance per item.
+//
+// multi is the OFFLINE multi-item baseline: it demultiplexes a complete
+// trace up front and plans/serves each item's sequence whole. Its live
+// counterpart is datacache.Pool, which instantiates the same canonical
+// engine per (tenant, item) key lazily, request by request, with bounded
+// state. Both are built on internal/engine deciders, so on a shared
+// request sequence the pool's per-item costs must equal multi's —
+// pool_diff_test.go pins that agreement.
 package multi
 
 import (

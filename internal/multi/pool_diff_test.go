@@ -1,0 +1,101 @@
+package multi_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datacache"
+	"datacache/internal/model"
+	"datacache/internal/multi"
+	"datacache/internal/online"
+)
+
+// TestPoolAgreesWithOfflineBaseline is the differential test between the
+// two multi-item paths: internal/multi (the offline baseline — trace
+// demultiplexed whole, each item planned and served as a complete
+// sequence) and datacache.Pool (the live path — engines instantiated
+// lazily per key, fed request by request). Both sit on the same
+// internal/engine decider, so on a shared merged stream the pool's
+// per-item costs must match multi.Serve and its per-item optima must
+// match multi.Plan, item by item and in total.
+func TestPoolAgreesWithOfflineBaseline(t *testing.T) {
+	const (
+		m     = 5
+		n     = 400
+		items = 6
+	)
+	cm := model.CostModel{Mu: 1, Lambda: 2}
+	rng := rand.New(rand.NewSource(42))
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	events := make([]multi.Event, n)
+	for i := range events {
+		events[i] = multi.Event{
+			Item:   names[rng.Intn(items)],
+			Server: model.ServerID(1 + rng.Intn(m)),
+			Time:   float64(i+1) * 0.25,
+		}
+	}
+	cat := &multi.Catalog{M: m, Default: cm}
+
+	serveReports, serveTotal, err := multi.Serve(cat, events, func() online.Runner {
+		return online.SpeculativeCaching{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planReports, planTotal, err := multi.Plan(cat, events, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool, err := datacache.NewPool(m, 1, datacache.CostModel(cm), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if _, err := pool.Serve("", e.Item, datacache.ServerID(e.Server), e.Time); err != nil {
+			t.Fatalf("pool serve %v: %v", e, err)
+		}
+	}
+
+	byItem := map[string]datacache.ItemStats{}
+	for _, st := range pool.AllItems() {
+		byItem[st.Item] = st
+	}
+	if len(byItem) != len(serveReports) {
+		t.Fatalf("pool tracks %d items, baseline served %d", len(byItem), len(serveReports))
+	}
+	for i, sr := range serveReports {
+		st, ok := byItem[sr.Item]
+		if !ok {
+			t.Fatalf("item %q missing from the pool", sr.Item)
+		}
+		if st.N != sr.Stats.Requests {
+			t.Errorf("item %q: pool n=%d, baseline %d", sr.Item, st.N, sr.Stats.Requests)
+		}
+		if math.Abs(st.Cost-sr.Stats.Cost) > 1e-9 {
+			t.Errorf("item %q: pool cost %v != multi.Serve cost %v", sr.Item, st.Cost, sr.Stats.Cost)
+		}
+		pr := planReports[i]
+		if pr.Item != sr.Item {
+			t.Fatalf("report order mismatch: %q vs %q", pr.Item, sr.Item)
+		}
+		if math.Abs(st.Optimal-pr.Cost) > 1e-9 {
+			t.Errorf("item %q: pool optimum %v != multi.Plan cost %v", sr.Item, st.Optimal, pr.Cost)
+		}
+	}
+	if math.Abs(pool.Cost()-serveTotal) > 1e-9 {
+		t.Errorf("pool total %v != baseline serve total %v", pool.Cost(), serveTotal)
+	}
+	if math.Abs(pool.Optimal()-planTotal) > 1e-9 {
+		t.Errorf("pool optimum %v != baseline plan total %v", pool.Optimal(), planTotal)
+	}
+	// The composed Theorem-3 guarantee must hold on both accountings.
+	if !multi.CompetitiveGuarantee(planTotal, serveTotal, 3) {
+		t.Errorf("baseline violates the composed 3-competitive bound: %v vs %v", serveTotal, planTotal)
+	}
+	if !multi.CompetitiveGuarantee(pool.Optimal(), pool.Cost(), 3) {
+		t.Errorf("pool violates the composed 3-competitive bound: %v vs %v", pool.Cost(), pool.Optimal())
+	}
+}

@@ -55,7 +55,7 @@ import (
 )
 
 // Version identifies the service build in /healthz and /v1/spec.
-const Version = "1.4.0"
+const Version = "1.5.0"
 
 // DefaultTraceCap bounds each session's decision-event ring unless
 // WithTraceCap overrides it.
@@ -101,25 +101,32 @@ type Server struct {
 	// Hot-path metric handles, resolved once at construction so request
 	// serving performs no registry lookups (and, unlike the former
 	// map[string]int64 counter, takes no server-wide lock).
-	httpRequests *obs.CounterVec   // route, code
-	routeHits    *obs.CounterVec   // route (the legacy /metricz shape)
-	httpLatency  *obs.HistogramVec // route
-	engineEvents *obs.CounterVec   // kind: request|hit|transfer|drop|timer|epoch-reset
-	engineEventK []*obs.Counter    // the same counters indexed by obs.EventKind
-	decisionSec  *obs.Histogram    // engine decision latency, seconds
-	sessionCost  *obs.GaugeVec     // session
-	sessionOpt   *obs.GaugeVec     // session
-	sessionRatio *obs.GaugeVec     // session
-	sessionLive  *obs.GaugeVec     // session
-	sessionWRat  *obs.GaugeVec     // session (windowed ratio)
-	serverCost   *obs.GaugeVec     // session, server, kind: caching|transfer
-	alertState   *obs.GaugeVec     // session, alert (numeric AlertState code)
-	alertTrans   *obs.CounterVec   // alert, to
-	sessionsOpen *obs.Gauge
-	streamsOpen  *obs.Gauge
-	batchSize    *obs.Histogram // requests per accepted batch
-	batchShed    *obs.Counter   // batches shed by the inflight budget
-	shardSess    [numShards]*obs.Gauge
+	httpRequests   *obs.CounterVec   // route, code
+	routeHits      *obs.CounterVec   // route (the legacy /metricz shape)
+	httpLatency    *obs.HistogramVec // route
+	engineEvents   *obs.CounterVec   // kind: request|hit|transfer|drop|timer|epoch-reset
+	engineEventK   []*obs.Counter    // the same counters indexed by obs.EventKind
+	decisionSec    *obs.Histogram    // engine decision latency, seconds
+	sessionCost    *obs.GaugeVec     // session
+	sessionOpt     *obs.GaugeVec     // session
+	sessionRatio   *obs.GaugeVec     // session
+	sessionLive    *obs.GaugeVec     // session
+	sessionWRat    *obs.GaugeVec     // session (windowed ratio)
+	serverCost     *obs.GaugeVec     // session, server, kind: caching|transfer
+	alertState     *obs.GaugeVec     // session, alert (numeric AlertState code)
+	alertTrans     *obs.CounterVec   // alert, to
+	sessionsOpen   *obs.Gauge
+	streamsOpen    *obs.Gauge
+	poolsOpen      *obs.Gauge
+	poolItems      *obs.GaugeVec   // pool (live engine instances)
+	poolCost       *obs.GaugeVec   // pool
+	poolOpt        *obs.GaugeVec   // pool
+	poolRatio      *obs.GaugeVec   // pool
+	poolEvict      *obs.CounterVec // pool
+	poolTenantWRat *obs.GaugeVec   // pool, tenant
+	batchSize      *obs.Histogram  // requests per accepted batch
+	batchShed      *obs.Counter    // batches shed by the inflight budget
+	shardSess      [numShards]*obs.Gauge
 
 	// The session and stream tables are lock-striped (registry.go): ids
 	// hash onto numShards shards, each behind its own RWMutex, so
@@ -127,6 +134,7 @@ type Server struct {
 	// serialization lives in each entry's own context-aware lock.
 	streams  *registry[*streamEntry]
 	sessions *registry[*sessionEntry]
+	pools    *registry[*poolEntry]
 	nextID   atomic.Int64
 }
 
@@ -231,6 +239,8 @@ var routeDocs = map[string]string{
 	"/v1/stream/":  "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
 	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?} -> live policy-serving session (201 + Location)",
 	"/v1/session/": "POST {id}/request, POST {id}/requests (bulk: JSON {requests:[{server,t}]} or NDJSON lines; partial apply + firstRejected), GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, DELETE {id} (close; returns final state + schedule)",
+	"/v1/pool":     "POST {m, origin, model, policy?, window?, epoch?, maxItems?} -> multi-item multi-tenant serving pool (201 + Location)",
+	"/v1/pool/":    "POST {id}/request ({tenant?, item, server, t}), POST {id}/requests (bulk, grouped by item under one lock; per-item partial apply), GET {id} (stats + tenant rollups), GET {id}/items?by=cost|regret&limit=k, DELETE {id} (close; retains final stats)",
 	"/v1/alerts":   "GET every live session's SLO alerts (pending, firing, resolved)",
 	"/v1/traces":   "GET retained traces, regret-descending; filters: session, min_regret, min_duration, error, limit",
 	"/v1/traces/":  "GET {id} -> every span of one retained trace",
@@ -253,6 +263,7 @@ func New(opts ...Option) *Server {
 		traceSample: 1,
 		streams:     newRegistry[*streamEntry](),
 		sessions:    newRegistry[*sessionEntry](),
+		pools:       newRegistry[*poolEntry](),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -305,6 +316,19 @@ func New(opts ...Option) *Server {
 		"alert", "to")
 	s.sessionsOpen = s.reg.Gauge("dc_sessions_open", "Open live-serving sessions.")
 	s.streamsOpen = s.reg.Gauge("dc_streams_open", "Open incremental planning streams.")
+	s.poolsOpen = s.reg.Gauge("dc_pools_open", "Open multi-item serving pools.")
+	s.poolItems = s.reg.GaugeVec("dc_pool_items",
+		"Items of a pool currently holding live engine state.", "pool")
+	s.poolCost = s.reg.GaugeVec("dc_pool_cost",
+		"Accumulated policy cost across every item of a pool (monotone under eviction).", "pool")
+	s.poolOpt = s.reg.GaugeVec("dc_pool_optimal_cost",
+		"Sum of per-item prefix optima across every item of a pool.", "pool")
+	s.poolRatio = s.reg.GaugeVec("dc_pool_cost_over_optimum",
+		"Pool-wide competitive ratio: cost over the sum of per-item optima.", "pool")
+	s.poolEvict = s.reg.CounterVec("dc_pool_evictions_total",
+		"Idle-item engine evictions forced by a pool's MaxItems bound.", "pool")
+	s.poolTenantWRat = s.reg.GaugeVec("dc_pool_tenant_windowed_ratio",
+		"Competitive ratio of one tenant of a pool over the rolling SLO window.", "pool", "tenant")
 	s.batchSize = s.reg.Histogram("dc_session_batch_size",
 		"Requests per accepted bulk-ingestion batch (POST /v1/session/{id}/requests).",
 		obs.ExponentialBuckets(1, 2, 11))
@@ -333,6 +357,8 @@ func New(opts ...Option) *Server {
 	s.mount("/v1/stream/", s.handleStreamOp)
 	s.mount("/v1/session", s.handleSessionCreate)
 	s.mount("/v1/session/", s.handleSessionOp)
+	s.mount("/v1/pool", s.handlePoolCreate)
+	s.mount("/v1/pool/", s.handlePoolOp)
 	s.mount("/v1/alerts", s.handleAlerts)
 	s.mount("/v1/traces", s.handleTraces)
 	s.mount("/v1/traces/", s.handleTraceByID)
