@@ -19,16 +19,22 @@ import (
 
 const benchRotate = 4096
 
+// benchShadows is the four-policy panel the shadowed benchmarks run in
+// lockstep with the live engine; the shadowed/unshadowed ratio is the
+// counterfactual-accounting overhead through the full HTTP surface.
+var benchShadows = []string{"ttl:window=1", "sc:epoch=16", "migrate", "replicate"}
+
 type benchSession struct {
-	cl   *client.Client
-	sess *client.Session
-	t    float64
-	n    int
+	cl      *client.Client
+	sess    *client.Session
+	shadows []string
+	t       float64
+	n       int
 }
 
-func newBenchSession(b *testing.B, cl *client.Client) *benchSession {
+func newBenchSession(b *testing.B, cl *client.Client, shadows []string) *benchSession {
 	b.Helper()
-	s := &benchSession{cl: cl}
+	s := &benchSession{cl: cl, shadows: shadows}
 	s.rotate(b)
 	return s
 }
@@ -36,7 +42,7 @@ func newBenchSession(b *testing.B, cl *client.Client) *benchSession {
 func (s *benchSession) rotate(b *testing.B) {
 	b.Helper()
 	sess, err := s.cl.CreateSession(context.Background(), client.SessionConfig{
-		M: 8, Origin: 1, Mu: 1, Lambda: 2,
+		M: 8, Origin: 1, Mu: 1, Lambda: 2, Shadows: s.shadows,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -53,10 +59,10 @@ func (s *benchSession) next() (datacache.ServerID, float64) {
 	return datacache.ServerID(1 + s.n%8), s.t
 }
 
-func BenchmarkServeSingle(b *testing.B) {
+func benchServeSingle(b *testing.B, shadows []string) {
 	ts := httptest.NewServer(service.New())
 	defer ts.Close()
-	s := newBenchSession(b, client.New(ts.URL))
+	s := newBenchSession(b, client.New(ts.URL), shadows)
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -73,10 +79,10 @@ func BenchmarkServeSingle(b *testing.B) {
 	}
 }
 
-func BenchmarkServeBatch64(b *testing.B) {
+func benchServeBatch64(b *testing.B, shadows []string) {
 	ts := httptest.NewServer(service.New())
 	defer ts.Close()
-	s := newBenchSession(b, client.New(ts.URL))
+	s := newBenchSession(b, client.New(ts.URL), shadows)
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -105,3 +111,9 @@ func BenchmarkServeBatch64(b *testing.B) {
 		served += size
 	}
 }
+
+func BenchmarkServeSingle(b *testing.B)  { benchServeSingle(b, nil) }
+func BenchmarkServeBatch64(b *testing.B) { benchServeBatch64(b, nil) }
+
+func BenchmarkServeSingleShadowed(b *testing.B)  { benchServeSingle(b, benchShadows) }
+func BenchmarkServeBatch64Shadowed(b *testing.B) { benchServeBatch64(b, benchShadows) }

@@ -48,6 +48,11 @@ type (
 	TraceResponse = service.SessionTraceResponse
 	// SLOResponse is the windowed-ratio reading (GET {id}/slo).
 	SLOResponse = service.SessionSLOResponse
+	// ShadowResponse is the counterfactual policy standings
+	// (GET {id}/shadow).
+	ShadowResponse = service.SessionShadowResponse
+	// ShadowStanding is one policy row of a shadow report.
+	ShadowStanding = datacache.ShadowStanding
 	// CloseResponse is the final state + schedule (DELETE {id}).
 	CloseResponse = service.SessionCloseResponse
 	// AlertsResponse lists every session's SLO alerts (GET /v1/alerts).
@@ -71,6 +76,10 @@ type SessionConfig struct {
 	Policy string  // sc (default) | ttl | migrate | replicate
 	Window float64 // ttl retention / sc window override
 	Epoch  int     // sc epoch restarts (0 disables)
+	// Shadows lists counterfactual policy specs ("ttl:window=0.5",
+	// "sc:epoch=16", "migrate", ...) to run in lockstep with the live
+	// policy; read standings with Session.Shadow.
+	Shadows []string
 }
 
 // DefaultTraceSeed seeds the client's trace-id generator unless
@@ -198,12 +207,13 @@ func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
 // CreateSession opens a live serving session and returns its handle.
 func (c *Client) CreateSession(ctx context.Context, cfg SessionConfig) (*Session, error) {
 	body := service.SessionCreateRequest{
-		M:      cfg.M,
-		Origin: cfg.Origin,
-		Model:  service.CostModelDTO{Mu: cfg.Mu, Lambda: cfg.Lambda},
-		Policy: cfg.Policy,
-		Window: cfg.Window,
-		Epoch:  cfg.Epoch,
+		M:       cfg.M,
+		Origin:  cfg.Origin,
+		Model:   service.CostModelDTO{Mu: cfg.Mu, Lambda: cfg.Lambda},
+		Policy:  cfg.Policy,
+		Window:  cfg.Window,
+		Epoch:   cfg.Epoch,
+		Shadows: cfg.Shadows,
 	}
 	var st SessionState
 	if err := c.post(ctx, "/v1/session", body, &st); err != nil {

@@ -24,6 +24,9 @@ type (
 	PoolBatchResponse = service.PoolBatchResponse
 	// PoolItemsResponse is the ranked item standings (GET {id}/items).
 	PoolItemsResponse = service.PoolItemsResponse
+	// PoolShadowResponse is the pool-wide counterfactual standings
+	// (GET {id}/shadow).
+	PoolShadowResponse = service.PoolShadowResponse
 )
 
 // PoolRequest is one item-keyed request of a pool batch.
@@ -45,6 +48,9 @@ type PoolConfig struct {
 	Window   float64
 	Epoch    int
 	MaxItems int
+	// Shadows lists counterfactual policy specs every item engine runs
+	// in lockstep; read pool-wide standings with Pool.Shadow.
+	Shadows []string
 }
 
 // CreatePool opens a multi-item, multi-tenant serving pool and returns
@@ -58,6 +64,7 @@ func (c *Client) CreatePool(ctx context.Context, cfg PoolConfig) (*Pool, error) 
 		Window:   cfg.Window,
 		Epoch:    cfg.Epoch,
 		MaxItems: cfg.MaxItems,
+		Shadows:  cfg.Shadows,
 	}
 	var st PoolState
 	if err := c.post(ctx, "/v1/pool", body, &st); err != nil {
@@ -148,6 +155,15 @@ func (p *Pool) TopItems(ctx context.Context, by string, limit int) (PoolItemsRes
 	}
 	var out PoolItemsResponse
 	err := p.c.get(ctx, path, &out)
+	return out, err
+}
+
+// Shadow reads the pool-wide counterfactual policy standings,
+// aggregated across every item engine (evicted incarnations included).
+// Fails with a not_found error when the pool runs no shadows.
+func (p *Pool) Shadow(ctx context.Context) (PoolShadowResponse, error) {
+	var out PoolShadowResponse
+	err := p.c.get(ctx, p.path("/shadow"), &out)
 	return out, err
 }
 

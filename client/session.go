@@ -100,6 +100,16 @@ func (s *Session) SLO(ctx context.Context) (SLOResponse, error) {
 	return out, err
 }
 
+// Shadow reads the counterfactual policy standings: exact cumulative
+// cost, hits, transfers, drops and decision divergence for every shadow
+// policy running in lockstep, plus the live policy's own row. Fails
+// with a not_found error when the session runs no shadows.
+func (s *Session) Shadow(ctx context.Context) (ShadowResponse, error) {
+	var out ShadowResponse
+	err := s.c.get(ctx, s.path("/shadow"), &out)
+	return out, err
+}
+
 // Close ends the session, returning the final state and schedule.
 func (s *Session) Close(ctx context.Context) (CloseResponse, error) {
 	var out CloseResponse

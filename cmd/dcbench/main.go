@@ -18,11 +18,16 @@
 //	dcbench sweep              # seeded-replica stability sweep of all policies
 //	dcbench faults             # E14: fault injection and β-upload economics
 //	dcbench perf -json         # serving-path perf snapshot (BENCH_*.json)
+//	dcbench perf -json -baseline BENCH_pr6.json  # + regression gate
 //
-// perf times the serving hot loops — single-item session, multi-item pool
-// (unbounded, batched, bounded with eviction churn) and the offline DP —
-// and with -json emits the snapshot committed as BENCH_pr<N>.json to track
-// the perf trajectory across PRs.
+// perf times the serving hot loops — single-item session (with and
+// without shadow policies), multi-item pool (unbounded, batched, bounded
+// with eviction churn) and the offline DP — and with -json emits the
+// snapshot committed as BENCH_pr<N>.json to track the perf trajectory
+// across PRs. With -baseline it additionally compares each loop's ns/op
+// against the named committed snapshot, prints the comparison table to
+// stderr, and exits non-zero when any shared hot loop regressed by more
+// than 25% — the CI bench-smoke gate.
 package main
 
 import (
@@ -40,10 +45,11 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "random seed for all experiments")
-		n       = flag.Int("n", 2000, "workload size for ratio/policy experiments")
-		asJSON  = flag.Bool("json", false, "emit machine-readable JSON (perf only)")
-		perfOps = flag.Int("perf-n", 50000, "requests per hot loop for the perf snapshot")
+		seed     = flag.Int64("seed", 1, "random seed for all experiments")
+		n        = flag.Int("n", 2000, "workload size for ratio/policy experiments")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON (perf only)")
+		perfOps  = flag.Int("perf-n", 50000, "requests per hot loop for the perf snapshot")
+		baseline = flag.String("baseline", "", "perf only: committed BENCH_*.json to compare against; exit non-zero on >25% ns/op regression of any shared hot loop")
 	)
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -62,7 +68,7 @@ func main() {
 	)
 	switch cmd {
 	case "perf":
-		if err := runPerf(*seed, *perfOps, *asJSON); err != nil {
+		if err := runPerf(*seed, *perfOps, *asJSON, *baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "dcbench:", err)
 			os.Exit(1)
 		}

@@ -95,6 +95,26 @@ func perfSweep(seed int64, n int) (*perfSnapshot, error) {
 		return nil, err
 	}
 
+	if err := timeLoop("session/serve_shadow", fmt.Sprintf("single item, m=%d, 4 shadow policies in lockstep", m), n, func() error {
+		shadows, err := datacache.WithShadowPolicies("ttl:window=1", "sc:epoch=16", "migrate", "replicate")
+		if err != nil {
+			return err
+		}
+		s, err := datacache.NewSession(m, 1, datacache.Unit, &datacache.SessionOptions{ShadowPolicies: shadows})
+		if err != nil {
+			return err
+		}
+		for _, r := range reqs {
+			if _, err := s.Serve(r.Server, r.Time); err != nil {
+				return err
+			}
+		}
+		_, err = s.Close()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	if err := timeLoop("pool/serve", fmt.Sprintf("%d items zipf(1.2), unbounded, single path", items), n, func() error {
 		p, err := datacache.NewPool(m, 1, datacache.Unit, nil)
 		if err != nil {
@@ -165,8 +185,14 @@ func perfSweep(seed int64, n int) (*perfSnapshot, error) {
 	return snap, nil
 }
 
+// perfRegressionLimit is the gate -baseline enforces: a shared hot loop
+// may be at most 25% slower (ns/op) than the committed snapshot.
+const perfRegressionLimit = 1.25
+
 // runPerf executes the sweep and prints it as JSON (-json) or a table.
-func runPerf(seed int64, n int, asJSON bool) error {
+// With a baseline snapshot path it additionally prints a comparison
+// table to stderr and fails on any >25% ns/op regression.
+func runPerf(seed int64, n int, asJSON bool, baseline string) error {
 	snap, err := perfSweep(seed, n)
 	if err != nil {
 		return err
@@ -174,13 +200,68 @@ func runPerf(seed int64, n int, asJSON bool) error {
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(snap)
+		if err := enc.Encode(snap); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("== Perf: serving-path hot loops (%s, %s, seed %d) ==\n", snap.Go, snap.Arch, snap.Seed)
+		fmt.Printf("%-20s %9s %12s %14s  %s\n", "benchmark", "ops", "ns/op", "ops/sec", "note")
+		for _, r := range snap.Results {
+			fmt.Printf("%-20s %9d %12.0f %14.0f  %s\n", r.Name, r.N, r.NsPerOp, r.OpsPerSec, r.Note)
+		}
+		fmt.Println(strings.Repeat("-", 60))
 	}
-	fmt.Printf("== Perf: serving-path hot loops (%s, %s, seed %d) ==\n", snap.Go, snap.Arch, snap.Seed)
-	fmt.Printf("%-20s %9s %12s %14s  %s\n", "benchmark", "ops", "ns/op", "ops/sec", "note")
+	if baseline == "" {
+		return nil
+	}
+	return comparePerf(snap, baseline)
+}
+
+// comparePerf gates the fresh sweep against a committed snapshot. Loops
+// only one side knows are reported but never gate (renames and new
+// benchmarks must not fail CI); shared loops fail past the limit.
+func comparePerf(snap *perfSnapshot, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base perfSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != snap.Schema {
+		return fmt.Errorf("baseline %s has schema %q, want %q", baselinePath, base.Schema, snap.Schema)
+	}
+	baseBy := make(map[string]perfResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	fmt.Fprintf(os.Stderr, "== Perf vs baseline %s (gate: +%.0f%% ns/op) ==\n",
+		baselinePath, (perfRegressionLimit-1)*100)
+	fmt.Fprintf(os.Stderr, "%-22s %12s %12s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	var regressed []string
 	for _, r := range snap.Results {
-		fmt.Printf("%-20s %9d %12.0f %14.0f  %s\n", r.Name, r.N, r.NsPerOp, r.OpsPerSec, r.Note)
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%-22s %12s %12.0f %9s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		delete(baseBy, r.Name)
+		ratio := r.NsPerOp / b.NsPerOp
+		verdict := fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+		if ratio > perfRegressionLimit {
+			verdict += " FAIL"
+			regressed = append(regressed, fmt.Sprintf("%s (%.0f -> %.0f ns/op, %+.1f%%)",
+				r.Name, b.NsPerOp, r.NsPerOp, (ratio-1)*100))
+		}
+		fmt.Fprintf(os.Stderr, "%-22s %12.0f %12.0f %9s\n", r.Name, b.NsPerOp, r.NsPerOp, verdict)
 	}
-	fmt.Println(strings.Repeat("-", 60))
+	for name := range baseBy {
+		fmt.Fprintf(os.Stderr, "%-22s %12.0f %12s %9s\n", name, baseBy[name].NsPerOp, "-", "gone")
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("perf regression past %.0f%%: %s",
+			(perfRegressionLimit-1)*100, strings.Join(regressed, "; "))
+	}
 	return nil
 }

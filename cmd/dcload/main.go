@@ -10,6 +10,16 @@
 //	dcload -workload zipf -m 16 -seed 7 -qps 2000 -out report.txt
 //	dcload -workload adversarial -batch 1          # single-request path
 //	dcload -items 256 -item-dist zipf -c 4         # multi-item pool mode
+//	dcload -shadow                                 # counterfactual policy comparison
+//
+// With -shadow (or an explicit -shadows list) every session additionally
+// runs a panel of counterfactual shadow policies in lockstep with the
+// live one — by default a tighter TTL, an epoch-restarted SC, and the
+// migrate/replicate baselines — and the report ends with a
+// policy-comparison table: exact cumulative cost, cost over optimum,
+// hits, transfers, drops and decision divergence per policy, the
+// cheapest row starred. In pool mode the comparison aggregates over the
+// whole pool.
 //
 // With -items N > 0 dcload switches to pool mode: all workers share ONE
 // multi-item pool (POST /v1/pool), each worker serving as its own tenant
@@ -68,6 +78,8 @@ func main() {
 		items    = flag.Int("items", 0, "pool mode: spread requests over this many items through one shared /v1/pool (0 = per-worker sessions)")
 		itemDist = flag.String("item-dist", "zipf", "pool mode item-key distribution: zipf|uniform")
 		maxItems = flag.Int("max-items", 0, "pool mode: bound live engine state to this many items (0 = unbounded)")
+		shadow   = flag.Bool("shadow", false, "run counterfactual shadow policies alongside the live one and report a policy-comparison table")
+		shadows  = flag.String("shadows", "", "comma-separated shadow specs (implies -shadow); empty picks a default panel from -mu/-lambda")
 		maxRatio = flag.Float64("max-ratio", 0, "fail if any session's final ratio exceeds this (0 disables)")
 		keep     = flag.Bool("keep-sessions", false, "leave sessions open after the run (closing one retires its retained traces, so use this when the reported trace ids should stay queryable)")
 		out      = flag.String("out", "", "also write the report to this file")
@@ -93,6 +105,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	var shadowSpecs []string
+	if *shadow || *shadows != "" {
+		shadowSpecs = shadowPanel(*shadows, *mu, *lambda)
+	}
+
 	cl := client.New(*addr,
 		client.WithHTTPClient(&http.Client{Timeout: *timeout}),
 		client.WithTraceSeed(*seed))
@@ -107,7 +124,7 @@ func main() {
 			n: *n, c: *c, batch: *batch, items: *items, itemDist: *itemDist,
 			maxItems: *maxItems, m: *m, mu: *mu, lambda: *lambda, policy: *policy,
 			seed: *seed, qps: *qps, ndjson: *ndjson, keep: *keep,
-			maxRatio: *maxRatio, out: *out,
+			maxRatio: *maxRatio, out: *out, shadows: shadowSpecs,
 		}))
 	}
 
@@ -122,16 +139,17 @@ func main() {
 			share++
 		}
 		cfg := workerConfig{
-			id:     w,
-			n:      share,
-			batch:  *batch,
-			seq:    gen.Generate(rand.New(rand.NewSource(*seed+int64(w))), share),
-			policy: *policy,
-			mu:     *mu,
-			lambda: *lambda,
-			qps:    perWorkerQPS,
-			ndjson: *ndjson,
-			keep:   *keep,
+			id:      w,
+			n:       share,
+			batch:   *batch,
+			seq:     gen.Generate(rand.New(rand.NewSource(*seed+int64(w))), share),
+			policy:  *policy,
+			mu:      *mu,
+			lambda:  *lambda,
+			qps:     perWorkerQPS,
+			ndjson:  *ndjson,
+			keep:    *keep,
+			shadows: shadowSpecs,
 		}
 		go func(w int, cfg workerConfig) {
 			results[w] = runWorker(ctx, cl, cfg)
@@ -178,16 +196,39 @@ func makeGenerator(name string, m int, gap, mu, lambda float64) (workload.Genera
 }
 
 type workerConfig struct {
-	id     int
-	n      int
-	batch  int
-	seq    *model.Sequence
-	policy string
-	mu     float64
-	lambda float64
-	qps    float64 // this worker's pacing target; 0 = closed loop
-	ndjson bool
-	keep   bool // leave the session open after the run
+	id      int
+	n       int
+	batch   int
+	seq     *model.Sequence
+	policy  string
+	mu      float64
+	lambda  float64
+	qps     float64 // this worker's pacing target; 0 = closed loop
+	ndjson  bool
+	keep    bool     // leave the session open after the run
+	shadows []string // counterfactual policy specs (empty disables)
+}
+
+// shadowPanel resolves the shadow specs to run: the -shadows list when
+// given, else a default panel spanning the policy space around the live
+// SC window Δt = λ/μ — a tighter TTL, an epoch-restarted SC, and the
+// two baselines of the paper.
+func shadowPanel(specs string, mu, lambda float64) []string {
+	if specs != "" {
+		var out []string
+		for _, s := range strings.Split(specs, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return []string{
+		fmt.Sprintf("ttl:window=%g", lambda/mu/2),
+		"sc:epoch=16",
+		"migrate",
+		"replicate",
+	}
 }
 
 // traceSample ties one round-trip's root trace id to its latency and the
@@ -207,8 +248,9 @@ type workerResult struct {
 	Errs5xx    int
 	Transport  int
 	FinalRatio float64
-	Err        error   // first fatal error (session create, etc.)
-	prevGap    float64 // Cost − Optimal before the current chunk
+	Shadow     []client.ShadowStanding // final counterfactual standings
+	Err        error                   // first fatal error (session create, etc.)
+	prevGap    float64                 // Cost − Optimal before the current chunk
 }
 
 // runWorker drives one session to completion. Batches retry on 429 using
@@ -217,11 +259,12 @@ type workerResult struct {
 func runWorker(ctx context.Context, cl *client.Client, cfg workerConfig) workerResult {
 	var res workerResult
 	sess, err := cl.CreateSession(ctx, client.SessionConfig{
-		M:      cfg.seq.M,
-		Origin: cfg.seq.Origin,
-		Mu:     cfg.mu,
-		Lambda: cfg.lambda,
-		Policy: cfg.policy,
+		M:       cfg.seq.M,
+		Origin:  cfg.seq.Origin,
+		Mu:      cfg.mu,
+		Lambda:  cfg.lambda,
+		Policy:  cfg.policy,
+		Shadows: cfg.shadows,
 	})
 	if err != nil {
 		res.Err = fmt.Errorf("worker %d: create session: %w", cfg.id, err)
@@ -257,6 +300,11 @@ func runWorker(ctx context.Context, cl *client.Client, cfg workerConfig) workerR
 		ratio, ok := res.serveChunk(ctx, cl, sess, chunk, cfg)
 		if ok {
 			res.FinalRatio = ratio
+		}
+	}
+	if len(cfg.shadows) > 0 {
+		if sr, err := sess.Shadow(ctx); err == nil {
+			res.Shadow = sr.Standings
 		}
 	}
 	return res
@@ -329,6 +377,7 @@ type poolModeConfig struct {
 	keep            bool
 	maxRatio        float64
 	out             string
+	shadows         []string
 }
 
 // runPoolMode drives one shared multi-item pool from c tenant-workers and
@@ -342,7 +391,7 @@ func runPoolMode(ctx context.Context, cl *client.Client, gen workload.Generator,
 	}
 	pool, err := cl.CreatePool(ctx, client.PoolConfig{
 		M: cfg.m, Origin: 1, Mu: cfg.mu, Lambda: cfg.lambda,
-		Policy: cfg.policy, MaxItems: cfg.maxItems,
+		Policy: cfg.policy, MaxItems: cfg.maxItems, Shadows: cfg.shadows,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcload: create pool: %v\n", err)
@@ -382,6 +431,12 @@ func runPoolMode(ctx context.Context, cl *client.Client, gen workload.Generator,
 	elapsed := time.Since(start)
 
 	state, stateErr := pool.State(ctx)
+	var shadowRows []client.ShadowStanding
+	if len(cfg.shadows) > 0 {
+		if sr, err := pool.Shadow(ctx); err == nil {
+			shadowRows = sr.Standings
+		}
+	}
 	if !cfg.keep {
 		if _, err := pool.Close(ctx); err != nil && stateErr == nil {
 			stateErr = err
@@ -390,6 +445,7 @@ func runPoolMode(ctx context.Context, cl *client.Client, gen workload.Generator,
 
 	rep := buildReport(gen.Name()+"/pool", cfg.batch, elapsed, results)
 	rep.Pool = &state
+	rep.Shadow = shadowRows
 	rep.MaxSessionRatio = 0
 	rep.Ratios = rep.Ratios[:0]
 	for _, ts := range state.Tenants {
@@ -539,9 +595,10 @@ type report struct {
 	LatP999, LatMax float64
 	MaxSessionRatio float64
 	Ratios          []float64
-	Pool            *client.PoolState // pool mode: final pool standings
-	Slowest         []traceSample     // top 10 by round-trip latency
-	TopRegret       []traceSample     // top 10 by regret added
+	Pool            *client.PoolState       // pool mode: final pool standings
+	Shadow          []client.ShadowStanding // counterfactual policy comparison
+	Slowest         []traceSample           // top 10 by round-trip latency
+	TopRegret       []traceSample           // top 10 by regret added
 	FirstErr        error
 }
 
@@ -565,6 +622,7 @@ func buildReport(workloadName string, batch int, elapsed time.Duration, results 
 			rep.FirstErr = r.Err
 		}
 	}
+	rep.Shadow = mergeShadowStandings(results)
 	rep.Lat = stats.Summarize(all)
 	if len(all) > 0 {
 		sort.Float64s(all)
@@ -578,6 +636,49 @@ func buildReport(workloadName string, batch int, elapsed time.Duration, results 
 	rep.Slowest = topTraces(traces, func(a, b traceSample) bool { return a.Latency > b.Latency })
 	rep.TopRegret = topTraces(traces, func(a, b traceSample) bool { return a.Regret > b.Regret })
 	return rep
+}
+
+// mergeShadowStandings sums each worker-session's counterfactual
+// standings by policy label — costs, hits, transfers, drops and
+// divergence counts are all additive across sessions — preserving the
+// row order of the first worker that reported any.
+func mergeShadowStandings(results []workerResult) []client.ShadowStanding {
+	var order []string
+	byPolicy := map[string]*client.ShadowStanding{}
+	for _, r := range results {
+		for _, row := range r.Shadow {
+			agg, ok := byPolicy[row.Policy]
+			if !ok {
+				cp := row
+				cp.Best = false
+				byPolicy[row.Policy] = &cp
+				order = append(order, row.Policy)
+				continue
+			}
+			agg.Cost += row.Cost
+			agg.WindowedCost += row.WindowedCost
+			agg.Hits += row.Hits
+			agg.Transfers += row.Transfers
+			agg.Drops += row.Drops
+			agg.Divergence += row.Divergence
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	out := make([]client.ShadowStanding, 0, len(order))
+	best, bestCost := -1, 0.0
+	for i, p := range order {
+		row := *byPolicy[p]
+		if row.Err == "" && (best < 0 || row.Cost < bestCost) {
+			best, bestCost = i, row.Cost
+		}
+		out = append(out, row)
+	}
+	if best >= 0 {
+		out[best].Best = true
+	}
+	return out
 }
 
 // topTraces returns the ten best samples under less (a "greater than"
@@ -619,6 +720,26 @@ func (rep *report) String() string {
 		}
 	} else if len(rep.Ratios) > 0 {
 		fmt.Fprintf(&b, "  final ratios  worst %.4f  per-session %s\n", rep.MaxSessionRatio, fmtRatios(rep.Ratios))
+	}
+	if len(rep.Shadow) > 0 {
+		fmt.Fprintf(&b, "  shadow policies (counterfactual, lockstep with live):\n")
+		fmt.Fprintf(&b, "    %-20s %14s %8s %9s %8s %7s %9s\n",
+			"policy", "cost", "/opt", "hits", "xfers", "drops", "diverged")
+		for _, row := range rep.Shadow {
+			mark := " "
+			switch {
+			case row.Err != "":
+				mark = "!"
+			case row.Best:
+				mark = "*"
+			}
+			name := row.Policy
+			if row.Live {
+				name += " (live)"
+			}
+			fmt.Fprintf(&b, "  %s %-20s %14.4f %8.4f %9d %8d %7d %9d\n",
+				mark, name, row.Cost, row.CostOverOptimum, row.Hits, row.Transfers, row.Drops, row.Divergence)
+		}
 	}
 	if len(rep.Slowest) > 0 {
 		fmt.Fprintf(&b, "  slowest traces (GET /v1/traces/{id}):\n")

@@ -26,6 +26,8 @@
 //	GET  /v1/session/{id}/schedule    schedule realized so far
 //	GET  /v1/session/{id}/trace       bounded ring of recent decision events
 //	GET  /v1/session/{id}/slo         windowed competitive ratio, alerts, per-server cost breakdown
+//	GET  /v1/session/{id}/shadow      counterfactual shadow-policy standings
+//	GET  /v1/pool/{id}/shadow         pool-wide counterfactual shadow-policy standings
 //	DELETE /v1/session/{id}           close the session → final state + schedule
 //	GET  /v1/alerts                   every live session's SLO alerts
 //	GET  /v1/traces                   retained traces, highest summed regret first (filters: session, min_regret, min_duration, error, limit)
@@ -61,6 +63,7 @@ func main() {
 		traceCap  = flag.Int("trace-cap", service.DefaultTraceCap, "per-session decision-trace ring size (0 disables)")
 		sloWindow = flag.Int("slo-window", service.DefaultSLOWindow, "per-session SLO rolling-window length in requests (0 disables)")
 		inflight  = flag.Int("inflight-budget", service.DefaultInflightBudget, "per-session concurrent serve/batch budget before 429 shedding")
+		shadowMgn = flag.Float64("shadow-margin", 0, "shadow_beats_live alert margin: fire when a shadow policy beats live windowed cost by this fraction (0 uses the default, negative disables)")
 		noRuntime = flag.Bool("no-runtime-metrics", false, "disable Go runtime metrics on /metrics")
 		sample    = flag.Float64("trace-sample", 1, "head-sampling probability for distributed traces in [0,1]; >=1 keeps all")
 		traceSeed = flag.Int64("trace-seed", 0, "trace/span id seed (0 derives from the clock; fix it for reproducible ids)")
@@ -106,6 +109,7 @@ func main() {
 		service.WithTraceCap(*traceCap),
 		service.WithSLOWindow(*sloWindow),
 		service.WithInflightBudget(*inflight),
+		service.WithShadowMargin(*shadowMgn),
 		service.WithTraceSampling(*sample),
 		service.WithTraceSeed(seed),
 		service.WithTraceRegret(*regretMin),

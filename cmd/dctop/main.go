@@ -14,8 +14,11 @@
 // exports a dc_session_cost series. When any multi-item pool is live
 // (a dc_pool_items series exists, or -pool names one), the frame adds a
 // top-items panel: the pool's heaviest items by cumulative cost and by
-// regret, next to the slow-traces panel. All transport goes through the
-// typed client package — dctop holds no HTTP plumbing of its own.
+// regret, next to the slow-traces panel. Sessions and pools running
+// counterfactual shadow policies additionally get a policy-leaderboard
+// panel ranking every policy by exact cumulative cost, live row marked.
+// All transport goes through the typed client package — dctop holds no
+// HTTP plumbing of its own.
 package main
 
 import (
@@ -134,6 +137,7 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 	}
 
 	writeAlerts(&b, alerts)
+	writeShadowLeaderboard(&b, ctx, sess)
 
 	if tr, err := sess.Trace(ctx); err == nil && len(tr.Events) > 0 {
 		b.WriteString("\nrecent events:\n")
@@ -169,6 +173,39 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 	return b.String(), nil
 }
 
+// writeShadowLeaderboard renders the session's counterfactual policy
+// standings ranked cheapest-first, the live row marked. No-op when the
+// session runs no shadow policies (the /shadow route 404s).
+func writeShadowLeaderboard(b *strings.Builder, ctx context.Context, sess *client.Session) {
+	sr, err := sess.Shadow(ctx)
+	if err != nil || len(sr.Standings) == 0 {
+		return
+	}
+	rows := make([]client.ShadowStanding, len(sr.Standings))
+	copy(rows, sr.Standings)
+	sort.SliceStable(rows, func(i, j int) bool {
+		// Dead shadows sink to the bottom; the rest rank by exact cost.
+		if (rows[i].Err == "") != (rows[j].Err == "") {
+			return rows[i].Err == ""
+		}
+		return rows[i].Cost < rows[j].Cost
+	})
+	b.WriteString("\npolicy leaderboard (counterfactual):\n")
+	b.WriteString("  policy                     cost     /opt  windowed  diverged\n")
+	for _, row := range rows {
+		name := row.Policy
+		if row.Live {
+			name += " (live)"
+		}
+		if row.Err != "" {
+			fmt.Fprintf(b, "  %-22s dead: %s\n", name, row.Err)
+			continue
+		}
+		fmt.Fprintf(b, "  %-22s %9.4g %8.3f %9.4g %9d\n",
+			name, row.Cost, row.CostOverOptimum, row.WindowedCost, row.Divergence)
+	}
+}
+
 // writeTopItems renders the pool's heaviest items — by cumulative cost
 // and by regret — alongside its tenant rollups. No-op when no pool is
 // live or the pool vanished between the scrape and the read.
@@ -183,6 +220,21 @@ func writeTopItems(b *strings.Builder, ctx context.Context, cl *client.Client, p
 	}
 	fmt.Fprintf(b, "\npool %s    items %d (live %d)    evictions %d    ratio %.3f\n",
 		pool, state.Items, state.LiveItems, state.Evictions, state.Ratio)
+	if sr, err := h.Shadow(ctx); err == nil && len(sr.Standings) > 0 {
+		b.WriteString("pool policy leaderboard (counterfactual):\n")
+		for _, row := range sr.Standings {
+			name := row.Policy
+			if row.Live {
+				name += " (live)"
+			}
+			mark := " "
+			if row.Best {
+				mark = "*"
+			}
+			fmt.Fprintf(b, "%s %-22s cost %-12.4g /opt %-8.3f diverged %d\n",
+				mark, name, row.Cost, row.CostOverOptimum, row.Divergence)
+		}
+	}
 	for _, by := range []string{"cost", "regret"} {
 		top, err := h.TopItems(ctx, by, 5)
 		if err != nil || len(top.Items) == 0 {

@@ -286,8 +286,34 @@ func (s *Stream) CostBreakdown(cm model.CostModel) []ServerCost {
 	return out
 }
 
+// CostLive prices the stream's accumulated cost in O(M) from the same
+// per-server accumulators CostBreakdown reads, without materializing a
+// schedule snapshot. It uses the same horizon as Cost (live copies
+// truncated at the last served request) but a different summation order —
+// per-server closed durations instead of the normalized schedule's merged
+// intervals — so it equals Cost only to floating-point accumulation order
+// (exactly on dyadic workloads). Cost remains the canonical pricing,
+// bit-identical to online.Run; CostLive is the per-request feed for
+// accounting that runs every serve, such as shadow-policy windows.
+func (s *Stream) CostLive(cm model.CostModel) float64 {
+	var dur float64
+	var xfers int
+	for j := model.ServerID(1); int(j) <= s.st.M; j++ {
+		dur += s.cacheDur[j]
+		if !s.finished && s.alive[j] {
+			dur += s.last - s.created[j]
+		}
+		xfers += s.xferIn[j]
+	}
+	return cm.Mu*dur + cm.Lambda*float64(xfers)
+}
+
 // N returns the number of requests served.
 func (s *Stream) N() int { return s.served }
+
+// Drops returns how many copies the decider has dropped over the stream's
+// lifetime (deadline expiries and policy drops alike).
+func (s *Stream) Drops() int { return s.drops }
 
 // Hits returns how many served requests were cache hits.
 func (s *Stream) Hits() int { return s.hits }

@@ -46,6 +46,7 @@ type Span struct {
 	Decision string    `json:"decision,omitempty"` // hit | transfer (serve spans)
 	Events   string    `json:"events,omitempty"`   // decision events, comma-joined
 	Drops    int       `json:"drops,omitempty"`    // copies dropped during the serve
+	Shadows  string    `json:"shadows,omitempty"`  // shadow policies that decided differently, comma-joined
 	Regret   float64   `json:"regret"`             // online cost delta - optimum delta
 	Error    bool      `json:"error,omitempty"`
 	Shed     bool      `json:"shed,omitempty"` // rejected by the inflight budget

@@ -1,0 +1,39 @@
+package obs
+
+// Tracker evaluates one alert Rule over an arbitrary scalar value stream
+// — the generic, standalone form of the pending→firing→resolved state
+// machine SLO runs per registered rule. The shadow-policy layer uses it
+// for the shadow_beats_live rule (live windowed cost over the best
+// shadow's windowed cost); anything with a scalar health signal can
+// drive one. Not safe for concurrent use; callers serialize Observe
+// with their own lock, as with SLO.
+type Tracker struct {
+	t    alertTracker
+	hook TransitionHook
+}
+
+// NewTracker returns a tracker for r in the inactive state.
+func NewTracker(r Rule) *Tracker {
+	return &Tracker{t: alertTracker{rule: r}}
+}
+
+// SetTransitionHook installs h (nil detaches) to observe state changes
+// synchronously from Observe, exactly like SLO.SetTransitionHook.
+func (k *Tracker) SetTransitionHook(h TransitionHook) { k.hook = h }
+
+// Observe advances the state machine with one observation at model time
+// at. A pending→firing promotion within one observation emits both
+// transitions, mirroring SLO's per-rule behavior.
+func (k *Tracker) Observe(at, v float64) {
+	k.t.observe(at, v, func(from, to AlertState) {
+		if k.hook != nil {
+			k.hook(k.t.rule, from, to, at, v)
+		}
+	})
+}
+
+// Alert snapshots the rule's current standing.
+func (k *Tracker) Alert() Alert { return k.t.snapshot() }
+
+// Rule returns the rule the tracker evaluates.
+func (k *Tracker) Rule() Rule { return k.t.rule }

@@ -1,0 +1,95 @@
+package obs_test
+
+import (
+	"testing"
+
+	"datacache/internal/obs"
+)
+
+// TestTrackerLifecycle walks the generic tracker through the full
+// inactive -> pending -> firing -> resolved -> pending cycle and checks
+// the transition hook sees every step in order.
+func TestTrackerLifecycle(t *testing.T) {
+	rule := obs.Rule{Name: "shadow_beats_live", Threshold: 1.25, Hysteresis: 0.125, For: 3}
+	k := obs.NewTracker(rule)
+
+	type trans struct{ from, to obs.AlertState }
+	var seen []trans
+	k.SetTransitionHook(func(r obs.Rule, from, to obs.AlertState, at, v float64) {
+		if r.Name != rule.Name {
+			t.Errorf("hook rule = %q, want %q", r.Name, rule.Name)
+		}
+		seen = append(seen, trans{from, to})
+	})
+
+	if got := k.Alert().State; got != obs.AlertInactive {
+		t.Fatalf("initial state = %v, want inactive", got)
+	}
+	if got := k.Rule(); got != rule {
+		t.Fatalf("Rule() = %+v, want %+v", got, rule)
+	}
+
+	k.Observe(1, 1.0) // healthy
+	if got := k.Alert().State; got != obs.AlertInactive {
+		t.Fatalf("state after healthy = %v, want inactive", got)
+	}
+	k.Observe(2, 1.5) // breach 1 -> pending
+	if got := k.Alert().State; got != obs.AlertPending {
+		t.Fatalf("state after first breach = %v, want pending", got)
+	}
+	k.Observe(3, 1.5) // breach 2
+	k.Observe(4, 1.5) // breach 3 -> firing (For=3)
+	a := k.Alert()
+	if a.State != obs.AlertFiring {
+		t.Fatalf("state after 3 breaches = %v, want firing", a.State)
+	}
+	if a.Fired != 1 {
+		t.Errorf("fired = %d, want 1", a.Fired)
+	}
+	if a.Since != 4 || a.At != 4 || a.Value != 1.5 {
+		t.Errorf("snapshot since/at/value = %v/%v/%v, want 4/4/1.5", a.Since, a.At, a.Value)
+	}
+
+	k.Observe(5, 1.2) // above threshold-hysteresis: still firing
+	if got := k.Alert().State; got != obs.AlertFiring {
+		t.Fatalf("state inside hysteresis band = %v, want firing", got)
+	}
+	k.Observe(6, 1.0) // below 1.125 -> resolved
+	if got := k.Alert().State; got != obs.AlertResolved {
+		t.Fatalf("state after clear = %v, want resolved", got)
+	}
+	k.Observe(7, 1.5) // resolved re-breaches -> pending again
+	if got := k.Alert().State; got != obs.AlertPending {
+		t.Fatalf("state after re-breach = %v, want pending", got)
+	}
+
+	want := []trans{
+		{obs.AlertInactive, obs.AlertPending},
+		{obs.AlertPending, obs.AlertFiring},
+		{obs.AlertFiring, obs.AlertResolved},
+		{obs.AlertResolved, obs.AlertPending},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("hook saw %d transitions %v, want %d", len(seen), seen, len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("transition %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+// TestTrackerForOnePromotesInOneObservation: a For<=1 rule emits both
+// pending and firing steps on the single breaching observation.
+func TestTrackerForOnePromotesInOneObservation(t *testing.T) {
+	k := obs.NewTracker(obs.Rule{Name: "r", Threshold: 2, For: 1})
+	var steps int
+	k.SetTransitionHook(func(_ obs.Rule, _, _ obs.AlertState, _, _ float64) { steps++ })
+	k.Observe(1, 3)
+	if got := k.Alert().State; got != obs.AlertFiring {
+		t.Fatalf("state = %v, want firing", got)
+	}
+	if steps != 2 {
+		t.Errorf("hook saw %d steps, want 2 (pending then firing)", steps)
+	}
+}

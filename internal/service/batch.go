@@ -207,10 +207,12 @@ func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request, id s
 		// mean since individual requests are not timed separately.
 		if root != nil {
 			runs := partitionEvents(evs, res.Decisions)
+			shadowNames := entry.sess.ShadowNames() // immutable after create; safe outside the lock
 			for i, d := range res.Decisions {
 				sp := root.StartChild("serve")
 				sp.Start = start
-				annotateServeSpan(sp, id, d, eventsLabel(runs[i]))
+				annotateServeSpan(sp, id, d, eventsLabel(runs[i]),
+					shadowDivergenceLabel(shadowNames, d.ShadowDiverged))
 				// Individual requests are not timed inside a batch; each
 				// child carries the batch's mean per-decision latency.
 				sp.Duration = perDecision

@@ -43,7 +43,8 @@ type poolEntry struct {
 	inflight atomic.Int64
 	pool     *datacache.Pool
 	tenants  map[string]bool
-	pubEvict int // evictions already published to the counter
+	policies map[string]bool // shadow-policy labels published, for retirement
+	pubEvict int             // evictions already published to the counter
 }
 
 // PoolCreateRequest is the /v1/pool body. Policy/window/epoch configure
@@ -57,6 +58,20 @@ type PoolCreateRequest struct {
 	Window   float64        `json:"window,omitempty"`
 	Epoch    int            `json:"epoch,omitempty"`
 	MaxItems int            `json:"maxItems,omitempty"`
+	Shadows  []string       `json:"shadows,omitempty"` // counterfactual policy specs
+}
+
+// PoolShadowResponse is the GET {id}/shadow reply: pool-wide
+// counterfactual policy standings aggregated across every item engine,
+// evicted incarnations included.
+type PoolShadowResponse struct {
+	ID      string  `json:"id"`
+	Policy  string  `json:"policy"`
+	N       int     `json:"n"`
+	Cost    float64 `json:"cost"`
+	Optimal float64 `json:"optimal"`
+	Ratio   float64 `json:"ratio"`
+	datacache.ShadowReport
 }
 
 // PoolState reports a pool's standing, tenants included.
@@ -200,6 +215,36 @@ func (s *Server) publishPoolGauges(id string, e *poolEntry) {
 		s.poolTenantWRat.With(id, ts.Tenant).Set(ts.WindowedRatio)
 		e.tenants[ts.Tenant] = true
 	}
+	// Shadow-policy standings, the cheap O(K) path: cumulative costs are
+	// maintained incrementally by the pool, no per-item walk here.
+	names := p.ShadowNames()
+	if len(names) == 0 {
+		return
+	}
+	opt := p.Optimal()
+	costs := p.ShadowCosts()
+	bestIdx, bestCost := -1, p.Cost()
+	for i, name := range names {
+		c := costs[i]
+		s.poolShadowCost.With(id, name).Set(c)
+		s.poolShadowRat.With(id, name).Set(costOverOpt(c, opt))
+		e.policies[name] = true
+		if c < bestCost {
+			bestIdx, bestCost = i, c
+		}
+	}
+	for i, name := range names {
+		s.poolShadowBest.With(id, name).Set(boolGauge(i == bestIdx))
+	}
+	// Live last: a shadow may share the live policy's label and must not
+	// clobber a winning live row.
+	liveName := p.Policy()
+	e.policies[liveName] = true
+	if bestIdx < 0 {
+		s.poolShadowBest.With(id, liveName).Set(1)
+	} else if liveName != names[bestIdx] {
+		s.poolShadowBest.With(id, liveName).Set(0)
+	}
 }
 
 // dropPoolGauges retires a closed pool's metric series so /metrics does
@@ -216,9 +261,18 @@ func (s *Server) dropPoolGauges(id string, e *poolEntry) {
 	for t := range e.tenants {
 		tenants = append(tenants, t)
 	}
+	policies := make([]string, 0, len(e.policies))
+	for p := range e.policies {
+		policies = append(policies, p)
+	}
 	e.lk.unlock()
 	for _, t := range tenants {
 		s.poolTenantWRat.Delete(id, t)
+	}
+	for _, p := range policies {
+		s.poolShadowCost.Delete(id, p)
+		s.poolShadowRat.Delete(id, p)
+		s.poolShadowBest.Delete(id, p)
 	}
 	s.tracer.DropSession(id)
 }
@@ -256,15 +310,24 @@ func (s *Server) handlePoolCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Origin == 0 {
 		req.Origin = 1
 	}
+	shadows, err := datacache.WithShadowPolicies(req.Shadows...)
+	if err != nil {
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
 	// Per-item engines stay lean — no trace ring, no per-item SLO — since
 	// a pool may instantiate thousands of them; ratio tracking lives at
-	// the tenant rollup, windowed by the server's SLO window.
+	// the tenant rollup, windowed by the server's SLO window. Shadow
+	// alerts are likewise disabled per item (margin < 0): counterfactual
+	// standings aggregate at the pool rollup instead.
 	pool, err := datacache.NewPool(req.M, req.Origin, req.Model.toModel(), &datacache.PoolOptions{
 		Session: datacache.SessionOptions{
 			Policy:         req.Policy,
 			Window:         req.Window,
 			EpochTransfers: req.Epoch,
 			Observer:       s.poolObserver(),
+			ShadowPolicies: shadows,
+			ShadowMargin:   -1,
 		},
 		MaxItems:        req.MaxItems,
 		TenantSLOWindow: s.sloWindow,
@@ -273,7 +336,7 @@ func (s *Server) handlePoolCreate(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	entry := &poolEntry{lk: newEntryLock(), pool: pool, tenants: map[string]bool{}}
+	entry := &poolEntry{lk: newEntryLock(), pool: pool, tenants: map[string]bool{}, policies: map[string]bool{}}
 	id := fmt.Sprintf("pl-%d", s.nextID.Add(1))
 	s.pools.put(id, entry)
 	s.poolsOpen.Add(1)
@@ -391,7 +454,8 @@ func (s *Server) handlePoolOp(w http.ResponseWriter, r *http.Request) {
 			s.httpError(w, r, status, err)
 			return
 		}
-		annotateServeSpan(span, id, d.Decision, "")
+		annotateServeSpan(span, id, d.Decision, "",
+			shadowDivergenceLabel(entry.pool.ShadowNames(), d.ShadowDiverged))
 		if root != nil && root.Sampled() {
 			s.decisionSec.ObserveExemplar(elapsed.Seconds(), root.TraceID)
 		} else {
@@ -430,6 +494,26 @@ func (s *Server) handlePoolOp(w http.ResponseWriter, r *http.Request) {
 			by = "cost"
 		}
 		writeJSON(w, http.StatusOK, PoolItemsResponse{ID: id, By: by, Total: total, Items: items})
+	case op == "shadow" && r.Method == http.MethodGet:
+		if !s.lockPool(w, r, entry) {
+			return
+		}
+		rep := entry.pool.ShadowReport()
+		state := poolState(id, entry.pool)
+		entry.lk.unlock()
+		if rep == nil {
+			s.httpError(w, r, http.StatusNotFound, fmt.Errorf("pool %q has no shadow policies", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, PoolShadowResponse{
+			ID:           id,
+			Policy:       entry.pool.Policy(),
+			N:            state.N,
+			Cost:         state.Cost,
+			Optimal:      state.Optimal,
+			Ratio:        state.Ratio,
+			ShadowReport: *rep,
+		})
 	case op == "" && r.Method == http.MethodDelete:
 		if !s.lockPool(w, r, entry) {
 			return
@@ -535,10 +619,12 @@ func (s *Server) handlePoolBatch(w http.ResponseWriter, r *http.Request, id stri
 			s.decisionSec.Observe(perDecision)
 		}
 		if root != nil {
+			shadowNames := entry.pool.ShadowNames() // immutable after create
 			for _, d := range res.Decisions {
 				sp := root.StartChild("serve")
 				sp.Start = start
-				annotateServeSpan(sp, id, d.Decision, "")
+				annotateServeSpan(sp, id, d.Decision, "",
+					shadowDivergenceLabel(shadowNames, d.ShadowDiverged))
 				sp.Duration = perDecision
 			}
 		}

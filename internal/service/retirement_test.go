@@ -1,0 +1,180 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"datacache/internal/model"
+)
+
+// retirementCase describes one resource whose metric series must appear
+// while it lives and vanish when it closes. create builds and drives the
+// resource and returns its ID; kind picks the /v1/{kind}/{id} close
+// route and the {kind}="{id}" series label; families lists every metric
+// family that must have at least one live series carrying that label;
+// extra runs optional mid-life assertions.
+type retirementCase struct {
+	name     string
+	kind     string
+	families []string
+	create   func(t *testing.T, base string) string
+	extra    func(t *testing.T, sc scrapeResult, id string)
+}
+
+// TestSeriesRetirementSweep is the single series-lifecycle regression
+// test: per-session gauges, per-server cost attribution, SLO alert
+// standings, per-pool and per-tenant gauges, and the shadow-policy
+// counterfactual families all must be published while the resource is
+// open and retired — every last series — on close. Earlier PRs carried
+// one hand-rolled copy of this loop per resource; this table is the
+// only place the contract lives now.
+func TestSeriesRetirementSweep(t *testing.T) {
+	cases := []retirementCase{
+		{
+			name: "session with SLO rules",
+			kind: "session",
+			families: []string{
+				"dc_session_cost", "dc_session_optimal_cost", "dc_session_cost_over_optimum",
+				"dc_session_live_copies", "dc_session_windowed_ratio",
+				"dc_session_server_cost", "dc_alert_state",
+			},
+			create: func(t *testing.T, base string) string {
+				var state SessionState
+				post(t, base+"/v1/session", SessionCreateRequest{
+					M: 3, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1}, Policy: "migrate",
+				}, &state)
+				for i := 0; i < 12; i++ {
+					post(t, base+"/v1/session/"+state.ID+"/request",
+						StreamAppendRequest{Server: model.ServerID(1 + i%3), Time: float64(i+1) * 0.4}, nil)
+				}
+				return state.ID
+			},
+		},
+		{
+			name: "pool with tenants and evictions",
+			kind: "pool",
+			families: []string{
+				"dc_pool_items", "dc_pool_cost", "dc_pool_optimal_cost",
+				"dc_pool_cost_over_optimum", "dc_pool_evictions_total",
+				"dc_pool_tenant_windowed_ratio",
+			},
+			create: func(t *testing.T, base string) string {
+				var pool PoolState
+				post(t, base+"/v1/pool", PoolCreateRequest{
+					M: 3, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1}, MaxItems: 2,
+				}, &pool)
+				// Three keys under a 2-item bound forces evictions, so the
+				// evictions counter gets a series too.
+				for i, item := range []string{"x", "y", "z", "x"} {
+					post(t, base+"/v1/pool/"+pool.ID+"/request", PoolServeRequest{
+						Tenant: "acme", Item: item, Server: model.ServerID(1 + i%3), T: float64(i+1) * 0.7,
+					}, nil)
+				}
+				return pool.ID
+			},
+			extra: func(t *testing.T, sc scrapeResult, id string) {
+				if v, ok := sc.samples[fmt.Sprintf(`dc_pool_evictions_total{pool="%s"}`, id)]; !ok || v < 2 {
+					t.Errorf("evictions counter = %v (present %v), want >= 2", v, ok)
+				}
+			},
+		},
+		{
+			name: "session with shadow policies",
+			kind: "session",
+			families: []string{
+				"dc_session_cost", "dc_shadow_cost", "dc_shadow_cost_over_optimum",
+				"dc_shadow_best_policy", "dc_alert_state",
+			},
+			create: func(t *testing.T, base string) string {
+				var state SessionState
+				post(t, base+"/v1/session", SessionCreateRequest{
+					M: 3, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 2},
+					Shadows: []string{"migrate", "replicate"},
+				}, &state)
+				for i := 0; i < 10; i++ {
+					post(t, base+"/v1/session/"+state.ID+"/request",
+						StreamAppendRequest{Server: model.ServerID(1 + i%3), Time: float64(i+1) * 0.5}, nil)
+				}
+				return state.ID
+			},
+			extra: func(t *testing.T, sc scrapeResult, id string) {
+				// Every shadow label and the live policy carry a best-policy
+				// row; exactly one of the three is 1.
+				ones := 0.0
+				for _, policy := range []string{"sc", "migrate", "replicate"} {
+					ones += sc.mustSample(t, fmt.Sprintf(`dc_shadow_best_policy{session="%s",policy="%s"}`, id, policy))
+				}
+				if ones != 1 {
+					t.Errorf("dc_shadow_best_policy rows sum to %v, want exactly one winner", ones)
+				}
+			},
+		},
+		{
+			name: "pool with shadow policies",
+			kind: "pool",
+			families: []string{
+				"dc_pool_cost", "dc_pool_shadow_cost",
+				"dc_pool_shadow_cost_over_optimum", "dc_pool_shadow_best_policy",
+			},
+			create: func(t *testing.T, base string) string {
+				var pool PoolState
+				post(t, base+"/v1/pool", PoolCreateRequest{
+					M: 3, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 2},
+					Shadows: []string{"ttl:window=0.5", "replicate"},
+				}, &pool)
+				for i, item := range []string{"x", "y", "x", "y"} {
+					post(t, base+"/v1/pool/"+pool.ID+"/request", PoolServeRequest{
+						Item: item, Server: model.ServerID(1 + i%3), T: float64(i+1) * 0.5,
+					}, nil)
+				}
+				return pool.ID
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(New(WithSLOWindow(8)))
+			defer srv.Close()
+
+			id := tc.create(t, srv.URL)
+			label := fmt.Sprintf(`%s="%s"`, tc.kind, id)
+
+			sc := scrape(t, srv.URL)
+			present := map[string]bool{}
+			for series := range sc.samples {
+				if strings.Contains(series, label) {
+					present[strings.SplitN(series, "{", 2)[0]] = true
+				}
+			}
+			for _, fam := range tc.families {
+				if !present[fam] {
+					t.Errorf("family %s has no series for the live %s (families seen: %v)", fam, tc.kind, present)
+				}
+			}
+			if tc.extra != nil {
+				tc.extra(t, sc, id)
+			}
+
+			req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/"+tc.kind+"/"+id, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+				t.Fatalf("DELETE /v1/%s/%s: status %d", tc.kind, id, resp.StatusCode)
+			}
+
+			sc = scrape(t, srv.URL)
+			for series := range sc.samples {
+				if strings.Contains(series, label) {
+					t.Errorf("series %s survived %s close", series, tc.kind)
+				}
+			}
+		})
+	}
+}

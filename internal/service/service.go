@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datacache"
 	"datacache/internal/model"
 	"datacache/internal/multi"
 	"datacache/internal/obs"
@@ -55,7 +56,7 @@ import (
 )
 
 // Version identifies the service build in /healthz and /v1/spec.
-const Version = "1.5.0"
+const Version = "1.6.0"
 
 // DefaultTraceCap bounds each session's decision-event ring unless
 // WithTraceCap overrides it.
@@ -79,13 +80,14 @@ const DefaultTraceSeed = 1
 
 // Server is the HTTP facade. The zero value is not usable; call New.
 type Server struct {
-	mux         *http.ServeMux
-	log         *slog.Logger
-	reg         *obs.Registry
-	traceCap    int
-	sloWindow   int
-	inflight    int64
-	runtimeMetr bool
+	mux          *http.ServeMux
+	log          *slog.Logger
+	reg          *obs.Registry
+	traceCap     int
+	sloWindow    int
+	inflight     int64
+	runtimeMetr  bool
+	shadowMargin float64
 
 	// Distributed tracing: the tracer mints server spans in the request
 	// middleware, the session handlers hang per-decision child spans off
@@ -124,6 +126,12 @@ type Server struct {
 	poolRatio      *obs.GaugeVec   // pool
 	poolEvict      *obs.CounterVec // pool
 	poolTenantWRat *obs.GaugeVec   // pool, tenant
+	shadowCost     *obs.GaugeVec   // session, policy (counterfactual cost)
+	shadowRatio    *obs.GaugeVec   // session, policy (counterfactual cost over optimum)
+	shadowBest     *obs.GaugeVec   // session, policy (1 on the minimum-cost policy)
+	poolShadowCost *obs.GaugeVec   // pool, policy
+	poolShadowRat  *obs.GaugeVec   // pool, policy
+	poolShadowBest *obs.GaugeVec   // pool, policy
 	batchSize      *obs.Histogram  // requests per accepted batch
 	batchShed      *obs.Counter    // batches shed by the inflight budget
 	shardSess      [numShards]*obs.Gauge
@@ -225,6 +233,19 @@ func WithSpanExporter(exp obs.SpanExporter) Option {
 	return func(s *Server) { s.spanExporter = exp }
 }
 
+// WithShadowMargin sets the shadow_beats_live alert margin for sessions
+// created with shadow policies: the alert breaches once the live
+// policy's windowed cost exceeds the best shadow's by this fraction
+// (default datacache.DefaultShadowMargin; negative disables the alert
+// while keeping the shadows).
+func WithShadowMargin(margin float64) Option {
+	return func(s *Server) {
+		if margin != 0 {
+			s.shadowMargin = margin
+		}
+	}
+}
+
 // routeDocs describes every route for /v1/spec.
 var routeDocs = map[string]string{
 	"/healthz":     "GET liveness and version",
@@ -237,10 +258,10 @@ var routeDocs = map[string]string{
 	"/v1/policies": "GET policy names",
 	"/v1/stream":   "POST {m, origin, model} -> incremental planning stream",
 	"/v1/stream/":  "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
-	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?} -> live policy-serving session (201 + Location)",
-	"/v1/session/": "POST {id}/request, POST {id}/requests (bulk: JSON {requests:[{server,t}]} or NDJSON lines; partial apply + firstRejected), GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, DELETE {id} (close; returns final state + schedule)",
-	"/v1/pool":     "POST {m, origin, model, policy?, window?, epoch?, maxItems?} -> multi-item multi-tenant serving pool (201 + Location)",
-	"/v1/pool/":    "POST {id}/request ({tenant?, item, server, t}), POST {id}/requests (bulk, grouped by item under one lock; per-item partial apply), GET {id} (stats + tenant rollups), GET {id}/items?by=cost|regret&limit=k, DELETE {id} (close; retains final stats)",
+	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?, shadows?} -> live policy-serving session (201 + Location)",
+	"/v1/session/": "POST {id}/request, POST {id}/requests (bulk: JSON {requests:[{server,t}]} or NDJSON lines; partial apply + firstRejected), GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, GET {id}/shadow (counterfactual policy standings), DELETE {id} (close; returns final state + schedule)",
+	"/v1/pool":     "POST {m, origin, model, policy?, window?, epoch?, maxItems?, shadows?} -> multi-item multi-tenant serving pool (201 + Location)",
+	"/v1/pool/":    "POST {id}/request ({tenant?, item, server, t}), POST {id}/requests (bulk, grouped by item under one lock; per-item partial apply), GET {id} (stats + tenant rollups), GET {id}/items?by=cost|regret&limit=k, GET {id}/shadow (pool-wide counterfactual policy standings), DELETE {id} (close; retains final stats)",
 	"/v1/alerts":   "GET every live session's SLO alerts (pending, firing, resolved)",
 	"/v1/traces":   "GET retained traces, regret-descending; filters: session, min_regret, min_duration, error, limit",
 	"/v1/traces/":  "GET {id} -> every span of one retained trace",
@@ -253,17 +274,18 @@ var routeDocs = map[string]string{
 // New builds the service with all routes mounted.
 func New(opts ...Option) *Server {
 	s := &Server{
-		mux:         http.NewServeMux(),
-		log:         obs.NopLogger(),
-		reg:         obs.NewRegistry(),
-		traceCap:    DefaultTraceCap,
-		sloWindow:   DefaultSLOWindow,
-		inflight:    DefaultInflightBudget,
-		traceSeed:   DefaultTraceSeed,
-		traceSample: 1,
-		streams:     newRegistry[*streamEntry](),
-		sessions:    newRegistry[*sessionEntry](),
-		pools:       newRegistry[*poolEntry](),
+		mux:          http.NewServeMux(),
+		log:          obs.NopLogger(),
+		reg:          obs.NewRegistry(),
+		traceCap:     DefaultTraceCap,
+		sloWindow:    DefaultSLOWindow,
+		inflight:     DefaultInflightBudget,
+		traceSeed:    DefaultTraceSeed,
+		traceSample:  1,
+		shadowMargin: datacache.DefaultShadowMargin,
+		streams:      newRegistry[*streamEntry](),
+		sessions:     newRegistry[*sessionEntry](),
+		pools:        newRegistry[*poolEntry](),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -329,6 +351,24 @@ func New(opts ...Option) *Server {
 		"Idle-item engine evictions forced by a pool's MaxItems bound.", "pool")
 	s.poolTenantWRat = s.reg.GaugeVec("dc_pool_tenant_windowed_ratio",
 		"Competitive ratio of one tenant of a pool over the rolling SLO window.", "pool", "tenant")
+	s.shadowCost = s.reg.GaugeVec("dc_shadow_cost",
+		"Counterfactual cost a shadow policy would have accumulated on a session's live traffic.",
+		"session", "policy")
+	s.shadowRatio = s.reg.GaugeVec("dc_shadow_cost_over_optimum",
+		"Counterfactual competitive ratio of a shadow policy on a session's live traffic.",
+		"session", "policy")
+	s.shadowBest = s.reg.GaugeVec("dc_shadow_best_policy",
+		"1 on the minimum-cost policy of a shadowed session (live policy included), 0 elsewhere.",
+		"session", "policy")
+	s.poolShadowCost = s.reg.GaugeVec("dc_pool_shadow_cost",
+		"Counterfactual cost a shadow policy would have accumulated across every item of a pool.",
+		"pool", "policy")
+	s.poolShadowRat = s.reg.GaugeVec("dc_pool_shadow_cost_over_optimum",
+		"Counterfactual pool-wide competitive ratio of a shadow policy.",
+		"pool", "policy")
+	s.poolShadowBest = s.reg.GaugeVec("dc_pool_shadow_best_policy",
+		"1 on the minimum-cost policy of a shadowed pool (live policy included), 0 elsewhere.",
+		"pool", "policy")
 	s.batchSize = s.reg.Histogram("dc_session_batch_size",
 		"Requests per accepted bulk-ingestion batch (POST /v1/session/{id}/requests).",
 		obs.ExponentialBuckets(1, 2, 11))

@@ -43,6 +43,7 @@ type sessionEntry struct {
 	inflight atomic.Int64
 	sess     *datacache.Session
 	servers  map[string]bool
+	policies map[string]bool // shadow-metric policy labels published (live included)
 	alerts   []string
 	// evs buffers the engine events of the serve operation currently
 	// running under the entry lock; the handlers reset it before Serve and
@@ -59,6 +60,10 @@ type SessionCreateRequest struct {
 	Policy string         `json:"policy,omitempty"` // sc | ttl | migrate | replicate
 	Window float64        `json:"window,omitempty"`
 	Epoch  int            `json:"epoch,omitempty"`
+	// Shadows lists counterfactual policies to evaluate in lockstep with
+	// live serving ("sc:window=1.5", "ttl:window=0.5", "sc:epoch=16",
+	// "migrate", "replicate"); standings at GET {id}/shadow.
+	Shadows []string `json:"shadows,omitempty"`
 }
 
 // SessionState reports a session's standing.
@@ -115,6 +120,19 @@ type SessionSLOResponse struct {
 	Ratio     float64                `json:"ratio"`
 	SLO       datacache.SLOSnapshot  `json:"slo"`
 	Breakdown []datacache.ServerCost `json:"breakdown"`
+}
+
+// SessionShadowResponse is the GET {id}/shadow reply: the session's
+// cumulative readout plus the full counterfactual standings (live policy
+// first, Best marking the minimum-cost line).
+type SessionShadowResponse struct {
+	ID      string  `json:"id"`
+	Policy  string  `json:"policy"`
+	N       int     `json:"n"`
+	Cost    float64 `json:"cost"`
+	Optimal float64 `json:"optimal"`
+	Ratio   float64 `json:"ratio"`
+	datacache.ShadowReport
 }
 
 // SessionAlert is one session's standing on one alert rule, as listed by
@@ -192,9 +210,31 @@ func decisionLabel(hit bool) string {
 	return "transfer"
 }
 
+// shadowDivergenceLabel joins the labels of the shadow policies whose
+// decision diverged from the live one (bit i of mask ↔ names[i]), e.g.
+// "migrate,ttl:window=0.5". Empty when every shadow agreed.
+func shadowDivergenceLabel(names []string, mask uint64) string {
+	if mask == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, name := range names {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+	}
+	return b.String()
+}
+
 // annotateServeSpan fills one serve child span from a decision and ends
-// it. Nil-span safe, so untraced paths pay only the calls.
-func annotateServeSpan(sp *obs.Span, id string, d datacache.Decision, events string) {
+// it. shadows names the shadow policies that decided this request
+// differently (empty when unshadowed or unanimous). Nil-span safe, so
+// untraced paths pay only the calls.
+func annotateServeSpan(sp *obs.Span, id string, d datacache.Decision, events, shadows string) {
 	if sp == nil {
 		return
 	}
@@ -203,6 +243,7 @@ func annotateServeSpan(sp *obs.Span, id string, d datacache.Decision, events str
 	sp.Decision = decisionLabel(d.Hit)
 	sp.Events = events
 	sp.Drops = d.Drops
+	sp.Shadows = shadows
 	sp.Regret = d.Regret
 	sp.End()
 }
@@ -235,6 +276,54 @@ func (s *Server) publishSessionGauges(id string, e *sessionEntry) {
 			s.alertState.With(id, a.Rule.Name).Set(float64(a.State))
 		}
 	}
+
+	// Shadow standings: the cheap O(M)-per-policy CostLive feed, never the
+	// exact schedule-priced query (that one is O(n) and route-only).
+	if names := sess.ShadowNames(); len(names) > 0 {
+		opt := sess.OptimalCost()
+		bestIdx := -1 // -1: the live policy is winning
+		bestCost := sess.CostLive()
+		for i, name := range names {
+			c := sess.ShadowCostLive(i)
+			s.shadowCost.With(id, name).Set(c)
+			s.shadowRatio.With(id, name).Set(costOverOpt(c, opt))
+			e.policies[name] = true
+			if c < bestCost {
+				bestCost, bestIdx = c, i
+			}
+		}
+		for i, name := range names {
+			s.shadowBest.With(id, name).Set(boolGauge(i == bestIdx))
+		}
+		// Live last: a shadow may share the live policy's label (the
+		// self-check configuration) and must not clobber a winning live row.
+		liveName := sess.Policy()
+		e.policies[liveName] = true
+		if bestIdx < 0 {
+			s.shadowBest.With(id, liveName).Set(1)
+		} else if liveName != names[bestIdx] {
+			s.shadowBest.With(id, liveName).Set(0)
+		}
+		if a, ok := sess.ShadowAlert(); ok {
+			s.alertState.With(id, a.Rule.Name).Set(float64(a.State))
+		}
+	}
+}
+
+// costOverOpt is the gauge-side competitive ratio (1 while the optimum
+// is zero, matching datacache's convention).
+func costOverOpt(cost, opt float64) float64 {
+	if opt > 0 {
+		return cost / opt
+	}
+	return 1
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // dropSessionGauges removes a closed session's metric series so /metrics
@@ -250,11 +339,20 @@ func (s *Server) dropSessionGauges(id string, e *sessionEntry) {
 	for srv := range e.servers {
 		servers = append(servers, srv)
 	}
+	policies := make([]string, 0, len(e.policies))
+	for p := range e.policies {
+		policies = append(policies, p)
+	}
 	alerts := append([]string(nil), e.alerts...)
 	e.lk.unlock()
 	for _, srv := range servers {
 		s.serverCost.Delete(id, srv, "caching")
 		s.serverCost.Delete(id, srv, "transfer")
+	}
+	for _, p := range policies {
+		s.shadowCost.Delete(id, p)
+		s.shadowRatio.Delete(id, p)
+		s.shadowBest.Delete(id, p)
 	}
 	s.sessionWRat.Delete(id)
 	for _, name := range alerts {
@@ -273,7 +371,12 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Origin == 0 {
 		req.Origin = 1
 	}
-	entry := &sessionEntry{lk: newEntryLock(), servers: map[string]bool{}}
+	shadows, err := datacache.WithShadowPolicies(req.Shadows...)
+	if err != nil {
+		s.httpError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	entry := &sessionEntry{lk: newEntryLock(), servers: map[string]bool{}, policies: map[string]bool{}}
 	sess, err := datacache.NewSession(req.M, req.Origin, req.Model.toModel(), &datacache.SessionOptions{
 		Policy:         req.Policy,
 		Window:         req.Window,
@@ -281,6 +384,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		TraceCap:       s.traceCap,
 		SLOWindow:      s.sloWindow,
 		Observer:       s.engineObserver(entry),
+		ShadowPolicies: shadows,
+		ShadowMargin:   s.shadowMargin,
 	})
 	if err != nil {
 		s.httpError(w, r, http.StatusBadRequest, err)
@@ -294,18 +399,13 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		for _, a := range slo.Alerts() {
 			entry.alerts = append(entry.alerts, a.Rule.Name)
 		}
-		slo.SetTransitionHook(func(rule datacache.AlertRule, from, to datacache.AlertState, at, value float64) {
-			s.alertState.With(id, rule.Name).Set(float64(to))
-			s.alertTrans.With(rule.Name, to.String()).Inc()
-			s.log.LogAttrs(context.Background(), slog.LevelWarn, "slo alert transition",
-				slog.String("session", id),
-				slog.String("alert", rule.Name),
-				slog.String("from", from.String()),
-				slog.String("to", to.String()),
-				slog.Float64("at", at),
-				slog.Float64("value", value),
-			)
-		})
+		slo.SetTransitionHook(s.alertHook(id))
+	}
+	if a, ok := sess.ShadowAlert(); ok {
+		// The shadow_beats_live rule shares the SLO rules' gauge, counter
+		// and WARN-log plumbing, and is retired with them on close.
+		entry.alerts = append(entry.alerts, a.Rule.Name)
+		sess.SetShadowTransitionHook(s.alertHook(id))
 	}
 	s.sessions.put(id, entry)
 	s.sessionsOpen.Add(1)
@@ -314,6 +414,26 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	entry.lk.unlock()
 	w.Header().Set("Location", "/v1/session/"+id)
 	writeJSON(w, http.StatusCreated, sessionState(id, sess))
+}
+
+// alertHook builds the transition hook every alert tracker of a session
+// shares (SLO rules and shadow_beats_live alike): refresh the state
+// gauge, count the transition, and WARN-log it. The hook runs under the
+// entry lock of whichever Serve triggers the transition; the gauge and
+// counter writes are lock-free.
+func (s *Server) alertHook(id string) obs.TransitionHook {
+	return func(rule datacache.AlertRule, from, to datacache.AlertState, at, value float64) {
+		s.alertState.With(id, rule.Name).Set(float64(to))
+		s.alertTrans.With(rule.Name, to.String()).Inc()
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "slo alert transition",
+			slog.String("session", id),
+			slog.String("alert", rule.Name),
+			slog.String("from", from.String()),
+			slog.String("to", to.String()),
+			slog.Float64("at", at),
+			slog.Float64("value", value),
+		)
+	}
 }
 
 // lockEntry acquires the entry lock honoring the request context: a
@@ -395,7 +515,8 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			s.httpError(w, r, http.StatusBadRequest, err)
 			return
 		}
-		annotateServeSpan(span, id, d, events)
+		annotateServeSpan(span, id, d, events,
+			shadowDivergenceLabel(entry.sess.ShadowNames(), d.ShadowDiverged))
 		if root != nil && root.Sampled() {
 			s.decisionSec.ObserveExemplar(elapsed.Seconds(), root.TraceID)
 		} else {
@@ -467,6 +588,26 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			SLO:       snap,
 			Breakdown: breakdown,
 		})
+	case op == "shadow" && r.Method == http.MethodGet:
+		if !s.lockEntry(w, r, entry) {
+			return
+		}
+		rep := entry.sess.ShadowReport()
+		state := sessionState(id, entry.sess)
+		entry.lk.unlock()
+		if rep == nil {
+			s.httpError(w, r, http.StatusNotFound, fmt.Errorf("session %q has no shadow policies", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionShadowResponse{
+			ID:           id,
+			Policy:       state.Policy,
+			N:            state.N,
+			Cost:         state.Cost,
+			Optimal:      state.Optimal,
+			Ratio:        state.Ratio,
+			ShadowReport: *rep,
+		})
 	case op == "" && r.Method == http.MethodDelete:
 		if !s.lockEntry(w, r, entry) {
 			return
@@ -498,11 +639,8 @@ func (s *Server) collectAlerts() ([]SessionAlert, int) {
 	firing := 0
 	s.sessions.forEach(func(id string, entry *sessionEntry) {
 		_ = entry.lk.lock(context.Background())
-		slo := entry.sess.SLO()
-		var alerts []datacache.Alert
-		if slo != nil {
-			alerts = slo.Alerts()
-		}
+		// Merged standings: SLO rules plus the shadow_beats_live rule.
+		alerts := entry.sess.Alerts()
 		entry.lk.unlock()
 		for _, a := range alerts {
 			if a.State == datacache.AlertInactive {

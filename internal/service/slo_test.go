@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"testing"
 
 	"datacache"
@@ -169,56 +168,9 @@ func TestSLOAlertLifecycleHTTP(t *testing.T) {
 	}
 }
 
-// TestSessionSeriesRetiredOnClose is the series-lifecycle regression
-// test: every per-session series — the PR 2 gauges plus the new
-// dc_session_server_cost, dc_session_windowed_ratio and dc_alert_state —
-// must disappear from /metrics once the session is deleted.
-func TestSessionSeriesRetiredOnClose(t *testing.T) {
-	srv := httptest.NewServer(New(WithSLOWindow(8)))
-	defer srv.Close()
-
-	var state SessionState
-	post(t, srv.URL+"/v1/session", SessionCreateRequest{
-		M: 3, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1}, Policy: "migrate",
-	}, &state)
-	id := state.ID
-	for i := 0; i < 12; i++ {
-		post(t, srv.URL+"/v1/session/"+id+"/request",
-			StreamAppendRequest{Server: model.ServerID(1 + i%3), Time: float64(i+1) * 0.4}, nil)
-	}
-
-	label := fmt.Sprintf(`session="%s"`, id)
-	sc := scrape(t, srv.URL)
-	present := map[string]bool{}
-	for series := range sc.samples {
-		if strings.Contains(series, label) {
-			present[strings.SplitN(series, "{", 2)[0]] = true
-		}
-	}
-	for _, fam := range []string{
-		"dc_session_cost", "dc_session_optimal_cost", "dc_session_cost_over_optimum",
-		"dc_session_live_copies", "dc_session_windowed_ratio",
-		"dc_session_server_cost", "dc_alert_state",
-	} {
-		if !present[fam] {
-			t.Errorf("family %s has no series for the live session (families seen: %v)", fam, present)
-		}
-	}
-
-	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/session/"+id, nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-
-	sc = scrape(t, srv.URL)
-	for series := range sc.samples {
-		if strings.Contains(series, label) {
-			t.Errorf("series %s survived session close", series)
-		}
-	}
-}
+// The series-lifecycle regression test that used to live here (every
+// per-session series disappearing on close) is now one row of
+// TestSeriesRetirementSweep in retirement_test.go.
 
 // TestSLODisabled checks WithSLOWindow(0): sessions still serve, the slo
 // route 404s, and the alert routes stay empty rather than erroring.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"datacache/internal/engine"
 	"datacache/internal/obs"
 )
 
@@ -137,12 +138,14 @@ type poolItem struct {
 	sess *Session      // nil while evicted
 	elem *list.Element // LRU position while live, nil otherwise
 
-	prevCost, prevOpt float64 // live session totals at the last serve
+	prevCost, prevOpt float64   // live session totals at the last serve
+	prevShadow        []float64 // live session per-shadow CostLive at the last serve
 	lastServed        float64
 	revivals          int
 
-	retiredCost, retiredOpt             float64
-	retiredN, retiredHits, retiredXfers int
+	retiredCost, retiredOpt                           float64
+	retiredN, retiredHits, retiredXfers, retiredDrops int
+	retiredShadow                                     []ShadowTotals // folded per-shadow accounting
 }
 
 // cost returns the item's cross-incarnation policy cost.
@@ -196,6 +199,17 @@ type Pool struct {
 	revivals  int
 	cost, opt float64
 	closed    bool
+
+	// Pool-wide shadow accounting, maintained incrementally per serve
+	// from each item session's cheap per-shadow CostLive deltas. Empty
+	// unless the session template configures ShadowPolicies.
+	livePolicy   string
+	shadowNames  []string
+	shadowCost   []float64
+	shadowWin    []engine.CostWindow
+	liveWin      engine.CostWindow
+	shadowWindow int
+	shadowMargin float64
 }
 
 // NewPool opens a multi-item serving pool over m servers with every
@@ -216,7 +230,7 @@ func NewPool(m int, origin ServerID, cm CostModel, opts *PoolOptions) (*Pool, er
 		return nil, err
 	}
 	_, _ = probe.Close()
-	return &Pool{
+	p := &Pool{
 		m:       m,
 		origin:  origin,
 		cm:      cm,
@@ -224,7 +238,20 @@ func NewPool(m int, origin ServerID, cm CostModel, opts *PoolOptions) (*Pool, er
 		items:   map[ItemKey]*poolItem{},
 		lru:     list.New(),
 		tenants: map[string]*tenantAcct{},
-	}, nil
+	}
+	p.livePolicy = probe.Policy()
+	if names := probe.ShadowNames(); len(names) > 0 {
+		p.shadowNames = append([]string(nil), names...)
+		p.shadowCost = make([]float64, len(names))
+		p.shadowWindow = probe.shadowWindow
+		p.shadowMargin = probe.shadowMargin
+		p.shadowWin = make([]engine.CostWindow, len(names))
+		for i := range p.shadowWin {
+			p.shadowWin[i] = engine.NewCostWindow(p.shadowWindow)
+		}
+		p.liveWin = engine.NewCostWindow(p.shadowWindow)
+	}
+	return p, nil
 }
 
 // cloneSessionOptions copies the template so per-item sessions never
@@ -233,6 +260,9 @@ func cloneSessionOptions(tpl SessionOptions) *SessionOptions {
 	o := tpl
 	if tpl.SLORules != nil {
 		o.SLORules = append([]AlertRule(nil), tpl.SLORules...)
+	}
+	if tpl.ShadowPolicies != nil {
+		o.ShadowPolicies = append([]ShadowPolicy(nil), tpl.ShadowPolicies...)
 	}
 	return &o
 }
@@ -302,6 +332,22 @@ func (p *Pool) evictLRU() {
 	it.retiredN += it.sess.N()
 	it.retiredHits += it.sess.Hits()
 	it.retiredXfers += it.sess.Transfers()
+	it.retiredDrops += it.sess.Drops()
+	if k := len(p.shadowNames); k > 0 {
+		if it.retiredShadow == nil {
+			it.retiredShadow = make([]ShadowTotals, k)
+		}
+		for i := 0; i < k; i++ {
+			tot := it.sess.ShadowTotals(i)
+			rs := &it.retiredShadow[i]
+			rs.Cost += tot.Cost
+			rs.Hits += tot.Hits
+			rs.Transfers += tot.Transfers
+			rs.Drops += tot.Drops
+			rs.Divergence += tot.Divergence
+		}
+		it.prevShadow = nil
+	}
 	it.sess = nil
 	p.lru.Remove(it.elem)
 	it.elem = nil
@@ -328,6 +374,19 @@ func (p *Pool) Serve(tenant, item string, server ServerID, t float64) (PoolDecis
 	costDelta := d.Cost - it.prevCost
 	optDelta := d.Optimal - it.prevOpt
 	it.prevCost, it.prevOpt = d.Cost, d.Optimal
+	if k := len(p.shadowNames); k > 0 {
+		if it.prevShadow == nil {
+			it.prevShadow = make([]float64, k)
+		}
+		for i := 0; i < k; i++ {
+			c := it.sess.ShadowCostLive(i)
+			delta := c - it.prevShadow[i]
+			it.prevShadow[i] = c
+			p.shadowCost[i] += delta
+			p.shadowWin[i].Add(delta)
+		}
+		p.liveWin.Add(costDelta)
+	}
 	it.lastServed = t
 	p.lru.MoveToFront(it.elem)
 	p.served++
@@ -599,6 +658,101 @@ func (p *Pool) TenantSLO(tenant string) *obs.SLO {
 		return nil
 	}
 	return ta.slo
+}
+
+// ShadowNames returns the shadow policy labels the pool's session
+// template configures, in evaluation order, or nil when the template
+// runs no shadows. The slice is shared; treat it as read-only.
+func (p *Pool) ShadowNames() []string { return p.shadowNames }
+
+// Policy reports the canonical name of the live policy every item
+// engine runs ("sc", "ttl", "migrate", "replicate").
+func (p *Pool) Policy() string { return p.livePolicy }
+
+// ShadowCosts returns the pool-wide per-shadow cost accumulators
+// (indexed like ShadowNames) — the cheap per-serve gauge feed. The
+// slice is shared; treat it as read-only.
+func (p *Pool) ShadowCosts() []float64 { return p.shadowCost }
+
+// ShadowReport builds the pool-wide counterfactual readout, or nil when
+// the session template runs no shadows. Per-policy costs accumulate
+// each item session's CostLive deltas across incarnations (eviction
+// retains them, like the pool's own cost); hit/transfer/drop/divergence
+// counters aggregate over every item, so the query is O(items).
+func (p *Pool) ShadowReport() *ShadowReport {
+	k := len(p.shadowNames)
+	if k == 0 {
+		return nil
+	}
+	rep := &ShadowReport{
+		Window:    p.shadowWindow,
+		Margin:    p.shadowMargin,
+		Standings: make([]ShadowStanding, 0, k+1),
+	}
+	live := ShadowStanding{
+		Policy:          p.livePolicy,
+		Live:            true,
+		Cost:            p.cost,
+		CostOverOptimum: ratioOf(p.cost, p.opt),
+		WindowedCost:    p.liveWin.Sum(),
+	}
+	shadows := make([]ShadowStanding, k)
+	for i := 0; i < k; i++ {
+		shadows[i] = ShadowStanding{
+			Policy:          p.shadowNames[i],
+			Cost:            p.shadowCost[i],
+			CostOverOptimum: ratioOf(p.shadowCost[i], p.opt),
+			WindowedCost:    p.shadowWin[i].Sum(),
+		}
+	}
+	for _, it := range p.items {
+		live.Hits += it.retiredHits
+		live.Transfers += it.retiredXfers
+		live.Drops += it.retiredDrops
+		if it.sess != nil {
+			live.Hits += it.sess.Hits()
+			live.Transfers += it.sess.Transfers()
+			live.Drops += it.sess.Drops()
+		}
+		for i := 0; i < k; i++ {
+			if it.retiredShadow != nil {
+				rs := it.retiredShadow[i]
+				shadows[i].Hits += rs.Hits
+				shadows[i].Transfers += rs.Transfers
+				shadows[i].Drops += rs.Drops
+				shadows[i].Divergence += rs.Divergence
+			}
+			if it.sess != nil {
+				tot := it.sess.ShadowTotals(i)
+				shadows[i].Hits += tot.Hits
+				shadows[i].Transfers += tot.Transfers
+				shadows[i].Drops += tot.Drops
+				shadows[i].Divergence += tot.Divergence
+			}
+		}
+	}
+	rep.Standings = append(rep.Standings, live)
+	rep.Standings = append(rep.Standings, shadows...)
+	best := 0
+	for i := 1; i < len(rep.Standings); i++ {
+		if rep.Standings[i].Cost < rep.Standings[best].Cost {
+			best = i
+		}
+	}
+	rep.Standings[best].Best = true
+	rep.Best = rep.Standings[best].Policy
+	return rep
+}
+
+// Shadows returns the pool-wide counterfactual standings — the live
+// policy first, then every shadow, Best marking the minimum-cost line —
+// or nil when the session template runs no shadows.
+func (p *Pool) Shadows() []ShadowStanding {
+	rep := p.ShadowReport()
+	if rep == nil {
+		return nil
+	}
+	return rep.Standings
 }
 
 // Stats snapshots the pool-wide readout.

@@ -91,6 +91,22 @@ type SessionOptions struct {
 	// SLORules overrides the alert rules evaluated on the windowed ratio.
 	// Nil with SLOWindow > 0 installs the single Theorem3Rule.
 	SLORules []AlertRule
+	// ShadowPolicies, when non-empty, evaluates these policies in
+	// lockstep with live serving on private copies of the cluster state,
+	// accumulating what each would have paid on exactly this traffic.
+	// Build the slice with WithShadowPolicies(specs...); read the
+	// standings via Shadows / ShadowReport. At most engine.MaxShadows
+	// policies; labels must be unique and differ from the live policy's.
+	ShadowPolicies []ShadowPolicy
+	// ShadowWindow sets the rolling cost window (requests) behind the
+	// shadow-vs-live windowed comparison. Zero falls back to SLOWindow,
+	// then DefaultShadowWindow.
+	ShadowWindow int
+	// ShadowMargin configures the shadow_beats_live alert: it breaches
+	// when the live policy's windowed cost exceeds the best shadow's by
+	// this fraction. Zero means DefaultShadowMargin; negative disables
+	// the alert while keeping the shadows.
+	ShadowMargin float64
 }
 
 // Decision reports what one live request caused: whether it hit a cached
@@ -113,6 +129,12 @@ type Decision struct {
 	// Negative regret means the optimum's DP paid more for this prefix
 	// step than the online policy did.
 	Regret float64
+	// ShadowDiverged is a bitmask over the session's shadow policies:
+	// bit i is set when ShadowNames()[i] decided this request differently
+	// from the live policy (hit/miss outcome or transfer source). Zero
+	// without shadows, or when every shadow agreed. A bitmask rather
+	// than a slice keeps the serve path allocation-free.
+	ShadowDiverged uint64 `json:",omitempty"`
 }
 
 // Session serves live traffic one request at a time with no lookahead: each
@@ -134,6 +156,11 @@ type Session struct {
 	slo    *obs.SLO  // nil unless SessionOptions.SLOWindow > 0
 	closed bool
 	final  *Schedule
+
+	shadows      *engine.ShadowSet // nil unless SessionOptions.ShadowPolicies set
+	shadowAlert  *obs.Tracker      // nil unless shadows with a margin rule
+	shadowWindow int
+	shadowMargin float64
 
 	prevCost, prevOpt float64 // last served totals, for SLO deltas
 }
@@ -197,7 +224,11 @@ func NewSession(m int, origin ServerID, cm CostModel, opts *SessionOptions) (*Se
 		}
 		slo = obs.NewSLO(opts.SLOWindow, rules...)
 	}
-	return &Session{policy: policy, cm: cm, stream: stream, inc: inc, ring: ring, slo: slo}, nil
+	s := &Session{policy: policy, cm: cm, stream: stream, inc: inc, ring: ring, slo: slo}
+	if err := s.initShadows(m, origin, opts); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Serve handles one live request. Times must be strictly increasing and
@@ -225,6 +256,7 @@ func (s *Session) Serve(server ServerID, t float64) (Decision, error) {
 	}
 	d.Ratio = ratioOf(d.Cost, d.Optimal)
 	d.Regret = (d.Cost - s.prevCost) - (d.Optimal - s.prevOpt)
+	s.observeShadows(server, t, &d)
 	if s.slo != nil {
 		s.slo.Observe(t, d.Cost-s.prevCost, d.Optimal-s.prevOpt)
 	}
@@ -307,6 +339,10 @@ func (s *Session) Hits() int { return s.stream.Hits() }
 
 // Transfers returns how many copy transfers the policy has performed.
 func (s *Session) Transfers() int { return s.stream.Transfers() }
+
+// Drops returns how many copies the policy has dropped (deadline
+// expiries and policy drops alike).
+func (s *Session) Drops() int { return s.stream.Drops() }
 
 // Cost returns the policy cost accumulated through the last request.
 func (s *Session) Cost() float64 { return s.stream.Cost(s.cm) }

@@ -1,0 +1,384 @@
+package datacache
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"datacache/internal/engine"
+	"datacache/internal/obs"
+)
+
+// DefaultShadowWindow is the rolling cost window (requests) the
+// shadow-beats-live comparison uses when neither ShadowWindow nor
+// SLOWindow is set.
+const DefaultShadowWindow = 64
+
+// DefaultShadowMargin is the fraction by which the best shadow must beat
+// the live policy's windowed cost before the shadow_beats_live alert
+// rule starts breaching.
+const DefaultShadowMargin = 0.25
+
+// ShadowAlertRuleName names the alert rule a shadowed session evaluates
+// against the live-over-best-shadow windowed cost ratio.
+const ShadowAlertRuleName = "shadow_beats_live"
+
+// ShadowPolicy names one counterfactual policy a Session evaluates in
+// lockstep with live serving. The zero Policy means "sc"; Window and
+// EpochTransfers parameterize it exactly like SessionOptions. Label
+// overrides the metric/report label, which otherwise is the canonical
+// Spec() rendering ("sc", "ttl:window=0.5", "sc:epoch=16", ...).
+type ShadowPolicy struct {
+	Policy         string
+	Window         float64
+	EpochTransfers int
+	Label          string
+}
+
+// Spec renders the canonical spec string, parseable by ParseShadowPolicy.
+func (sp ShadowPolicy) Spec() string {
+	switch sp.Policy {
+	case "", "sc":
+		s := "sc"
+		if sp.Window > 0 {
+			s += fmt.Sprintf(":window=%g", sp.Window)
+		}
+		if sp.EpochTransfers > 0 {
+			s += fmt.Sprintf(":epoch=%d", sp.EpochTransfers)
+		}
+		return s
+	case "ttl":
+		return fmt.Sprintf("ttl:window=%g", sp.Window)
+	default:
+		return sp.Policy
+	}
+}
+
+// label is the name the shadow's standings and metric series use.
+func (sp ShadowPolicy) label() string {
+	if sp.Label != "" {
+		return sp.Label
+	}
+	return sp.Spec()
+}
+
+// decider builds the engine decider the shadow runs — the same switch
+// NewSession applies to the live policy.
+func (sp ShadowPolicy) decider() (engine.Decider, error) {
+	switch sp.Policy {
+	case "", "sc":
+		return &engine.SC{Window: sp.Window, EpochTransfers: sp.EpochTransfers}, nil
+	case "ttl":
+		if sp.Window <= 0 {
+			return nil, fmt.Errorf("datacache: shadow ttl policy requires window > 0")
+		}
+		return &engine.SC{Window: sp.Window}, nil
+	case "migrate":
+		return &engine.Migrate{}, nil
+	case "replicate", "keep":
+		return &engine.Replicate{}, nil
+	default:
+		return nil, fmt.Errorf("datacache: unknown shadow policy %q", sp.Policy)
+	}
+}
+
+// ParseShadowPolicy parses one shadow spec of the form
+// "kind[:key=value...]": "sc", "sc:window=1.5", "sc:epoch=16",
+// "ttl:window=0.5", "migrate", "replicate".
+func ParseShadowPolicy(spec string) (ShadowPolicy, error) {
+	parts := strings.Split(spec, ":")
+	sp := ShadowPolicy{Policy: strings.TrimSpace(parts[0])}
+	if sp.Policy == "" {
+		return sp, fmt.Errorf("datacache: empty shadow policy spec %q", spec)
+	}
+	for _, kv := range parts[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return sp, fmt.Errorf("datacache: shadow spec %q: %q is not key=value", spec, kv)
+		}
+		switch key {
+		case "window":
+			w, err := strconv.ParseFloat(val, 64)
+			if err != nil || w <= 0 {
+				return sp, fmt.Errorf("datacache: shadow spec %q: bad window %q", spec, val)
+			}
+			sp.Window = w
+		case "epoch":
+			e, err := strconv.Atoi(val)
+			if err != nil || e < 1 {
+				return sp, fmt.Errorf("datacache: shadow spec %q: bad epoch %q", spec, val)
+			}
+			sp.EpochTransfers = e
+		default:
+			return sp, fmt.Errorf("datacache: shadow spec %q: unknown key %q", spec, key)
+		}
+	}
+	// Validate the policy name and its parameters eagerly so a bad spec
+	// fails at parse time, not at session create.
+	if _, err := sp.decider(); err != nil {
+		return sp, err
+	}
+	return sp, nil
+}
+
+// WithShadowPolicies parses shadow specs into the ShadowPolicies option
+// — the one-liner for wiring counterfactual policies into a Session or a
+// Pool's session template:
+//
+//	opts.ShadowPolicies, err = datacache.WithShadowPolicies("ttl:window=1", "migrate")
+func WithShadowPolicies(specs ...string) ([]ShadowPolicy, error) {
+	out := make([]ShadowPolicy, 0, len(specs))
+	for _, spec := range specs {
+		sp, err := ParseShadowPolicy(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// ShadowTotals is the cheap accumulator readout of one shadow policy;
+// see Session.ShadowTotals.
+type ShadowTotals = engine.ShadowTotals
+
+// ShadowStanding is one policy's line in the counterfactual comparison a
+// shadowed Session or Pool maintains: what that policy would have paid
+// on exactly the live traffic. The live policy appears as a standing
+// too (Live true), so a standings slice is a complete leaderboard.
+type ShadowStanding struct {
+	Policy          string  `json:"policy"`
+	Live            bool    `json:"live,omitempty"` // the policy actually serving
+	Best            bool    `json:"best,omitempty"` // minimum-cost line
+	Cost            float64 `json:"cost"`
+	CostOverOptimum float64 `json:"costOverOptimum"`
+	WindowedCost    float64 `json:"windowedCost"`
+	Hits            int     `json:"hits"`
+	Transfers       int     `json:"transfers"`
+	Drops           int     `json:"drops"`
+	Divergence      int     `json:"divergence"` // requests decided differently from live
+	Err             string  `json:"error,omitempty"`
+}
+
+// ShadowReport is the full counterfactual readout: every policy's
+// standing (live first), the best policy's label, and the
+// shadow_beats_live alert when the margin rule is enabled.
+type ShadowReport struct {
+	Window    int              `json:"window"` // rolling cost window (requests)
+	Margin    float64          `json:"margin"` // alert margin (< 0: alert disabled)
+	Best      string           `json:"best"`   // label of the minimum-cost policy
+	Standings []ShadowStanding `json:"standings"`
+	Alert     *Alert           `json:"alert,omitempty"`
+}
+
+// shadowRule builds the shadow_beats_live alert rule for a margin: the
+// tracked value is the live policy's windowed cost over the best
+// shadow's, so it breaches once live costs (1+margin)× the best shadow,
+// clears below (1+margin/2)×, and needs three consecutive breaches —
+// the same shape as Theorem3Rule.
+func shadowRule(margin float64) AlertRule {
+	return AlertRule{
+		Name:       ShadowAlertRuleName,
+		Threshold:  1 + margin,
+		Hysteresis: margin / 2,
+		For:        3,
+	}
+}
+
+// initShadows wires the shadow set and the shadow_beats_live tracker
+// into a freshly created session.
+func (s *Session) initShadows(m int, origin ServerID, opts *SessionOptions) error {
+	if len(opts.ShadowPolicies) == 0 {
+		return nil
+	}
+	window := opts.ShadowWindow
+	if window <= 0 {
+		window = opts.SLOWindow
+	}
+	if window <= 0 {
+		window = DefaultShadowWindow
+	}
+	// Labels must be unique among shadows; duplicating the live policy's
+	// name is allowed — shadowing the live policy itself is the standard
+	// self-check that the counterfactual accounting is exact.
+	seen := make(map[string]bool, len(opts.ShadowPolicies))
+	ds := make([]engine.ShadowDecider, 0, len(opts.ShadowPolicies))
+	for _, sp := range opts.ShadowPolicies {
+		d, err := sp.decider()
+		if err != nil {
+			return err
+		}
+		label := sp.label()
+		if seen[label] {
+			return fmt.Errorf("datacache: duplicate shadow policy label %q", label)
+		}
+		seen[label] = true
+		ds = append(ds, engine.ShadowDecider{Name: label, D: d})
+	}
+	ss, err := engine.NewShadowSet(engine.State{M: m, Origin: origin, Model: s.cm}, window, ds)
+	if err != nil {
+		return err
+	}
+	s.shadows = ss
+	s.shadowWindow = window
+	s.shadowMargin = opts.ShadowMargin
+	if s.shadowMargin == 0 {
+		s.shadowMargin = DefaultShadowMargin
+	}
+	if s.shadowMargin > 0 {
+		s.shadowAlert = obs.NewTracker(shadowRule(s.shadowMargin))
+	}
+	return nil
+}
+
+// observeShadows feeds one served request to every shadow, returning the
+// divergence bitmask, and advances the shadow_beats_live tracker.
+func (s *Session) observeShadows(server ServerID, t float64, d *Decision) {
+	if s.shadows == nil {
+		return
+	}
+	ed := engine.Decision{Server: server, Time: t, Hit: d.Hit, From: d.From}
+	d.ShadowDiverged = s.shadows.Serve(server, t, ed, d.Cost)
+	if s.shadowAlert != nil {
+		if _, best := s.shadows.BestWindowed(); best > 0 {
+			s.shadowAlert.Observe(t, s.shadows.LiveWindowedCost()/best)
+		}
+	}
+}
+
+// ShadowNames returns the shadow policy labels in evaluation order (bit
+// i of Decision.ShadowDiverged corresponds to ShadowNames()[i]), or nil
+// when the session runs no shadows. The slice is shared; treat it as
+// read-only.
+func (s *Session) ShadowNames() []string {
+	if s.shadows == nil {
+		return nil
+	}
+	return s.shadows.Names()
+}
+
+// ShadowCostLive returns shadow i's running cost priced by the O(M)
+// accumulator path — the cheap per-serve feed gauge publishers and pool
+// aggregation use. See Stream.CostLive for how it relates to the exact
+// schedule-priced cost.
+func (s *Session) ShadowCostLive(i int) float64 { return s.shadows.CostLive(i) }
+
+// CostLive returns the live policy's cost priced by the same O(M)
+// accumulator path as ShadowCostLive, for like-for-like comparisons on
+// the serve path. Cost remains the canonical (schedule-priced) total.
+func (s *Session) CostLive() float64 { return s.stream.CostLive(s.cm) }
+
+// ShadowTotals returns shadow i's cheap accumulator readout (CostLive
+// pricing) — what Pool eviction folds into its retained accounting.
+func (s *Session) ShadowTotals(i int) ShadowTotals { return s.shadows.Totals(i) }
+
+// ShadowWindowedCosts reports the rolling windowed cost of the live
+// policy and each shadow (indexed like ShadowNames); nil without
+// shadows.
+func (s *Session) ShadowWindowedCosts() (live float64, shadows []float64) {
+	if s.shadows == nil {
+		return 0, nil
+	}
+	out := make([]float64, s.shadows.Len())
+	for i := range out {
+		out[i] = s.shadows.WindowedCost(i)
+	}
+	return s.shadows.LiveWindowedCost(), out
+}
+
+// ShadowAlert returns the shadow_beats_live rule's standing, or false
+// when the session runs no shadows or the margin rule is disabled.
+func (s *Session) ShadowAlert() (Alert, bool) {
+	if s.shadowAlert == nil {
+		return Alert{}, false
+	}
+	return s.shadowAlert.Alert(), true
+}
+
+// SetShadowTransitionHook installs h (nil detaches) to observe
+// shadow_beats_live state changes synchronously from Serve, mirroring
+// SLO.SetTransitionHook. It is a no-op without the shadow alert.
+func (s *Session) SetShadowTransitionHook(h obs.TransitionHook) {
+	if s.shadowAlert != nil {
+		s.shadowAlert.SetTransitionHook(h)
+	}
+}
+
+// Alerts merges the SLO rules' standings with the shadow_beats_live
+// standing, in that order. Nil when the session tracks neither.
+func (s *Session) Alerts() []Alert {
+	var out []Alert
+	if s.slo != nil {
+		out = s.slo.Alerts()
+	}
+	if a, ok := s.ShadowAlert(); ok {
+		out = append(out, a)
+	}
+	return out
+}
+
+// ShadowReport builds the full counterfactual readout, or nil when the
+// session runs no shadows. Costs are exact (schedule-priced, the same
+// computation as Cost), so a shadow running the live policy's own
+// decider reports the live cost bit for bit; the query is O(n) per
+// policy and meant for reports and routes, not the serve path.
+func (s *Session) ShadowReport() *ShadowReport {
+	if s.shadows == nil {
+		return nil
+	}
+	opt := s.OptimalCost()
+	rep := &ShadowReport{
+		Window:    s.shadowWindow,
+		Margin:    s.shadowMargin,
+		Standings: make([]ShadowStanding, 0, s.shadows.Len()+1),
+	}
+	rep.Standings = append(rep.Standings, ShadowStanding{
+		Policy:          s.policy,
+		Live:            true,
+		Cost:            s.Cost(),
+		CostOverOptimum: ratioOf(s.Cost(), opt),
+		WindowedCost:    s.shadows.LiveWindowedCost(),
+		Hits:            s.Hits(),
+		Transfers:       s.Transfers(),
+		Drops:           s.stream.Drops(),
+	})
+	for i := 0; i < s.shadows.Len(); i++ {
+		st := ShadowStanding{
+			Policy:          s.shadows.Names()[i],
+			Cost:            s.shadows.Cost(i),
+			CostOverOptimum: ratioOf(s.shadows.Cost(i), opt),
+			WindowedCost:    s.shadows.WindowedCost(i),
+			Hits:            s.shadows.Hits(i),
+			Transfers:       s.shadows.Transfers(i),
+			Drops:           s.shadows.Drops(i),
+			Divergence:      s.shadows.Divergence(i),
+		}
+		if err := s.shadows.Err(i); err != nil {
+			st.Err = err.Error()
+		}
+		rep.Standings = append(rep.Standings, st)
+	}
+	best := 0
+	for i := 1; i < len(rep.Standings); i++ {
+		if rep.Standings[i].Err == "" && rep.Standings[i].Cost < rep.Standings[best].Cost {
+			best = i
+		}
+	}
+	rep.Standings[best].Best = true
+	rep.Best = rep.Standings[best].Policy
+	if a, ok := s.ShadowAlert(); ok {
+		rep.Alert = &a
+	}
+	return rep
+}
+
+// Shadows returns the counterfactual standings — the live policy first,
+// then every shadow in option order, with Best marking the minimum-cost
+// line — or nil when the session runs no shadows.
+func (s *Session) Shadows() []ShadowStanding {
+	rep := s.ShadowReport()
+	if rep == nil {
+		return nil
+	}
+	return rep.Standings
+}
