@@ -3,6 +3,7 @@ package datacache_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,7 +13,9 @@ import (
 	"strings"
 	"testing"
 
+	"datacache/internal/recorder"
 	"datacache/internal/service"
+	"datacache/internal/trace"
 )
 
 // buildTools compiles the CLI binaries once per test run.
@@ -161,7 +164,7 @@ func extractAfter(t *testing.T, s, prefix string) string {
 // TestCLIVersionFlags checks every binary answers -version with its name
 // and the service version, so deployed fleets can be audited.
 func TestCLIVersionFlags(t *testing.T) {
-	names := []string{"dcbench", "dcgen", "dcload", "dcopt", "dcplan", "dcserved", "dcsim", "dctop"}
+	names := []string{"dcbench", "dcgen", "dcload", "dcopt", "dcplan", "dcreplay", "dcserved", "dcsim", "dctop"}
 	bins := buildTools(t, names...)
 	for _, name := range names {
 		out, _ := run(t, bins[name], nil, "-version")
@@ -410,5 +413,277 @@ func TestCLIDctopFrame(t *testing.T) {
 		if !strings.Contains(out2, want) {
 			t.Errorf("pool frame missing %q:\n%s", want, out2)
 		}
+	}
+}
+
+// TestCLIDcreplaySmoke records a serving run over HTTP through a
+// recording server, then verifies it with the dcreplay binary: human
+// output, JSON output, the -max-ratio gate, and the exit-2 divergence
+// path on a corrupted recording.
+func TestCLIDcreplaySmoke(t *testing.T) {
+	bins := buildTools(t, "dcreplay", "dcopt")
+	dir := t.TempDir()
+	w, err := recorder.NewWriter(recorder.Options{Dir: dir, Source: "e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.New(service.WithRecorder(w)))
+	defer srv.Close()
+
+	var st service.SessionState
+	resp, err := http.Post(srv.URL+"/v1/session", "application/json",
+		strings.NewReader(`{"m": 4, "origin": 1, "model": {"mu": 1, "lambda": 2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var reqs bytes.Buffer
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&reqs, `{"server": %d, "t": %d.5}`+"\n", i%4+1, i)
+	}
+	resp2, err := http.Post(srv.URL+"/v1/session/"+st.ID+"/requests",
+		"application/x-ndjson", bytes.NewReader(reqs.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, _ := run(t, bins["dcreplay"], nil, "-in", dir, "-max-ratio", "3")
+	for _, want := range []string{
+		"replayed 200 records, 1 streams",
+		"fidelity OK (bit-for-bit)",
+		"hindsight: live",
+		"rolling window",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dcreplay output missing %q:\n%s", want, out)
+		}
+	}
+
+	var rep struct {
+		BitwiseOK bool    `json:"bitwiseOK"`
+		Records   int     `json:"records"`
+		Ratio     float64 `json:"ratio"`
+	}
+	jsonOut, _ := run(t, bins["dcreplay"], nil, "-in", dir, "-json")
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("dcreplay -json: %v\n%s", err, jsonOut)
+	}
+	if !rep.BitwiseOK || rep.Records != 200 || rep.Ratio < 1 || rep.Ratio > 3 {
+		t.Fatalf("dcreplay -json report: %+v", rep)
+	}
+
+	// -export-trace reconstructs the workload through the canonical
+	// sequence serializer; the exported file must feed dcopt directly.
+	expDir := filepath.Join(t.TempDir(), "traces")
+	_, expErr := run(t, bins["dcreplay"], nil, "-in", dir, "-export-trace", expDir)
+	if !strings.Contains(expErr, "exported 1 workload trace(s) to "+expDir) {
+		t.Errorf("dcreplay export stderr: %q", expErr)
+	}
+	expFile := filepath.Join(expDir, st.ID+".csv")
+	ef, err := os.Open(expFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := trace.ReadSequence(ef, "csv")
+	ef.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.M != 4 || len(seq.Requests) != 200 {
+		t.Fatalf("exported trace: m=%d n=%d", seq.M, len(seq.Requests))
+	}
+	optOut, _ := run(t, bins["dcopt"], nil, "-in", expFile, "-lambda", "2")
+	if !strings.Contains(optOut, "optimal cost C(n):") {
+		t.Errorf("dcopt on exported trace:\n%s", optOut)
+	}
+
+	// An impossible ratio bound must exit 3.
+	cmd := exec.Command(bins["dcreplay"], "-in", dir, "-max-ratio", "1.0000001")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("dcreplay accepted a breached -max-ratio")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
+		t.Fatalf("dcreplay ratio breach: %v", err)
+	}
+
+	// Corrupting a serve record's cost byte must fail bitwise (exit 2).
+	files, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no recording files: %v", err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.wal")
+	// Flipping a payload byte breaks the frame CRC (torn tail). Instead,
+	// rewrite the recording with one cost altered, preserving framing.
+	rec, err := recorder.ReadAll(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec.Records {
+		if rec.Records[i].Kind == recorder.KindServe {
+			rec.Records[i].Cost += 0.5
+			break
+		}
+	}
+	bf, err := os.Create(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := recorder.NewEncoder(bf, rec.Mode, "e2e-corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec.Records {
+		if err := enc.Encode(&rec.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+	cmd2 := exec.Command(bins["dcreplay"], "-in", bad)
+	if err := cmd2.Run(); err == nil {
+		t.Fatal("dcreplay verified a tampered recording")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("dcreplay tampered recording: %v", err)
+	}
+}
+
+// TestCLIDcloadRecordReplay is the record-in-prod, replay-for-hindsight
+// loop across real process boundaries: dcload -record downloads every
+// session's recording from a recording server, dcreplay verifies the
+// downloaded set bit-for-bit and scores it against the hindsight
+// optimum, and -report-json emits the machine-readable artifact.
+func TestCLIDcloadRecordReplay(t *testing.T) {
+	bins := buildTools(t, "dcload", "dcreplay")
+	w, err := recorder.NewWriter(recorder.Options{Dir: t.TempDir(), Source: "e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.New(service.WithRecorder(w)))
+	defer srv.Close()
+	defer w.Close()
+
+	recDir := filepath.Join(t.TempDir(), "recordings")
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	out, _ := run(t, bins["dcload"], nil,
+		"-addr", srv.URL, "-n", "400", "-c", "2", "-batch", "32",
+		"-workload", "zipf", "-m", "8", "-seed", "5",
+		"-record", recDir, "-report-json", jsonPath, "-max-ratio", "3")
+	if !strings.Contains(out, "recordings    2 file(s) in "+recDir) {
+		t.Errorf("dcload output missing the recordings line:\n%s", out)
+	}
+
+	var jr struct {
+		Served     int      `json:"served"`
+		WorstRatio float64  `json:"worstRatio"`
+		Recordings []string `json:"recordings"`
+		Errs5xx    int      `json:"errs5xx"`
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatalf("report JSON: %v\n%s", err, raw)
+	}
+	if jr.Served != 400 || jr.Errs5xx != 0 || len(jr.Recordings) != 2 {
+		t.Fatalf("report JSON: %+v", jr)
+	}
+	if jr.WorstRatio <= 0 || jr.WorstRatio > 3 {
+		t.Fatalf("worst ratio %v outside (0, 3]", jr.WorstRatio)
+	}
+
+	var rep struct {
+		BitwiseOK bool    `json:"bitwiseOK"`
+		Records   int     `json:"records"`
+		Ratio     float64 `json:"ratio"`
+		Sessions  []struct {
+			Session string  `json:"session"`
+			Ratio   float64 `json:"ratio"`
+		} `json:"sessions"`
+	}
+	replayOut, _ := run(t, bins["dcreplay"], nil, "-in", recDir, "-json", "-max-ratio", "3")
+	if err := json.Unmarshal([]byte(replayOut), &rep); err != nil {
+		t.Fatalf("dcreplay -json: %v\n%s", err, replayOut)
+	}
+	if !rep.BitwiseOK || rep.Records != 400 || len(rep.Sessions) != 2 {
+		t.Fatalf("replay of downloaded recordings: %+v", rep)
+	}
+	if rep.Ratio < 1 || rep.Ratio > 3 {
+		t.Fatalf("hindsight ratio %v outside [1, 3]", rep.Ratio)
+	}
+
+	// Pool mode: the single pool recording replays the same way.
+	poolDir := filepath.Join(t.TempDir(), "pool-recordings")
+	out2, _ := run(t, bins["dcload"], nil,
+		"-addr", srv.URL, "-n", "300", "-c", "2", "-batch", "16",
+		"-workload", "uniform", "-m", "4", "-seed", "6",
+		"-items", "8", "-item-dist", "zipf",
+		"-record", poolDir, "-max-ratio", "3")
+	if !strings.Contains(out2, "recordings    1 file(s) in "+poolDir) {
+		t.Errorf("dcload pool output missing the recordings line:\n%s", out2)
+	}
+	replayOut2, _ := run(t, bins["dcreplay"], nil, "-in", poolDir, "-json")
+	var prep struct {
+		BitwiseOK bool `json:"bitwiseOK"`
+		Records   int  `json:"records"`
+		Tenants   []struct {
+			Tenant string  `json:"tenant"`
+			Ratio  float64 `json:"ratio"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal([]byte(replayOut2), &prep); err != nil {
+		t.Fatalf("dcreplay pool -json: %v\n%s", err, replayOut2)
+	}
+	if !prep.BitwiseOK || prep.Records != 300 || len(prep.Tenants) != 2 {
+		t.Fatalf("pool replay: %+v", prep)
+	}
+}
+
+// TestCLIDctopRecorderLine checks dctop surfaces the flight-recorder
+// standing when the server records, and omits the line when it doesn't.
+func TestCLIDctopRecorderLine(t *testing.T) {
+	bins := buildTools(t, "dctop")
+	w, err := recorder.NewWriter(recorder.Options{Dir: t.TempDir(), Source: "e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.New(service.WithRecorder(w)))
+	defer srv.Close()
+	defer w.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/session", "application/json",
+		strings.NewReader(`{"m": 2, "origin": 1, "model": {"mu": 1, "lambda": 1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, _ := run(t, bins["dctop"], nil, "-addr", srv.URL, "-once")
+	if !strings.Contains(out, "recorder binary:") {
+		t.Errorf("dctop frame missing the recorder line:\n%s", out)
+	}
+
+	plain := httptest.NewServer(service.New())
+	defer plain.Close()
+	out2, _ := run(t, bins["dctop"], nil, "-addr", plain.URL, "-once")
+	if strings.Contains(out2, "recorder ") {
+		t.Errorf("dctop frame shows a recorder line without a recorder:\n%s", out2)
 	}
 }

@@ -242,6 +242,29 @@ func (c *Client) post(ctx context.Context, path string, body, out interface{}) e
 	return c.do(ctx, http.MethodPost, path, bytes.NewReader(buf), "application/json", out)
 }
 
+// getRaw fetches a non-JSON body (e.g. a flight-recording download)
+// while keeping the error-envelope and trace-context handling of do.
+func (c *Client) getRaw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	tp, _ := ctx.Value(traceparentKey{}).(string)
+	if tp == "" {
+		tp = c.NewTraceparent()
+	}
+	req.Header.Set("Traceparent", tp)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, out interface{}) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {

@@ -167,6 +167,19 @@ func (p *Pool) Shadow(ctx context.Context) (PoolShadowResponse, error) {
 	return out, err
 }
 
+// Record downloads the pool's flight recording as raw bytes: every
+// per-item stream declared under the pool id, one self-contained file.
+// mode selects the encoding ("binary" or "ndjson"); empty keeps the
+// server's native one. Fails with a not_found error when the server
+// runs without -record-dir. Download before Close.
+func (p *Pool) Record(ctx context.Context, mode string) ([]byte, error) {
+	path := p.path("/record")
+	if mode != "" {
+		path += "?mode=" + mode
+	}
+	return p.c.getRaw(ctx, path)
+}
+
 // Close ends the pool, returning the final standings.
 func (p *Pool) Close(ctx context.Context) (PoolState, error) {
 	var out PoolState

@@ -1,0 +1,80 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"datacache/client"
+	"datacache/internal/recorder"
+	"datacache/internal/service"
+)
+
+// TestClientRecordDownload exercises Session.Record and Pool.Record
+// against a recording server: the downloaded bytes must parse as a
+// recording holding exactly the served requests.
+func TestClientRecordDownload(t *testing.T) {
+	w, err := recorder.NewWriter(recorder.Options{Dir: t.TempDir(), Source: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.New(service.WithRecorder(w)))
+	t.Cleanup(func() {
+		ts.Close()
+		w.Close()
+	})
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	cfg, _ := fig6Config()
+	sess, err := cl.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ServeBatch(ctx, fig6Requests()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sess.Record(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := recorder.ReadAll(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ServeCount() != len(fig6Requests()) || rec.Truncated {
+		t.Fatalf("session recording: %d serves, truncated=%v", rec.ServeCount(), rec.Truncated)
+	}
+
+	pool, err := cl.CreatePool(ctx, client.PoolConfig{M: 3, Origin: 1, Mu: 1, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := pool.Serve(ctx, "acme", "a", 2, float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	praw, err := pool.Record(ctx, "ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := recorder.ReadAll(bytes.NewReader(praw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec.Mode != recorder.ModeNDJSON || prec.ServeCount() != 4 {
+		t.Fatalf("pool recording: mode %q serves %d", prec.Mode, prec.ServeCount())
+	}
+
+	// Without a recorder the download is a typed not_found error.
+	plain := newClient(t)
+	psess, err := plain.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := psess.Record(ctx, ""); !client.IsNotFound(err) {
+		t.Fatalf("record without recorder: %v", err)
+	}
+}

@@ -110,6 +110,18 @@ func (s *Session) Shadow(ctx context.Context) (ShadowResponse, error) {
 	return out, err
 }
 
+// Record downloads the session's flight recording as raw bytes. mode
+// selects the encoding ("binary" or "ndjson"); empty keeps the server's
+// native one. Fails with a not_found error when the server runs without
+// -record-dir. Download before Close: a closed session's id is gone.
+func (s *Session) Record(ctx context.Context, mode string) ([]byte, error) {
+	p := s.path("/record")
+	if mode != "" {
+		p += "?mode=" + mode
+	}
+	return s.c.getRaw(ctx, p)
+}
+
 // Close ends the session, returning the final state and schedule.
 func (s *Session) Close(ctx context.Context) (CloseResponse, error) {
 	var out CloseResponse

@@ -20,14 +20,17 @@
 //	dcbench perf -json         # serving-path perf snapshot (BENCH_*.json)
 //	dcbench perf -json -baseline BENCH_pr6.json  # + regression gate
 //
-// perf times the serving hot loops — single-item session (with and
-// without shadow policies), multi-item pool (unbounded, batched, bounded
-// with eviction churn) and the offline DP — and with -json emits the
-// snapshot committed as BENCH_pr<N>.json to track the perf trajectory
-// across PRs. With -baseline it additionally compares each loop's ns/op
-// against the named committed snapshot, prints the comparison table to
-// stderr, and exits non-zero when any shared hot loop regressed by more
-// than 25% — the CI bench-smoke gate.
+// perf times the serving hot loops — single-item session (plain, with
+// the flight recorder attached, and with shadow policies), multi-item
+// pool (unbounded, batched, bounded with eviction churn) and the
+// offline DP — and with -json emits the snapshot committed as
+// BENCH_pr<N>.json to track the perf trajectory across PRs. Every sweep
+// also records allocs/op per loop and asserts that the recorded serve
+// loop stays within 5% of the plain one. With -baseline it additionally
+// compares each loop's ns/op and allocs/op against the named committed
+// snapshot, prints the comparison table to stderr, and exits non-zero
+// when any shared hot loop regressed past the gate (+25% ns/op, +10%
+// allocs/op) — the CI bench-smoke gate.
 package main
 
 import (
@@ -49,7 +52,7 @@ func main() {
 		n        = flag.Int("n", 2000, "workload size for ratio/policy experiments")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON (perf only)")
 		perfOps  = flag.Int("perf-n", 50000, "requests per hot loop for the perf snapshot")
-		baseline = flag.String("baseline", "", "perf only: committed BENCH_*.json to compare against; exit non-zero on >25% ns/op regression of any shared hot loop")
+		baseline = flag.String("baseline", "", "perf only: committed BENCH_*.json to compare against; exit non-zero on >25% ns/op or >10% allocs/op regression of any shared hot loop")
 	)
 	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()

@@ -58,15 +58,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	switch strings.ToLower(*format) {
-	case "csv":
-		err = trace.WriteCSV(w, seq)
-	case "json":
-		err = trace.WriteJSON(w, seq)
-	default:
-		err = fmt.Errorf("unknown format %q", *format)
-	}
-	if err != nil {
+	if err := trace.WriteSequence(w, *format, seq); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "dcgen: wrote %d requests over %d servers (%s)\n", seq.N(), seq.M, gen.Name())

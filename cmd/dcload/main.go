@@ -35,20 +35,28 @@
 // ends with the ten slowest and the ten highest-regret trace ids, ready
 // to paste into GET /v1/traces/{id} on the server.
 //
+// With -record <dir> (against a server started with -record-dir) every
+// session's — or the pool's — flight recording is downloaded into <dir>
+// before closing, ready for "dcreplay -in <dir>" to verify bit-for-bit
+// and score against the hindsight optimum. -report-json <path> writes
+// the report as machine-readable JSON alongside the text form.
+//
 // Exit status is non-zero when any request fails with a 5xx (or a
-// transport error), or when -max-ratio is set and any session finishes
-// above it — which is what the CI smoke job asserts. Tracing never
-// affects the exit status.
+// transport error), when -record was set and a download failed, or when
+// -max-ratio is set and any session finishes above it — which is what
+// the CI smoke job asserts. Tracing never affects the exit status.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -82,7 +90,9 @@ func main() {
 		shadows  = flag.String("shadows", "", "comma-separated shadow specs (implies -shadow); empty picks a default panel from -mu/-lambda")
 		maxRatio = flag.Float64("max-ratio", 0, "fail if any session's final ratio exceeds this (0 disables)")
 		keep     = flag.Bool("keep-sessions", false, "leave sessions open after the run (closing one retires its retained traces, so use this when the reported trace ids should stay queryable)")
+		record   = flag.String("record", "", "download every session's flight recording into this directory before closing (requires dcserved -record-dir; replay with dcreplay -in <dir>)")
 		out      = flag.String("out", "", "also write the report to this file")
+		repJSON  = flag.String("report-json", "", "also write the report as machine-readable JSON to this file")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-call HTTP timeout")
 		version  = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -119,12 +129,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *record != "" {
+		if err := os.MkdirAll(*record, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dcload: -record dir: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	if *items > 0 {
 		os.Exit(runPoolMode(ctx, cl, gen, poolModeConfig{
 			n: *n, c: *c, batch: *batch, items: *items, itemDist: *itemDist,
 			maxItems: *maxItems, m: *m, mu: *mu, lambda: *lambda, policy: *policy,
 			seed: *seed, qps: *qps, ndjson: *ndjson, keep: *keep,
-			maxRatio: *maxRatio, out: *out, shadows: shadowSpecs,
+			maxRatio: *maxRatio, out: *out, repJSON: *repJSON,
+			record: *record, shadows: shadowSpecs,
 		}))
 	}
 
@@ -149,6 +167,7 @@ func main() {
 			qps:     perWorkerQPS,
 			ndjson:  *ndjson,
 			keep:    *keep,
+			record:  *record,
 			shadows: shadowSpecs,
 		}
 		go func(w int, cfg workerConfig) {
@@ -170,9 +189,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *repJSON != "" {
+		if err := rep.writeJSON(*repJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "dcload: writing %s: %v\n", *repJSON, err)
+			os.Exit(1)
+		}
+	}
 
 	if rep.Errs5xx > 0 || rep.Transport > 0 {
 		fmt.Fprintf(os.Stderr, "dcload: FAIL: %d server errors, %d transport errors\n", rep.Errs5xx, rep.Transport)
+		os.Exit(1)
+	}
+	if *record != "" && len(rep.RecordFiles) < len(results) {
+		fmt.Fprintf(os.Stderr, "dcload: FAIL: -record downloaded %d of %d session recordings\n", len(rep.RecordFiles), len(results))
 		os.Exit(1)
 	}
 	if *maxRatio > 0 && rep.MaxSessionRatio > *maxRatio {
@@ -206,6 +235,7 @@ type workerConfig struct {
 	qps     float64 // this worker's pacing target; 0 = closed loop
 	ndjson  bool
 	keep    bool     // leave the session open after the run
+	record  string   // download the flight recording into this dir (empty disables)
 	shadows []string // counterfactual policy specs (empty disables)
 }
 
@@ -234,9 +264,9 @@ func shadowPanel(specs string, mu, lambda float64) []string {
 // traceSample ties one round-trip's root trace id to its latency and the
 // regret the batch added (online cost delta − optimum delta).
 type traceSample struct {
-	TraceID string
-	Latency float64 // seconds
-	Regret  float64
+	TraceID string  `json:"traceId"`
+	Latency float64 `json:"latencySec"` // seconds
+	Regret  float64 `json:"regret"`
 }
 
 type workerResult struct {
@@ -249,6 +279,7 @@ type workerResult struct {
 	Transport  int
 	FinalRatio float64
 	Shadow     []client.ShadowStanding // final counterfactual standings
+	RecordFile string                  // downloaded flight recording, if any
 	Err        error                   // first fatal error (session create, etc.)
 	prevGap    float64                 // Cost − Optimal before the current chunk
 }
@@ -307,7 +338,31 @@ func runWorker(ctx context.Context, cl *client.Client, cfg workerConfig) workerR
 			res.Shadow = sr.Standings
 		}
 	}
+	// Download the flight recording before the deferred Close: closing
+	// the session deletes its registry entry and the endpoint with it.
+	if cfg.record != "" {
+		file, err := downloadRecord(ctx, cfg.record, sess.ID, sess.Record)
+		if err != nil {
+			res.countError(fmt.Errorf("worker %d: record download: %w", cfg.id, err))
+		} else {
+			res.RecordFile = file
+		}
+	}
 	return res
+}
+
+// downloadRecord fetches one id's flight recording in binary mode and
+// writes it to dir/<id>.wal — the layout dcreplay -in <dir> expects.
+func downloadRecord(ctx context.Context, dir, id string, fetch func(context.Context, string) ([]byte, error)) (string, error) {
+	raw, err := fetch(ctx, "binary")
+	if err != nil {
+		return "", err
+	}
+	file := filepath.Join(dir, id+".wal")
+	if err := os.WriteFile(file, raw, 0o644); err != nil {
+		return "", err
+	}
+	return file, nil
 }
 
 // serveChunk submits one chunk under its own root trace, retrying
@@ -377,6 +432,8 @@ type poolModeConfig struct {
 	keep            bool
 	maxRatio        float64
 	out             string
+	repJSON         string
+	record          string
 	shadows         []string
 }
 
@@ -437,6 +494,18 @@ func runPoolMode(ctx context.Context, cl *client.Client, gen workload.Generator,
 			shadowRows = sr.Standings
 		}
 	}
+	var recordFiles []string
+	if cfg.record != "" {
+		file, err := downloadRecord(ctx, cfg.record, pool.ID, pool.Record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcload: record download: %v\n", err)
+			if stateErr == nil {
+				stateErr = err
+			}
+		} else {
+			recordFiles = append(recordFiles, file)
+		}
+	}
 	if !cfg.keep {
 		if _, err := pool.Close(ctx); err != nil && stateErr == nil {
 			stateErr = err
@@ -446,6 +515,7 @@ func runPoolMode(ctx context.Context, cl *client.Client, gen workload.Generator,
 	rep := buildReport(gen.Name()+"/pool", cfg.batch, elapsed, results)
 	rep.Pool = &state
 	rep.Shadow = shadowRows
+	rep.RecordFiles = recordFiles
 	rep.MaxSessionRatio = 0
 	rep.Ratios = rep.Ratios[:0]
 	for _, ts := range state.Tenants {
@@ -465,8 +535,18 @@ func runPoolMode(ctx context.Context, cl *client.Client, gen workload.Generator,
 			return 1
 		}
 	}
+	if cfg.repJSON != "" {
+		if err := rep.writeJSON(cfg.repJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "dcload: writing %s: %v\n", cfg.repJSON, err)
+			return 1
+		}
+	}
 	if rep.Errs5xx > 0 || rep.Transport > 0 {
 		fmt.Fprintf(os.Stderr, "dcload: FAIL: %d server errors, %d transport errors\n", rep.Errs5xx, rep.Transport)
+		return 1
+	}
+	if cfg.record != "" && len(rep.RecordFiles) == 0 {
+		fmt.Fprintln(os.Stderr, "dcload: FAIL: -record was set but no recording was downloaded")
 		return 1
 	}
 	if cfg.maxRatio > 0 && rep.MaxSessionRatio > cfg.maxRatio {
@@ -599,7 +679,80 @@ type report struct {
 	Shadow          []client.ShadowStanding // counterfactual policy comparison
 	Slowest         []traceSample           // top 10 by round-trip latency
 	TopRegret       []traceSample           // top 10 by regret added
+	RecordFiles     []string                // downloaded flight recordings
 	FirstErr        error
+}
+
+// jsonReport is the machine-readable shape of -report-json: the same
+// facts the text report prints, stable field names, seconds throughout.
+type jsonReport struct {
+	Workload   string                  `json:"workload"`
+	Batch      int                     `json:"batch"`
+	ElapsedSec float64                 `json:"elapsedSec"`
+	Served     int                     `json:"served"`
+	ReqPerSec  float64                 `json:"reqPerSec"`
+	RoundTrips int                     `json:"roundTrips"`
+	Sheds      int                     `json:"sheds"`
+	Errs4xx    int                     `json:"errs4xx"`
+	Errs5xx    int                     `json:"errs5xx"`
+	Transport  int                     `json:"transport"`
+	Latency    *jsonLatency            `json:"latency,omitempty"`
+	WorstRatio float64                 `json:"worstRatio"`
+	Ratios     []float64               `json:"ratios,omitempty"`
+	Pool       *client.PoolState       `json:"pool,omitempty"`
+	Shadow     []client.ShadowStanding `json:"shadow,omitempty"`
+	Slowest    []traceSample           `json:"slowestTraces,omitempty"`
+	TopRegret  []traceSample           `json:"topRegretTraces,omitempty"`
+	Records    []string                `json:"recordings,omitempty"`
+	FirstError string                  `json:"firstError,omitempty"`
+}
+
+type jsonLatency struct {
+	MeanSec float64 `json:"meanSec"`
+	P50Sec  float64 `json:"p50Sec"`
+	P90Sec  float64 `json:"p90Sec"`
+	P99Sec  float64 `json:"p99Sec"`
+	P999Sec float64 `json:"p999Sec"`
+	MaxSec  float64 `json:"maxSec"`
+}
+
+// writeJSON writes the -report-json artifact.
+func (rep *report) writeJSON(path string) error {
+	jr := jsonReport{
+		Workload:   rep.Workload,
+		Batch:      rep.Batch,
+		ElapsedSec: rep.Elapsed.Seconds(),
+		Served:     rep.Served,
+		RoundTrips: rep.Lat.N,
+		Sheds:      rep.Sheds,
+		Errs4xx:    rep.Errs4xx,
+		Errs5xx:    rep.Errs5xx,
+		Transport:  rep.Transport,
+		WorstRatio: rep.MaxSessionRatio,
+		Ratios:     rep.Ratios,
+		Pool:       rep.Pool,
+		Shadow:     rep.Shadow,
+		Slowest:    rep.Slowest,
+		TopRegret:  rep.TopRegret,
+		Records:    rep.RecordFiles,
+	}
+	if rep.Elapsed > 0 {
+		jr.ReqPerSec = float64(rep.Served) / rep.Elapsed.Seconds()
+	}
+	if rep.Lat.N > 0 {
+		jr.Latency = &jsonLatency{
+			MeanSec: rep.Lat.Mean, P50Sec: rep.Lat.P50, P90Sec: rep.Lat.P90,
+			P99Sec: rep.Lat.P99, P999Sec: rep.LatP999, MaxSec: rep.LatMax,
+		}
+	}
+	if rep.FirstErr != nil {
+		jr.FirstError = rep.FirstErr.Error()
+	}
+	buf, err := json.MarshalIndent(jr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func buildReport(workloadName string, batch int, elapsed time.Duration, results []workerResult) *report {
@@ -620,6 +773,9 @@ func buildReport(workloadName string, batch int, elapsed time.Duration, results 
 		}
 		if rep.FirstErr == nil && r.Err != nil {
 			rep.FirstErr = r.Err
+		}
+		if r.RecordFile != "" {
+			rep.RecordFiles = append(rep.RecordFiles, r.RecordFile)
 		}
 	}
 	rep.Shadow = mergeShadowStandings(results)
@@ -752,6 +908,10 @@ func (rep *report) String() string {
 		for _, ts := range rep.TopRegret {
 			fmt.Fprintf(&b, "    %s  regret %+.4f  %s\n", ts.TraceID, ts.Regret, ms(ts.Latency))
 		}
+	}
+	if len(rep.RecordFiles) > 0 {
+		fmt.Fprintf(&b, "  recordings    %d file(s) in %s (replay: dcreplay -in %s)\n",
+			len(rep.RecordFiles), filepath.Dir(rep.RecordFiles[0]), filepath.Dir(rep.RecordFiles[0]))
 	}
 	if rep.FirstErr != nil {
 		fmt.Fprintf(&b, "  first error   %v\n", rep.FirstErr)

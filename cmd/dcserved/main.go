@@ -32,7 +32,16 @@
 //	GET  /v1/alerts                   every live session's SLO alerts
 //	GET  /v1/traces                   retained traces, highest summed regret first (filters: session, min_regret, min_duration, error, limit)
 //	GET  /v1/traces/{id}              every span of one trace, local root first
+//	GET  /v1/session/{id}/record      download the session's flight recording (404 without -record-dir)
+//	GET  /v1/pool/{id}/record         download the pool's flight recording (404 without -record-dir)
 //	GET  /readyz                      readiness (degraded while any alert is firing)
+//
+// With -record-dir set, every served request is appended to an
+// append-only flight recording (binary WAL or NDJSON via -record-mode)
+// that dcreplay can verify bit-for-bit and score against the offline
+// optimum in hindsight. -record-sync picks the durability point
+// (none|interval|always), -record-rotate-bytes/-record-rotate-age bound
+// individual files.
 //
 // Every response carries an X-Request-Id header that also appears in the
 // structured log and in JSON error bodies, and a Traceparent header tying
@@ -51,6 +60,7 @@ import (
 	"time"
 
 	"datacache/internal/obs"
+	"datacache/internal/recorder"
 	"datacache/internal/service"
 )
 
@@ -70,6 +80,12 @@ func main() {
 		spanCap   = flag.Int("span-cap", obs.DefaultSpanCap, "bounded in-memory span store size behind /v1/traces")
 		regretMin = flag.Float64("trace-regret", 0, "always keep traces containing a span with regret >= this (0 disables the tail rule)")
 		spanOut   = flag.String("span-export", "", "append every kept span as NDJSON to this file; empty disables")
+		recDir    = flag.String("record-dir", "", "flight-recording directory; empty disables recording")
+		recMode   = flag.String("record-mode", recorder.ModeBinary, "recording encoding: binary|ndjson")
+		recSync   = flag.String("record-sync", "interval", "recording durability: none|interval|always")
+		recSyncIv = flag.Duration("record-sync-interval", recorder.DefaultSyncInterval, "fsync cadence when -record-sync=interval")
+		recRotB   = flag.Int64("record-rotate-bytes", 64<<20, "rotate recording files beyond this size (0 disables)")
+		recRotAge = flag.Duration("record-rotate-age", 0, "rotate recording files older than this (0 disables)")
 		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -122,6 +138,28 @@ func main() {
 		}
 		defer f.Close()
 		opts = append(opts, service.WithSpanExporter(obs.NewNDJSONExporter(f)))
+	}
+	if *recDir != "" {
+		rec, err := recorder.NewWriter(recorder.Options{
+			Dir:          *recDir,
+			Mode:         *recMode,
+			Sync:         *recSync,
+			SyncInterval: *recSyncIv,
+			RotateBytes:  *recRotB,
+			RotateAge:    *recRotAge,
+			Source:       "dcserved/" + service.Version,
+		})
+		if err != nil {
+			log.Fatalf("dcserved: opening flight recording: %v", err)
+		}
+		defer func() {
+			if err := rec.Close(); err != nil {
+				logger.Error("closing flight recording", "err", err)
+			}
+		}()
+		logger.Info("flight recording enabled",
+			"dir", *recDir, "mode", *recMode, "sync", *recSync)
+		opts = append(opts, service.WithRecorder(rec))
 	}
 	if !*noRuntime {
 		opts = append(opts, service.WithRuntimeMetrics())

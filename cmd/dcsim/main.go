@@ -174,14 +174,7 @@ func readTrace(path, format string) (*model.Sequence, error) {
 		defer f.Close()
 		r = f
 	}
-	switch strings.ToLower(format) {
-	case "csv":
-		return trace.ReadCSV(r)
-	case "json":
-		return trace.ReadJSON(r)
-	default:
-		return nil, fmt.Errorf("unknown format %q", format)
-	}
+	return trace.ReadSequence(r, format)
 }
 
 func fatal(err error) {

@@ -97,6 +97,7 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 		serverVersion, time.Now().Format("15:04:05"))
 	fmt.Fprintf(&b, "sessions open: %.0f    streams open: %.0f    pools open: %.0f\n",
 		samples["dc_sessions_open"], samples["dc_streams_open"], samples["dc_pools_open"])
+	writeRecorderLine(&b, samples)
 
 	alerts, err := cl.Alerts(ctx)
 	if err != nil {
@@ -268,6 +269,35 @@ func writeTopItems(b *strings.Builder, ctx context.Context, cl *client.Client, p
 				name, ts.N, ts.Ratio, ts.WindowedRatio)
 		}
 	}
+}
+
+// writeRecorderLine prints the flight-recorder standing when the server
+// publishes dc_recorder_* series (dcserved -record-dir); silent otherwise.
+func writeRecorderLine(b *strings.Builder, samples map[string]float64) {
+	recOf := func(name string) (float64, string, bool) {
+		for series, v := range samples {
+			if strings.HasPrefix(series, name+"{") {
+				mode := ""
+				if i := strings.Index(series, `mode="`); i >= 0 {
+					rest := series[i+len(`mode="`):]
+					if j := strings.IndexByte(rest, '"'); j >= 0 {
+						mode = rest[:j]
+					}
+				}
+				return v, mode, true
+			}
+		}
+		return 0, "", false
+	}
+	records, mode, ok := recOf("dc_recorder_records")
+	if !ok {
+		return
+	}
+	bytes, _, _ := recOf("dc_recorder_bytes")
+	files, _, _ := recOf("dc_recorder_files")
+	dropped, _, _ := recOf("dc_recorder_dropped")
+	fmt.Fprintf(b, "recorder %s: %.0f records  %.1f MiB  %.0f file(s)  dropped %.0f\n",
+		mode, records, bytes/(1<<20), files, dropped)
 }
 
 func writeAlerts(b *strings.Builder, alerts client.AlertsResponse) {

@@ -1,0 +1,133 @@
+package recorder
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Recording is one decoded recording file (or byte stream): the header,
+// the stream table, and every record in file order. Records preserves
+// the open/serve interleaving, which is what replay consumes — an open
+// seen mid-file (a pool revival) starts a fresh incarnation at exactly
+// that point of the stream.
+type Recording struct {
+	Path    string
+	Mode    string
+	Meta    FileMeta
+	Streams map[uint32]*StreamInfo // last-seen info per stream id
+	Records []Record
+	// Truncated reports a torn tail: the file ended mid-frame (the
+	// expected shape after a crash). Records holds the longest valid
+	// prefix.
+	Truncated bool
+}
+
+// ServeCount returns how many serve records the recording holds.
+func (r *Recording) ServeCount() int {
+	n := 0
+	for i := range r.Records {
+		if r.Records[i].Kind == KindServe {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadAll decodes one recording stream (either mode, auto-detected),
+// recovering the longest valid prefix of a torn file rather than
+// failing: Truncated is set instead of returning an error. Errors are
+// reserved for streams that are not recordings at all (bad magic or
+// header, unsupported version).
+func ReadAll(r io.Reader) (*Recording, error) {
+	dec, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recording{
+		Mode:    dec.Mode(),
+		Meta:    dec.Meta(),
+		Streams: map[uint32]*StreamInfo{},
+	}
+	for {
+		record, err := dec.Next()
+		if err != nil {
+			if err == io.EOF {
+				return rec, nil
+			}
+			if errors.Is(err, ErrTornTail) {
+				rec.Truncated = true
+				return rec, nil
+			}
+			return nil, err
+		}
+		if record.Kind == KindOpen {
+			info := *record.Info
+			rec.Streams[record.Stream] = &info
+		}
+		rec.Records = append(rec.Records, *record)
+	}
+}
+
+// ReadFile decodes one recording file.
+func ReadFile(path string) (*Recording, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec, err := ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rec.Path = path
+	return rec, nil
+}
+
+// ReadPath decodes a recording file, or every recording file of a
+// directory (*.wal and *.ndjson, sorted by name — the writer's
+// zero-padded sequence numbers make that chronological).
+func ReadPath(path string) ([]*Recording, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.IsDir() {
+		rec, err := ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return []*Recording{rec}, nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasSuffix(name, ".wal") || strings.HasSuffix(name, ".ndjson") {
+			files = append(files, filepath.Join(path, name))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("recorder: no recording files (*.wal, *.ndjson) in %s", path)
+	}
+	sort.Strings(files)
+	out := make([]*Recording, 0, len(files))
+	for _, f := range files {
+		rec, err := ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -165,6 +165,7 @@ func (s *Server) handleSessionBatch(w http.ResponseWriter, r *http.Request, id s
 	root := obs.SpanFrom(r.Context())
 	if root != nil {
 		root.Session = id
+		entry.sess.SetRecordTraceID(root.TraceID)
 	}
 	entry.evs = entry.evs[:0]
 	start := time.Now()

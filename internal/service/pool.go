@@ -319,7 +319,10 @@ func (s *Server) handlePoolCreate(w http.ResponseWriter, r *http.Request) {
 	// a pool may instantiate thousands of them; ratio tracking lives at
 	// the tenant rollup, windowed by the server's SLO window. Shadow
 	// alerts are likewise disabled per item (margin < 0): counterfactual
-	// standings aggregate at the pool rollup instead.
+	// standings aggregate at the pool rollup instead. The id is minted
+	// before the pool exists so the flight recorder declares every
+	// per-item stream under it.
+	id := fmt.Sprintf("pl-%d", s.nextID.Add(1))
 	pool, err := datacache.NewPool(req.M, req.Origin, req.Model.toModel(), &datacache.PoolOptions{
 		Session: datacache.SessionOptions{
 			Policy:         req.Policy,
@@ -328,6 +331,8 @@ func (s *Server) handlePoolCreate(w http.ResponseWriter, r *http.Request) {
 			Observer:       s.poolObserver(),
 			ShadowPolicies: shadows,
 			ShadowMargin:   -1,
+			Recorder:       s.recorder,
+			RecordSession:  id,
 		},
 		MaxItems:        req.MaxItems,
 		TenantSLOWindow: s.sloWindow,
@@ -337,7 +342,6 @@ func (s *Server) handlePoolCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry := &poolEntry{lk: newEntryLock(), pool: pool, tenants: map[string]bool{}, policies: map[string]bool{}}
-	id := fmt.Sprintf("pl-%d", s.nextID.Add(1))
 	s.pools.put(id, entry)
 	s.poolsOpen.Add(1)
 	_ = entry.lk.lock(context.Background())
@@ -432,6 +436,7 @@ func (s *Server) handlePoolOp(w http.ResponseWriter, r *http.Request) {
 		root := obs.SpanFrom(r.Context())
 		if root != nil {
 			root.Session = id
+			entry.pool.SetRecordTraceID(root.TraceID)
 		}
 		span := root.StartChild("serve")
 		start := time.Now()
@@ -464,6 +469,8 @@ func (s *Server) handlePoolOp(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, poolDecisionDTO(id, d))
 	case op == "requests" && r.Method == http.MethodPost:
 		s.handlePoolBatch(w, r, id, entry)
+	case op == "record" && r.Method == http.MethodGet:
+		s.handleRecordDownload(w, r, id)
 	case op == "" && r.Method == http.MethodGet:
 		if !s.lockPool(w, r, entry) {
 			return
@@ -587,6 +594,7 @@ func (s *Server) handlePoolBatch(w http.ResponseWriter, r *http.Request, id stri
 	root := obs.SpanFrom(r.Context())
 	if root != nil {
 		root.Session = id
+		entry.pool.SetRecordTraceID(root.TraceID)
 	}
 	start := time.Now()
 	res, batchErr := entry.pool.ServeBatch(r.Context(), reqs)

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"datacache/internal/recorder"
+)
+
+// handleRecordDownload streams one serving id's slice of the flight
+// recording: every open and serve record whose stream was declared under
+// the session/pool id, re-encoded as a single self-contained recording.
+// ?mode=binary|ndjson overrides the writer's native encoding (NDJSON is
+// the greppable one). Re-emitted (resumed) opens of streams already
+// declared in the download are dropped — the output is one file, so the
+// rotation bookkeeping would only confuse readers.
+func (s *Server) handleRecordDownload(w http.ResponseWriter, r *http.Request, id string) {
+	if s.recorder == nil {
+		s.httpError(w, r, http.StatusNotFound,
+			fmt.Errorf("flight recording is not enabled on this server"))
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = s.recorder.Mode()
+	}
+	if !recorder.ValidMode(mode) {
+		s.httpError(w, r, http.StatusBadRequest,
+			fmt.Errorf("unknown recording mode %q (binary|ndjson)", mode))
+		return
+	}
+	// Push buffered records to the files before reading them back. A
+	// closed writer (server shutting down) still serves what is on disk.
+	if !s.recorder.Closed() {
+		if err := s.recorder.Flush(); err != nil {
+			s.httpError(w, r, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	recs, err := recorder.ReadPath(s.recorder.Dir())
+	if err != nil {
+		s.httpError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+
+	ctype := "application/octet-stream"
+	ext := "wal"
+	if mode == recorder.ModeNDJSON {
+		ctype = "application/x-ndjson"
+		ext = "ndjson"
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+"."+ext))
+	w.WriteHeader(http.StatusOK)
+	enc, err := recorder.NewEncoder(w, mode, "dcserved/"+id)
+	if err != nil {
+		return // headers sent; nothing sane left to report
+	}
+	mine := map[uint32]bool{}     // streams declared under this id
+	declared := map[uint32]bool{} // opens already written to the download
+	n := 0
+	for _, rc := range recs {
+		for i := range rc.Records {
+			rec := &rc.Records[i]
+			switch rec.Kind {
+			case recorder.KindOpen:
+				if rec.Info.Session != id {
+					continue
+				}
+				mine[rec.Stream] = true
+				if declared[rec.Stream] {
+					continue // rotation re-emission; download is one file
+				}
+				declared[rec.Stream] = true
+				if err := enc.Encode(rec); err != nil {
+					return
+				}
+				n++
+			case recorder.KindServe:
+				if !mine[rec.Stream] {
+					continue
+				}
+				if err := enc.Encode(rec); err != nil {
+					return
+				}
+				n++
+			}
+		}
+	}
+	_ = enc.Flush()
+	s.log.Debug("record download", "id", id, "records", n, "mode", mode)
+}

@@ -1,0 +1,275 @@
+package service
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"datacache"
+	"datacache/internal/model"
+	"datacache/internal/offline"
+	"datacache/internal/recorder"
+)
+
+// newRecordedServer spins up a service with a flight recorder on a fresh
+// temp directory and returns both.
+func newRecordedServer(t *testing.T, opts recorder.Options) (*httptest.Server, *recorder.Writer) {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.Source == "" {
+		opts.Source = "test"
+	}
+	w, err := recorder.NewWriter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(WithRecorder(w)))
+	t.Cleanup(func() {
+		ts.Close()
+		w.Close()
+	})
+	return ts, w
+}
+
+// downloadRecording fetches GET {base}/{id}/record and decodes the body.
+func downloadRecording(t *testing.T, url string) *recorder.Recording {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("record download: status %d", resp.StatusCode)
+	}
+	rec, err := recorder.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Truncated {
+		t.Fatal("downloaded recording reports a torn tail")
+	}
+	return rec
+}
+
+// TestRecordDownloadReplayFidelity is the PR's acceptance criterion: the
+// Fig. 6 session workload and a seeded random pool workload are served
+// over HTTP with recording on, each recording is downloaded through the
+// /record endpoint, and a replay must reproduce the recorded live cost
+// bit-for-bit plus a sane hindsight ratio per tenant.
+func TestRecordDownloadReplayFidelity(t *testing.T) {
+	ts, _ := newRecordedServer(t, recorder.Options{})
+
+	// Fig. 6 through a session, one batch.
+	var st SessionState
+	if resp := post(t, ts.URL+"/v1/session", SessionCreateRequest{
+		M: 4, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 3},
+	}, &st); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("session create: status %d", resp.StatusCode)
+	}
+	seq, _ := offline.Fig6Instance()
+	items := make([]BatchRequestItem, len(seq.Requests))
+	for i, r := range seq.Requests {
+		items[i] = BatchRequestItem{Server: r.Server, T: r.Time}
+	}
+	var batch SessionBatchResponse
+	if resp := post(t, ts.URL+"/v1/session/"+st.ID+"/requests",
+		SessionBatchRequest{Requests: items}, &batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("session batch: status %d", resp.StatusCode)
+	}
+
+	// A seeded multi-tenant pool workload with evictions.
+	var pst PoolState
+	if resp := post(t, ts.URL+"/v1/pool", PoolCreateRequest{
+		M: 3, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1.5}, MaxItems: 2,
+	}, &pst); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("pool create: status %d", resp.StatusCode)
+	}
+	rng := rand.New(rand.NewSource(42))
+	tenants := []string{"acme", "globex"}
+	keys := []string{"a", "b", "c"}
+	reqs := make([]PoolServeRequest, 400)
+	tm := 0.0
+	for i := range reqs {
+		tm += rng.ExpFloat64()
+		reqs[i] = PoolServeRequest{
+			Tenant: tenants[rng.Intn(2)],
+			Item:   keys[rng.Intn(3)],
+			Server: model.ServerID(rng.Intn(3) + 1),
+			T:      tm,
+		}
+	}
+	var pbatch PoolBatchResponse
+	if resp := post(t, ts.URL+"/v1/pool/"+pst.ID+"/requests",
+		PoolBatchRequestBody{Requests: reqs}, &pbatch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pool batch: status %d", resp.StatusCode)
+	}
+	if pbatch.Applied != len(reqs) {
+		t.Fatalf("pool applied %d of %d", pbatch.Applied, len(reqs))
+	}
+
+	// Session recording: one stream, bitwise live cost, hindsight ratio.
+	srec := downloadRecording(t, ts.URL+"/v1/session/"+st.ID+"/record")
+	srep, err := datacache.Replay([]*recorder.Recording{srec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srep.BitwiseOK || srep.Records != len(items) || len(srep.Streams) != 1 {
+		t.Fatalf("session replay: %+v", srep)
+	}
+	if math.Float64bits(srep.LiveCost) != math.Float64bits(batch.Cost) {
+		t.Fatalf("session replay cost %v, served cost %v", srep.LiveCost, batch.Cost)
+	}
+	if srep.Ratio < 1 || srep.Ratio > 3+1e-9 {
+		t.Fatalf("session hindsight ratio %v outside [1, 3]", srep.Ratio)
+	}
+
+	// Pool recording: per-tenant hindsight, bitwise across every stream.
+	prec := downloadRecording(t, ts.URL+"/v1/pool/"+pst.ID+"/record")
+	prep, err := datacache.Replay([]*recorder.Recording{prec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.BitwiseOK || prep.Records != len(reqs) {
+		for _, s := range prep.Streams {
+			if !s.Bitwise {
+				t.Errorf("stream %d (%s/%s): %s", s.Stream, s.Tenant, s.Item, s.FirstDiff)
+			}
+		}
+		t.Fatalf("pool replay: bitwise=%v records=%d", prep.BitwiseOK, prep.Records)
+	}
+	if math.Abs(prep.LiveCost-pbatch.Cost) > 1e-9 {
+		t.Fatalf("pool replay cost %v, served cost %v", prep.LiveCost, pbatch.Cost)
+	}
+	if len(prep.Tenants) != 2 {
+		t.Fatalf("tenants = %+v", prep.Tenants)
+	}
+	for _, tn := range prep.Tenants {
+		if tn.Ratio < 1-1e-9 {
+			t.Fatalf("tenant %q hindsight ratio %v < 1", tn.Tenant, tn.Ratio)
+		}
+	}
+
+	// The session download must not include pool streams and vice versa.
+	for _, info := range srec.Streams {
+		if info.Session != st.ID {
+			t.Fatalf("session download leaked stream of %q", info.Session)
+		}
+	}
+	for _, info := range prec.Streams {
+		if info.Session != pst.ID {
+			t.Fatalf("pool download leaked stream of %q", info.Session)
+		}
+	}
+}
+
+// TestRecordDownloadModesAndErrors covers mode override, the 404 without
+// a recorder, and bad mode rejection.
+func TestRecordDownloadModesAndErrors(t *testing.T) {
+	ts, _ := newRecordedServer(t, recorder.Options{Mode: recorder.ModeBinary})
+	var st SessionState
+	post(t, ts.URL+"/v1/session", SessionCreateRequest{
+		M: 2, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1},
+	}, &st)
+	for i := 0; i < 5; i++ {
+		post(t, ts.URL+"/v1/session/"+st.ID+"/request",
+			StreamAppendRequest{Server: 2, Time: float64(i + 1)}, nil)
+	}
+
+	// NDJSON override of a binary-mode writer.
+	resp, err := http.Get(ts.URL + "/v1/session/" + st.ID + "/record?mode=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("ndjson download content-type %q", ct)
+	}
+	rec, err := recorder.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mode != recorder.ModeNDJSON || rec.ServeCount() != 5 {
+		t.Fatalf("ndjson download: mode %q serves %d", rec.Mode, rec.ServeCount())
+	}
+
+	// Unknown mode is a 400.
+	resp2, err := http.Get(ts.URL + "/v1/session/" + st.ID + "/record?mode=yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad mode: status %d", resp2.StatusCode)
+	}
+
+	// Without a recorder the endpoint does not exist.
+	plain := newTestServer(t)
+	var st2 SessionState
+	post(t, plain.URL+"/v1/session", SessionCreateRequest{
+		M: 2, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1},
+	}, &st2)
+	resp3, err := http.Get(plain.URL + "/v1/session/" + st2.ID + "/record")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("no recorder: status %d", resp3.StatusCode)
+	}
+}
+
+// TestRecorderMetricsLifecycle asserts the dc_recorder_* series are
+// published while the writer lives and retired once it closes.
+func TestRecorderMetricsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	w, err := recorder.NewWriter(recorder.Options{Dir: dir, Source: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(WithRecorder(w)))
+	defer ts.Close()
+	defer w.Close()
+
+	var st SessionState
+	post(t, ts.URL+"/v1/session", SessionCreateRequest{
+		M: 2, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1},
+	}, &st)
+	post(t, ts.URL+"/v1/session/"+st.ID+"/request",
+		StreamAppendRequest{Server: 2, Time: 1}, nil)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := scrape(t, ts.URL)
+	for _, series := range []string{
+		`dc_recorder_bytes{mode="binary"}`,
+		`dc_recorder_files{mode="binary"}`,
+		`dc_recorder_fsyncs{mode="binary"}`,
+		`dc_recorder_dropped{mode="binary"}`,
+		`dc_recorder_rotations{mode="binary"}`,
+	} {
+		if _, ok := res.samples[series]; !ok {
+			t.Errorf("metrics missing %s", series)
+		}
+	}
+	if got := res.samples[`dc_recorder_records{mode="binary"}`]; got != 2 {
+		t.Errorf("recorder records gauge = %v, want 2 (open + serve)", got)
+	}
+
+	// Closing the writer retires every dc_recorder_* series.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res = scrape(t, ts.URL)
+	for series := range res.samples {
+		if strings.HasPrefix(series, "dc_recorder_") {
+			t.Errorf("closed recorder still publishes %s", series)
+		}
+	}
+}

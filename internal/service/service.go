@@ -52,11 +52,12 @@ import (
 	"datacache/internal/obs"
 	"datacache/internal/offline"
 	"datacache/internal/online"
+	"datacache/internal/recorder"
 	"datacache/internal/workload"
 )
 
 // Version identifies the service build in /healthz and /v1/spec.
-const Version = "1.6.0"
+const Version = "1.7.0"
 
 // DefaultTraceCap bounds each session's decision-event ring unless
 // WithTraceCap overrides it.
@@ -135,6 +136,19 @@ type Server struct {
 	batchSize      *obs.Histogram  // requests per accepted batch
 	batchShed      *obs.Counter    // batches shed by the inflight budget
 	shardSess      [numShards]*obs.Gauge
+
+	// Flight recorder: when WithRecorder installs a writer, every session
+	// and pool created afterwards records its served requests through it,
+	// GET {id}/record downloads the recording, and the dc_recorder_*
+	// gauges track the writer's counters until it closes.
+	recorder     *recorder.Writer
+	recRecords   *obs.GaugeVec // mode
+	recBytes     *obs.GaugeVec // mode
+	recFsyncs    *obs.GaugeVec // mode
+	recDropped   *obs.GaugeVec // mode
+	recRotations *obs.GaugeVec // mode
+	recFiles     *obs.GaugeVec // mode
+	recRetired   atomic.Bool   // recorder series dropped after close
 
 	// The session and stream tables are lock-striped (registry.go): ids
 	// hash onto numShards shards, each behind its own RWMutex, so
@@ -246,6 +260,16 @@ func WithShadowMargin(margin float64) Option {
 	}
 }
 
+// WithRecorder installs a flight-recorder writer: every session and pool
+// created on this server records each served request (decision, cost
+// picture, trace id) through it, GET /v1/session/{id}/record and
+// GET /v1/pool/{id}/record download the entries, and /metrics carries
+// the dc_recorder_* writer gauges. The caller owns the writer's
+// lifecycle (cmd/dcserved closes it on shutdown).
+func WithRecorder(w *recorder.Writer) Option {
+	return func(s *Server) { s.recorder = w }
+}
+
 // routeDocs describes every route for /v1/spec.
 var routeDocs = map[string]string{
 	"/healthz":     "GET liveness and version",
@@ -259,9 +283,9 @@ var routeDocs = map[string]string{
 	"/v1/stream":   "POST {m, origin, model} -> incremental planning stream",
 	"/v1/stream/":  "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
 	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?, shadows?} -> live policy-serving session (201 + Location)",
-	"/v1/session/": "POST {id}/request, POST {id}/requests (bulk: JSON {requests:[{server,t}]} or NDJSON lines; partial apply + firstRejected), GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, GET {id}/shadow (counterfactual policy standings), DELETE {id} (close; returns final state + schedule)",
+	"/v1/session/": "POST {id}/request, POST {id}/requests (bulk: JSON {requests:[{server,t}]} or NDJSON lines; partial apply + firstRejected), GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, GET {id}/shadow (counterfactual policy standings), GET {id}/record?mode=binary|ndjson (download the session's flight recording; 404 without -record-dir), DELETE {id} (close; returns final state + schedule)",
 	"/v1/pool":     "POST {m, origin, model, policy?, window?, epoch?, maxItems?, shadows?} -> multi-item multi-tenant serving pool (201 + Location)",
-	"/v1/pool/":    "POST {id}/request ({tenant?, item, server, t}), POST {id}/requests (bulk, grouped by item under one lock; per-item partial apply), GET {id} (stats + tenant rollups), GET {id}/items?by=cost|regret&limit=k, GET {id}/shadow (pool-wide counterfactual policy standings), DELETE {id} (close; retains final stats)",
+	"/v1/pool/":    "POST {id}/request ({tenant?, item, server, t}), POST {id}/requests (bulk, grouped by item under one lock; per-item partial apply), GET {id} (stats + tenant rollups), GET {id}/items?by=cost|regret&limit=k, GET {id}/shadow (pool-wide counterfactual policy standings), GET {id}/record?mode=binary|ndjson (download the pool's flight recording; 404 without -record-dir), DELETE {id} (close; retains final stats)",
 	"/v1/alerts":   "GET every live session's SLO alerts (pending, firing, resolved)",
 	"/v1/traces":   "GET retained traces, regret-descending; filters: session, min_regret, min_duration, error, limit",
 	"/v1/traces/":  "GET {id} -> every span of one retained trace",
@@ -384,6 +408,42 @@ func New(opts ...Option) *Server {
 			s.shardSess[i].Set(float64(n))
 		}
 	})
+	if s.recorder != nil {
+		s.recRecords = s.reg.GaugeVec("dc_recorder_records",
+			"Records the flight recorder has durably handed to its encoder.", "mode")
+		s.recBytes = s.reg.GaugeVec("dc_recorder_bytes",
+			"Bytes the flight recorder has written across all recording files.", "mode")
+		s.recFsyncs = s.reg.GaugeVec("dc_recorder_fsyncs",
+			"Fsyncs the flight recorder has issued (per its sync policy).", "mode")
+		s.recDropped = s.reg.GaugeVec("dc_recorder_dropped",
+			"Records the flight recorder shed on backpressure or after close.", "mode")
+		s.recRotations = s.reg.GaugeVec("dc_recorder_rotations",
+			"Recording-file rotations (size or age bound reached).", "mode")
+		s.recFiles = s.reg.GaugeVec("dc_recorder_files",
+			"Recording files the flight recorder has created.", "mode")
+		s.reg.RegisterCollector(func() {
+			if s.recorder.Closed() {
+				// Retire the series once, the same way closed sessions do.
+				if !s.recRetired.Swap(true) {
+					mode := s.recorder.Mode()
+					s.recRecords.Delete(mode)
+					s.recBytes.Delete(mode)
+					s.recFsyncs.Delete(mode)
+					s.recDropped.Delete(mode)
+					s.recRotations.Delete(mode)
+					s.recFiles.Delete(mode)
+				}
+				return
+			}
+			st := s.recorder.Stats()
+			s.recRecords.With(st.Mode).Set(float64(st.Records))
+			s.recBytes.With(st.Mode).Set(float64(st.Bytes))
+			s.recFsyncs.With(st.Mode).Set(float64(st.Fsyncs))
+			s.recDropped.With(st.Mode).Set(float64(st.Dropped))
+			s.recRotations.With(st.Mode).Set(float64(st.Rotations))
+			s.recFiles.With(st.Mode).Set(float64(st.Files))
+		})
+	}
 
 	s.mount("/healthz", s.handleHealth)
 	s.mount("/v1/optimize", s.handleOptimize)

@@ -377,6 +377,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry := &sessionEntry{lk: newEntryLock(), servers: map[string]bool{}, policies: map[string]bool{}}
+	// The id is minted before the session exists so the recorder stream
+	// is declared under it from the first record.
+	id := fmt.Sprintf("sn-%d", s.nextID.Add(1))
 	sess, err := datacache.NewSession(req.M, req.Origin, req.Model.toModel(), &datacache.SessionOptions{
 		Policy:         req.Policy,
 		Window:         req.Window,
@@ -386,13 +389,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		Observer:       s.engineObserver(entry),
 		ShadowPolicies: shadows,
 		ShadowMargin:   s.shadowMargin,
+		Recorder:       s.recorder,
+		RecordSession:  id,
 	})
 	if err != nil {
 		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	entry.sess = sess
-	id := fmt.Sprintf("sn-%d", s.nextID.Add(1))
 	if slo := sess.SLO(); slo != nil {
 		// The hook runs under the entry lock of whichever Serve triggers
 		// the transition; the gauge and counter writes are lock-free.
@@ -494,6 +498,7 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 		root := obs.SpanFrom(r.Context())
 		if root != nil {
 			root.Session = id
+			entry.sess.SetRecordTraceID(root.TraceID)
 		}
 		span := root.StartChild("serve")
 		entry.evs = entry.evs[:0]
@@ -608,6 +613,8 @@ func (s *Server) handleSessionOp(w http.ResponseWriter, r *http.Request) {
 			Ratio:        state.Ratio,
 			ShadowReport: *rep,
 		})
+	case op == "record" && r.Method == http.MethodGet:
+		s.handleRecordDownload(w, r, id)
 	case op == "" && r.Method == http.MethodDelete:
 		if !s.lockEntry(w, r, entry) {
 			return

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"datacache/internal/model"
+)
+
+// Canonical sequence-format dispatch. Every CLI that reads or writes a
+// workload stream (dcgen, dcsim, dcopt, dcreplay's trace export) goes
+// through WriteSequence/ReadSequence instead of switching on the format
+// name itself, so the set of formats and their spellings live in exactly
+// one place.
+const (
+	FormatCSV  = "csv"
+	FormatJSON = "json"
+)
+
+// Formats lists the supported sequence serializations.
+func Formats() []string { return []string{FormatCSV, FormatJSON} }
+
+// ValidFormat reports whether format names a known sequence
+// serialization ("" selects the CSV default).
+func ValidFormat(format string) bool {
+	switch normalizeFormat(format) {
+	case FormatCSV, FormatJSON:
+		return true
+	}
+	return false
+}
+
+func normalizeFormat(format string) string {
+	if format == "" {
+		return FormatCSV
+	}
+	return strings.ToLower(format)
+}
+
+// WriteSequence writes a sequence in the named format.
+func WriteSequence(w io.Writer, format string, seq *model.Sequence) error {
+	switch normalizeFormat(format) {
+	case FormatCSV:
+		return WriteCSV(w, seq)
+	case FormatJSON:
+		return WriteJSON(w, seq)
+	}
+	return fmt.Errorf("trace: unknown format %q (want one of %s)", format, strings.Join(Formats(), ", "))
+}
+
+// ReadSequence parses a sequence in the named format.
+func ReadSequence(r io.Reader, format string) (*model.Sequence, error) {
+	switch normalizeFormat(format) {
+	case FormatCSV:
+		return ReadCSV(r)
+	case FormatJSON:
+		return ReadJSON(r)
+	}
+	return nil, fmt.Errorf("trace: unknown format %q (want one of %s)", format, strings.Join(Formats(), ", "))
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"datacache/internal/model"
+)
+
+// TestSequenceFormatDispatch round-trips a sequence through every
+// registered format via the canonical WriteSequence/ReadSequence
+// helpers and rejects unknown names.
+func TestSequenceFormatDispatch(t *testing.T) {
+	seq := &model.Sequence{M: 3, Origin: 1, Requests: []model.Request{
+		{Server: 2, Time: 0.5},
+		{Server: 3, Time: 1.25},
+		{Server: 1, Time: 2},
+	}}
+	for _, format := range Formats() {
+		if !ValidFormat(format) {
+			t.Errorf("Formats() lists %q but ValidFormat rejects it", format)
+		}
+		var buf bytes.Buffer
+		if err := WriteSequence(&buf, format, seq); err != nil {
+			t.Fatalf("WriteSequence(%q): %v", format, err)
+		}
+		got, err := ReadSequence(&buf, strings.ToUpper(format)) // case-insensitive
+		if err != nil {
+			t.Fatalf("ReadSequence(%q): %v", format, err)
+		}
+		if got.M != seq.M || got.Origin != seq.Origin || len(got.Requests) != len(seq.Requests) {
+			t.Fatalf("%s round trip: got m=%d origin=%d n=%d", format, got.M, got.Origin, len(got.Requests))
+		}
+		for i, r := range got.Requests {
+			if r != seq.Requests[i] {
+				t.Fatalf("%s round trip request %d: got %+v want %+v", format, i, r, seq.Requests[i])
+			}
+		}
+	}
+
+	// "" is the CSV default.
+	if !ValidFormat("") {
+		t.Error(`ValidFormat("") = false, want the CSV default`)
+	}
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, "", seq); err != nil {
+		t.Fatalf(`WriteSequence(""): %v`, err)
+	}
+	if !strings.HasPrefix(buf.String(), "#datacache") {
+		t.Errorf(`WriteSequence("") did not produce CSV: %q`, buf.String()[:20])
+	}
+
+	if err := WriteSequence(&buf, "yaml", seq); err == nil {
+		t.Error("WriteSequence(yaml) accepted an unknown format")
+	}
+	if _, err := ReadSequence(&buf, "yaml"); err == nil {
+		t.Error("ReadSequence(yaml) accepted an unknown format")
+	}
+}

@@ -210,6 +210,8 @@ type Pool struct {
 	liveWin      engine.CostWindow
 	shadowWindow int
 	shadowMargin float64
+
+	recTrace string // trace id stamped on item sessions' next serve records
 }
 
 // NewPool opens a multi-item serving pool over m servers with every
@@ -224,8 +226,11 @@ func NewPool(m int, origin ServerID, cm CostModel, opts *PoolOptions) (*Pool, er
 	}
 	// Open and discard one session now so configuration errors (bad cost
 	// model, unknown policy) surface at pool creation, not mid-traffic on
-	// the first request of some unlucky item.
-	probe, err := NewSession(m, origin, cm, cloneSessionOptions(opts.Session))
+	// the first request of some unlucky item. The probe must not record:
+	// a spurious zero-request stream would pollute the recording.
+	probeOpts := cloneSessionOptions(opts.Session)
+	probeOpts.Recorder = nil
+	probe, err := NewSession(m, origin, cm, probeOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +305,15 @@ func (p *Pool) itemFor(tenant, item string) (*poolItem, bool, error) {
 			p.evictLRU()
 		}
 	}
-	sess, err := NewSession(p.m, p.origin, p.cm, cloneSessionOptions(p.opts.Session))
+	itemOpts := cloneSessionOptions(p.opts.Session)
+	if itemOpts.Recorder != nil {
+		// Scope the stream to this key; every incarnation (first open or
+		// post-eviction revival) opens a fresh stream, making incarnation
+		// boundaries explicit in the recording.
+		itemOpts.RecordTenant = tenant
+		itemOpts.RecordItem = item
+	}
+	sess, err := NewSession(p.m, p.origin, p.cm, itemOpts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -366,6 +379,9 @@ func (p *Pool) Serve(tenant, item string, server ServerID, t float64) (PoolDecis
 	it, revived, err := p.itemFor(tenant, item)
 	if err != nil {
 		return PoolDecision{}, err
+	}
+	if p.recTrace != "" {
+		it.sess.SetRecordTraceID(p.recTrace)
 	}
 	d, err := it.sess.Serve(server, t)
 	if err != nil {
@@ -658,6 +674,17 @@ func (p *Pool) TenantSLO(tenant string) *obs.SLO {
 		return nil
 	}
 	return ta.slo
+}
+
+// SetRecordTraceID stamps the W3C trace id carried by the recorder's
+// next serve record(s) for requests served through this pool, linking
+// recording entries back to distributed-trace spans. It shares the
+// pool's synchronization: call it only while no Serve is in flight. A
+// no-op without a recorder on the session template.
+func (p *Pool) SetRecordTraceID(id string) {
+	if p.opts.Session.Recorder != nil {
+		p.recTrace = id
+	}
 }
 
 // ShadowNames returns the shadow policy labels the pool's session

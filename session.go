@@ -8,6 +8,7 @@ import (
 	"datacache/internal/model"
 	"datacache/internal/obs"
 	"datacache/internal/offline"
+	"datacache/internal/recorder"
 )
 
 // TraceEvent is one typed entry of a session's decision trace: a request
@@ -107,6 +108,18 @@ type SessionOptions struct {
 	// this fraction. Zero means DefaultShadowMargin; negative disables
 	// the alert while keeping the shadows.
 	ShadowMargin float64
+	// Recorder, when set, captures every served request to the flight
+	// recorder: NewSession opens a stream (declaring the instance and
+	// policy), each Serve appends one serve record, and Close retires the
+	// stream. Recording is fire-and-forget — recorder backpressure or
+	// errors never fail the serving path.
+	Recorder *recorder.Writer
+	// RecordSession labels the recorder stream with the serving-layer
+	// session id ("sn-3", "pl-1"); RecordTenant and RecordItem scope pool
+	// streams. All ignored when Recorder is nil.
+	RecordSession string
+	RecordTenant  string
+	RecordItem    string
 }
 
 // Decision reports what one live request caused: whether it hit a cached
@@ -161,6 +174,10 @@ type Session struct {
 	shadowAlert  *obs.Tracker      // nil unless shadows with a margin rule
 	shadowWindow int
 	shadowMargin float64
+
+	rec       *recorder.Writer // nil unless SessionOptions.Recorder set
+	recStream uint32
+	recTrace  string // trace id stamped on the next serve record
 
 	prevCost, prevOpt float64 // last served totals, for SLO deltas
 }
@@ -228,7 +245,33 @@ func NewSession(m int, origin ServerID, cm CostModel, opts *SessionOptions) (*Se
 	if err := s.initShadows(m, origin, opts); err != nil {
 		return nil, err
 	}
+	if opts.Recorder != nil && !opts.Recorder.Closed() {
+		s.rec = opts.Recorder
+		s.recStream = s.rec.OpenStream(recorder.StreamInfo{
+			Session: opts.RecordSession,
+			Tenant:  opts.RecordTenant,
+			Item:    opts.RecordItem,
+			M:       m,
+			Origin:  int(origin),
+			Mu:      cm.Mu,
+			Lambda:  cm.Lambda,
+			Policy:  policy,
+			Window:  opts.Window,
+			Epoch:   opts.EpochTransfers,
+		})
+	}
 	return s, nil
+}
+
+// SetRecordTraceID stamps the W3C trace id carried by the next serve
+// record(s), linking recording entries back to distributed-trace spans.
+// It shares the session's synchronization: call it only while no Serve
+// is in flight (the HTTP layer stamps it under the entry lock). A
+// no-op without a recorder.
+func (s *Session) SetRecordTraceID(id string) {
+	if s.rec != nil {
+		s.recTrace = id
+	}
 }
 
 // Serve handles one live request. Times must be strictly increasing and
@@ -261,6 +304,21 @@ func (s *Session) Serve(server ServerID, t float64) (Decision, error) {
 		s.slo.Observe(t, d.Cost-s.prevCost, d.Optimal-s.prevOpt)
 	}
 	s.prevCost, s.prevOpt = d.Cost, d.Optimal
+	if s.rec != nil {
+		// Fire-and-forget: recorder backpressure must not fail serving.
+		_ = s.rec.Append(recorder.Record{
+			Kind:    recorder.KindServe,
+			Stream:  s.recStream,
+			Time:    d.Time,
+			Server:  int(d.Server),
+			From:    int(d.From),
+			Hit:     d.Hit,
+			Drops:   d.Drops,
+			Cost:    d.Cost,
+			Optimal: d.Optimal,
+			TraceID: s.recTrace,
+		})
+	}
 	return d, nil
 }
 
@@ -411,6 +469,9 @@ func (s *Session) Close() (*Schedule, error) {
 	}
 	s.closed = true
 	s.final = sched
+	if s.rec != nil {
+		s.rec.CloseStream(s.recStream)
+	}
 	return sched, nil
 }
 

@@ -1,0 +1,63 @@
+package datacache
+
+import (
+	"datacache/internal/recorder"
+)
+
+// RecordedTrace is one (session, tenant, item) key's workload
+// reconstructed from a flight recording: the request sequence the
+// serving layer actually saw, in the canonical model.Sequence form the
+// trace package serializes and dcsim/dcopt consume. Recording in
+// production and exporting traces closes the loop back to the off-line
+// tooling — the same traffic can be re-simulated under any policy or
+// solved exactly.
+type RecordedTrace struct {
+	Session string
+	Tenant  string
+	Item    string
+	Seq     *Sequence
+}
+
+// RecordedTraces rebuilds each key's request sequence from one writer's
+// recordings (in file order, as returned by recorder.ReadPath). Streams
+// whose declarations are missing (torn prefixes) contribute nothing —
+// a serve without a declared stream cannot be attributed to a key.
+// Traces appear in order of each key's first declaration.
+func RecordedTraces(recs []*recorder.Recording) []RecordedTrace {
+	type keyID struct{ session, tenant, item string }
+	byKey := map[keyID]*RecordedTrace{}
+	byStream := map[uint32]*RecordedTrace{}
+	var order []*RecordedTrace
+	for _, rc := range recs {
+		for i := range rc.Records {
+			r := &rc.Records[i]
+			switch r.Kind {
+			case recorder.KindOpen:
+				k := keyID{r.Info.Session, r.Info.Tenant, r.Info.Item}
+				tr := byKey[k]
+				if tr == nil {
+					tr = &RecordedTrace{
+						Session: k.session, Tenant: k.tenant, Item: k.item,
+						Seq: &Sequence{M: r.Info.M, Origin: ServerID(r.Info.Origin)},
+					}
+					byKey[k] = tr
+					order = append(order, tr)
+				}
+				byStream[r.Stream] = tr
+			case recorder.KindServe:
+				tr := byStream[r.Stream]
+				if tr == nil {
+					continue
+				}
+				tr.Seq.Requests = append(tr.Seq.Requests, Request{
+					Server: ServerID(r.Server), Time: r.Time,
+				})
+			}
+		}
+	}
+	out := make([]RecordedTrace, len(order))
+	for i, tr := range order {
+		out[i] = *tr
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package datacache
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"datacache/internal/recorder"
+	"datacache/internal/trace"
+)
+
+// TestRecordedTracesSession reconstructs the recorded Fig. 6 workload
+// as a trace: one key, every request, and an off-line DP over the
+// exported sequence must reproduce the replay's hindsight optimum.
+func TestRecordedTracesSession(t *testing.T) {
+	dir := t.TempDir()
+	recordFig6Session(t, dir, recorder.ModeBinary)
+	recs, err := recorder.ReadPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := RecordedTraces(recs)
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Session != "sn-1" || tr.Tenant != "" || tr.Item != "" {
+		t.Fatalf("key = %q/%q/%q", tr.Session, tr.Tenant, tr.Item)
+	}
+	if tr.Seq.M != 4 || tr.Seq.Origin != 1 || len(tr.Seq.Requests) != 400 {
+		t.Fatalf("sequence: m=%d origin=%d n=%d", tr.Seq.M, tr.Seq.Origin, len(tr.Seq.Requests))
+	}
+	if err := tr.Seq.Validate(); err != nil {
+		t.Fatalf("exported sequence invalid: %v", err)
+	}
+
+	rep, err := Replay(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OptimalCost(tr.Seq, CostModel{Mu: 1, Lambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-rep.HindsightOpt) > 1e-9 {
+		t.Fatalf("DP over exported trace %v, replay hindsight %v", opt, rep.HindsightOpt)
+	}
+
+	// The export must round-trip through the canonical serializer in
+	// every registered format.
+	for _, format := range trace.Formats() {
+		var buf bytes.Buffer
+		if err := trace.WriteSequence(&buf, format, tr.Seq); err != nil {
+			t.Fatalf("WriteSequence(%q): %v", format, err)
+		}
+		got, err := trace.ReadSequence(&buf, format)
+		if err != nil {
+			t.Fatalf("ReadSequence(%q): %v", format, err)
+		}
+		if len(got.Requests) != len(tr.Seq.Requests) || got.M != tr.Seq.M {
+			t.Fatalf("%s round trip lost requests: %d of %d", format, len(got.Requests), len(tr.Seq.Requests))
+		}
+	}
+}
+
+// TestRecordedTracesPool exports a multi-tenant pool recording with
+// eviction churn: each (session, tenant, item) key becomes one trace
+// whose requests span incarnations, and the DP over each exported
+// sequence matches the replay's per-key hindsight optimum.
+func TestRecordedTracesPool(t *testing.T) {
+	dir := t.TempDir()
+	w, err := recorder.NewWriter(recorder.Options{Dir: dir, Source: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(3, 1, CostModel{Mu: 1, Lambda: 1.5}, &PoolOptions{
+		Session:  SessionOptions{Recorder: w, RecordSession: "pl-1"},
+		MaxItems: 2, // force evictions and revivals
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	tenants := []string{"acme", "globex"}
+	items := []string{"a", "b", "c"}
+	tm := 0.0
+	for i := 0; i < 300; i++ {
+		tm += rng.ExpFloat64()
+		if _, err := pool.Serve(tenants[rng.Intn(2)], items[rng.Intn(3)], ServerID(rng.Intn(3)+1), tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := recorder.ReadPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := RecordedTraces(recs)
+	if len(traces) != 6 {
+		t.Fatalf("traces = %d, want 6 (2 tenants x 3 items)", len(traces))
+	}
+	rep, err := Replay(recs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optBy := map[[3]string]float64{}
+	for _, k := range rep.Keys {
+		optBy[[3]string{k.Session, k.Tenant, k.Item}] = k.HindsightOpt
+	}
+	total := 0
+	for _, tr := range traces {
+		if err := tr.Seq.Validate(); err != nil {
+			t.Fatalf("key %s/%s/%s: exported sequence invalid: %v", tr.Session, tr.Tenant, tr.Item, err)
+		}
+		total += len(tr.Seq.Requests)
+		opt, err := OptimalCost(tr.Seq, CostModel{Mu: 1, Lambda: 1.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := optBy[[3]string{tr.Session, tr.Tenant, tr.Item}]
+		if !ok {
+			t.Fatalf("key %s/%s/%s missing from replay report", tr.Session, tr.Tenant, tr.Item)
+		}
+		if math.Abs(opt-want) > 1e-9 {
+			t.Fatalf("key %s/%s/%s: DP over exported trace %v, replay hindsight %v",
+				tr.Session, tr.Tenant, tr.Item, opt, want)
+		}
+	}
+	if total != 300 {
+		t.Fatalf("exported %d requests, want 300", total)
+	}
+}
