@@ -73,7 +73,11 @@ type SessionConfig struct {
 	Origin datacache.ServerID
 	Mu     float64
 	Lambda float64
-	Policy string  // sc (default) | ttl | migrate | replicate
+	// Policy is a PolicySpec string: "sc" (default), "ttl:window=0.5",
+	// "migrate", "replicate" or "hybrid:horizon=8,order=2" for the
+	// prediction-fed planner. Window/Epoch below apply when the spec
+	// carries none of its own.
+	Policy string
 	Window float64 // ttl retention / sc window override
 	Epoch  int     // sc epoch restarts (0 disables)
 	// Shadows lists counterfactual policy specs ("ttl:window=0.5",

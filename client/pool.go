@@ -37,8 +37,10 @@ type PoolRequest struct {
 	T      float64            `json:"t"`
 }
 
-// PoolConfig parameterizes CreatePool. Policy/Window/Epoch configure the
-// per-item engines; MaxItems bounds live engine state (0 unbounded).
+// PoolConfig parameterizes CreatePool. Policy is a PolicySpec string
+// ("sc", "ttl:window=0.5", "hybrid:horizon=8,order=2", ...) applied to
+// every per-item engine; Window/Epoch apply when the spec carries none
+// of its own; MaxItems bounds live engine state (0 unbounded).
 type PoolConfig struct {
 	M        int
 	Origin   datacache.ServerID

@@ -167,6 +167,22 @@ func perfSweep(seed int64, n int) (*perfSnapshot, error) {
 		return nil, err
 	}
 
+	if err := timeLoop("session/serve_hybrid", fmt.Sprintf("single item, m=%d, hybrid planner (horizon=8, order=2) + implicit sc shadow", m), n, func() error {
+		s, err := datacache.NewSession(m, 1, datacache.Unit, &datacache.SessionOptions{Policy: "hybrid:horizon=8,order=2"})
+		if err != nil {
+			return err
+		}
+		for _, r := range reqs {
+			if _, err := s.Serve(r.Server, r.Time); err != nil {
+				return err
+			}
+		}
+		_, err = s.Close()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	if err := timeLoop("pool/serve", fmt.Sprintf("%d items zipf(1.2), unbounded, single path", items), n, func() error {
 		p, err := datacache.NewPool(m, 1, datacache.Unit, nil)
 		if err != nil {

@@ -74,11 +74,11 @@ func main() {
 		n        = flag.Int("n", 10000, "total requests across all workers")
 		c        = flag.Int("c", 4, "concurrent workers, one session each")
 		batch    = flag.Int("batch", 64, "requests per batch (1 uses the single-request endpoint)")
-		wl       = flag.String("workload", "zipf", "workload: uniform|zipf|adversarial")
+		wl       = flag.String("workload", "zipf", "workload: uniform|zipf|adversarial|cycle (cycle is the predictable trajectory for -policy hybrid)")
 		m        = flag.Int("m", 16, "number of servers")
 		mu       = flag.Float64("mu", 1, "transfer cost μ")
 		lambda   = flag.Float64("lambda", 2, "holding cost λ per unit time")
-		policy   = flag.String("policy", "sc", "serving policy")
+		policy   = flag.String("policy", "sc", "live policy spec: sc | ttl:window=X | migrate | replicate | hybrid:horizon=K,order=k")
 		gap      = flag.Float64("gap", 1.0, "mean inter-arrival time of the generated trace")
 		seed     = flag.Int64("seed", 1, "workload seed (worker i uses seed+i)")
 		qps      = flag.Float64("qps", 0, "target aggregate requests/sec (0 = closed loop)")
@@ -219,8 +219,13 @@ func makeGenerator(name string, m int, gap, mu, lambda float64) (workload.Genera
 	case "adversarial":
 		// The anti-SC pattern: gaps just past the speculative window Δt=λ/μ.
 		return workload.Adversarial{M: m, Window: lambda / mu}, nil
+	case "cycle":
+		// The fully predictable trajectory — the hybrid planner's best
+		// case: pair with -policy hybrid:horizon=8,order=2 and watch
+		// dc_planner_predicted_hit_ratio approach 1.
+		return workload.Cycle{M: m, Gap: gap}, nil
 	default:
-		return nil, fmt.Errorf("unknown workload %q (uniform|zipf|adversarial)", name)
+		return nil, fmt.Errorf("unknown workload %q (uniform|zipf|adversarial|cycle)", name)
 	}
 }
 

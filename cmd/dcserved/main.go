@@ -9,7 +9,7 @@
 //
 //	GET  /healthz                     liveness
 //	GET  /metrics                     Prometheus text-format metrics
-//	GET  /metricz                     per-route counters (JSON alias)
+//	GET  /metricz                     retired (410 Gone since 1.8.0); scrape /metrics
 //	POST /v1/optimize                 {sequence, model, schedule?, vectors?} → optimum + bounds
 //	POST /v1/simulate                 {sequence, model, policy, window?, epoch?} → cost vs optimum
 //	POST /v1/generate                 {workload, m, n, seed, gap?} → sequence
@@ -19,7 +19,7 @@
 //	GET  /v1/stream/{id}              stream state
 //	GET  /v1/stream/{id}/schedule     optimal schedule for the streamed prefix
 //	DELETE /v1/stream/{id}            drop the stream
-//	POST /v1/session                  {m, origin, model, policy?, window?, epoch?} → live serving session (201 + Location)
+//	POST /v1/session                  {m, origin, model, policy?, window?, epoch?} → live serving session (201 + Location); policy is a PolicySpec ("sc", "ttl:window=0.5", "hybrid:horizon=8,order=2", ...)
 //	POST /v1/session/{id}/request     {server, time} → decision + running cost/optimum/ratio
 //	POST /v1/session/{id}/requests    {requests: [{server, t}]} or NDJSON lines → bulk decisions + post-batch snapshot
 //	GET  /v1/session/{id}             session state

@@ -16,7 +16,9 @@
 // top-items panel: the pool's heaviest items by cumulative cost and by
 // regret, next to the slow-traces panel. Sessions and pools running
 // counterfactual shadow policies additionally get a policy-leaderboard
-// panel ranking every policy by exact cumulative cost, live row marked.
+// panel ranking every policy by exact cumulative cost, live row marked,
+// and hybrid-policy sessions a planner panel (gate state, plan depth,
+// predictor confidence, predicted-hit ratio).
 // All transport goes through the typed client package — dctop holds no
 // HTTP plumbing of its own.
 package main
@@ -137,6 +139,7 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 			sc.Server, copyMark, sc.Caching, sc.Transfer, sc.Transfers, sc.Cost())
 	}
 
+	writePlannerPanel(&b, ctx, sess)
 	writeAlerts(&b, alerts)
 	writeShadowLeaderboard(&b, ctx, sess)
 
@@ -172,6 +175,24 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 
 	writeTopItems(&b, ctx, cl, pool)
 	return b.String(), nil
+}
+
+// writePlannerPanel renders the hybrid planner's standing — gate state,
+// plan count and depth, predictor confidence, predicted-hit ratio and
+// mispredicts. No-op on sessions whose live policy runs no planner.
+func writePlannerPanel(b *strings.Builder, ctx context.Context, sess *client.Session) {
+	st, err := sess.State(ctx)
+	if err != nil || st.Planner == nil {
+		return
+	}
+	p := st.Planner
+	gate := "closed (SC fallback)"
+	if p.GateOpen {
+		gate = "open (planning)"
+	}
+	fmt.Fprintf(b, "\nplanner (hybrid horizon=%d order=%d):  gate %s\n", p.Horizon, p.Order, gate)
+	fmt.Fprintf(b, "  plans %-6d depth %-4d confidence %.3f  predicted-hit %.3f  mispredicts %d\n",
+		p.Plans, p.PlanDepth, p.Confidence, p.PredictedHitRatio, p.Mispredicts)
 }
 
 // writeShadowLeaderboard renders the session's counterfactual policy

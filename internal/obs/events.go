@@ -38,6 +38,10 @@ const (
 	// KindEpochReset marks an SC epoch restart: every copy except the one
 	// on Server (the just-served holder) is about to be dropped.
 	KindEpochReset
+	// KindMispredict marks a hybrid planner's prediction coming false:
+	// the request arrived at Server while the plan expected From. The
+	// planner discards its plan and serves the request under pure SC.
+	KindMispredict
 )
 
 // String names the kind.
@@ -55,6 +59,8 @@ func (k EventKind) String() string {
 		return "timer"
 	case KindEpochReset:
 		return "epoch-reset"
+	case KindMispredict:
+		return "mispredict"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -71,7 +77,7 @@ func (k EventKind) MarshalJSON() ([]byte, error) {
 func (k *EventKind) UnmarshalJSON(b []byte) error {
 	var s string
 	if err := json.Unmarshal(b, &s); err == nil {
-		for kk := KindRequest; kk <= KindEpochReset; kk++ {
+		for kk := KindRequest; kk <= KindMispredict; kk++ {
 			if kk.String() == s {
 				*k = kk
 				return nil
@@ -94,7 +100,7 @@ type Event struct {
 	At     float64   `json:"at"`
 	Kind   EventKind `json:"kind"`
 	Server int       `json:"server"`
-	From   int       `json:"from,omitempty"` // transfer source, when Kind == KindTransfer
+	From   int       `json:"from,omitempty"` // transfer source (KindTransfer) or predicted server (KindMispredict)
 }
 
 // Observer receives decision events as they happen. Implementations must

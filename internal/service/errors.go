@@ -25,6 +25,7 @@ const (
 	CodeNotFound         ErrCode = "not_found"          // unknown id, route or operation (404)
 	CodeMethodNotAllowed ErrCode = "method_not_allowed" // wrong HTTP verb (405)
 	CodeConflict         ErrCode = "conflict"           // operation against a closed session (409)
+	CodeGone             ErrCode = "gone"               // retired endpoint (410)
 	CodeOverloaded       ErrCode = "overloaded"         // per-session inflight budget exceeded (429)
 	CodeCanceled         ErrCode = "canceled"           // client disconnected mid-operation (499)
 	CodeInternal         ErrCode = "internal"           // server-side failure (500)
@@ -47,6 +48,8 @@ func codeForStatus(status int) ErrCode {
 		return CodeMethodNotAllowed
 	case http.StatusConflict:
 		return CodeConflict
+	case http.StatusGone:
+		return CodeGone
 	case http.StatusTooManyRequests:
 		return CodeOverloaded
 	case StatusClientClosedRequest:

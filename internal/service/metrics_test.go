@@ -498,27 +498,29 @@ func TestErrorEnvelopeAcrossRoutes(t *testing.T) {
 	}
 }
 
-// TestMetriczAlias keeps the legacy JSON endpoint: a map of route hit
-// counts consistent with the Prometheus counters.
-func TestMetriczAlias(t *testing.T) {
+// TestMetriczRetired pins the tombstone of the removed JSON alias: 410
+// Gone, with the structured error envelope pointing at /metrics.
+func TestMetriczRetired(t *testing.T) {
 	ts := newTestServer(t)
-	for i := 0; i < 3; i++ {
-		resp, err := http.Get(ts.URL + "/healthz")
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-	}
 	resp, err := http.Get(ts.URL + "/metricz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var counts map[string]int64
-	if err := json.NewDecoder(resp.Body).Decode(&counts); err != nil {
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("/metricz status = %d, want 410 Gone", resp.StatusCode)
+	}
+	var body ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if counts["/healthz"] != 3 {
-		t.Errorf("/metricz healthz count = %d, want 3", counts["/healthz"])
+	if body.Error.Code != CodeGone {
+		t.Errorf("/metricz envelope code = %q, want %q", body.Error.Code, CodeGone)
+	}
+	if !strings.Contains(body.Error.Message, "/metrics") {
+		t.Errorf("/metricz envelope message %q should point at /metrics", body.Error.Message)
+	}
+	if body.Error.RequestID == "" {
+		t.Error("/metricz envelope missing request_id")
 	}
 }

@@ -51,14 +51,17 @@ type poolEntry struct {
 // the per-item engines; maxItems bounds live engine state (0 unbounded)
 // with LRU eviction beyond it.
 type PoolCreateRequest struct {
-	M        int            `json:"m"`
-	Origin   model.ServerID `json:"origin"`
-	Model    CostModelDTO   `json:"model"`
-	Policy   string         `json:"policy,omitempty"`
-	Window   float64        `json:"window,omitempty"`
-	Epoch    int            `json:"epoch,omitempty"`
-	MaxItems int            `json:"maxItems,omitempty"`
-	Shadows  []string       `json:"shadows,omitempty"` // counterfactual policy specs
+	M      int            `json:"m"`
+	Origin model.ServerID `json:"origin"`
+	Model  CostModelDTO   `json:"model"`
+	// Policy is a PolicySpec string for every item engine ("sc",
+	// "ttl:window=0.5", "hybrid:horizon=8,order=2", ...); Window and Epoch
+	// apply when the spec does not carry its own.
+	Policy   string   `json:"policy,omitempty"`
+	Window   float64  `json:"window,omitempty"`
+	Epoch    int      `json:"epoch,omitempty"`
+	MaxItems int      `json:"maxItems,omitempty"`
+	Shadows  []string `json:"shadows,omitempty"` // counterfactual policy specs
 }
 
 // PoolShadowResponse is the GET {id}/shadow reply: pool-wide

@@ -113,6 +113,34 @@ func TestSeriesRetirementSweep(t *testing.T) {
 			},
 		},
 		{
+			name: "hybrid session with planner gauges",
+			kind: "session",
+			families: []string{
+				"dc_session_cost", "dc_planner_predicted_hit_ratio",
+				"dc_planner_horizon_depth", "dc_planner_confidence",
+				"dc_planner_plans", "dc_planner_mispredicts",
+				"dc_shadow_cost", "dc_alert_state",
+			},
+			create: func(t *testing.T, base string) string {
+				var state SessionState
+				post(t, base+"/v1/session", SessionCreateRequest{
+					M: 3, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 2},
+					Policy: "hybrid:horizon=4,order=1",
+				}, &state)
+				for i := 0; i < 12; i++ {
+					post(t, base+"/v1/session/"+state.ID+"/request",
+						StreamAppendRequest{Server: model.ServerID(1 + i%3), Time: float64(i+1) * 0.5}, nil)
+				}
+				return state.ID
+			},
+			extra: func(t *testing.T, sc scrapeResult, id string) {
+				// The implicit sc self-check shadow publishes under the
+				// shadow families, and the planner alert has a standing row.
+				sc.mustSample(t, fmt.Sprintf(`dc_shadow_cost{session="%s",policy="sc"}`, id))
+				sc.mustSample(t, fmt.Sprintf(`dc_alert_state{session="%s",alert="planner_worse_than_sc"}`, id))
+			},
+		},
+		{
 			name: "pool with shadow policies",
 			kind: "pool",
 			families: []string{

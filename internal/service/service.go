@@ -8,8 +8,8 @@
 // (propagated as the X-Request-Id header, into error bodies and into the
 // structured log), a status-labeled request counter and a per-route
 // latency histogram. /metrics renders the whole registry in the
-// Prometheus text exposition format; /metricz keeps the original JSON
-// per-route counter map as an alias. Live sessions additionally export
+// Prometheus text exposition format (the retired /metricz JSON alias
+// answers 410 Gone). Live sessions additionally export
 // engine decision counters, a decision-latency histogram, per-session
 // cost / optimum / cost_over_optimum / live_copies gauges, and a bounded
 // event trace at GET /v1/session/{id}/trace.
@@ -57,7 +57,7 @@ import (
 )
 
 // Version identifies the service build in /healthz and /v1/spec.
-const Version = "1.7.0"
+const Version = "1.8.0"
 
 // DefaultTraceCap bounds each session's decision-event ring unless
 // WithTraceCap overrides it.
@@ -107,7 +107,7 @@ type Server struct {
 	httpRequests   *obs.CounterVec   // route, code
 	routeHits      *obs.CounterVec   // route (the legacy /metricz shape)
 	httpLatency    *obs.HistogramVec // route
-	engineEvents   *obs.CounterVec   // kind: request|hit|transfer|drop|timer|epoch-reset
+	engineEvents   *obs.CounterVec   // kind: request|hit|transfer|drop|timer|epoch-reset|mispredict
 	engineEventK   []*obs.Counter    // the same counters indexed by obs.EventKind
 	decisionSec    *obs.Histogram    // engine decision latency, seconds
 	sessionCost    *obs.GaugeVec     // session
@@ -127,6 +127,11 @@ type Server struct {
 	poolRatio      *obs.GaugeVec   // pool
 	poolEvict      *obs.CounterVec // pool
 	poolTenantWRat *obs.GaugeVec   // pool, tenant
+	plannerHitRat  *obs.GaugeVec   // session (predicted-vs-actual hit ratio)
+	plannerDepth   *obs.GaugeVec   // session (active plan depth)
+	plannerConf    *obs.GaugeVec   // session (rolling prediction confidence)
+	plannerPlans   *obs.GaugeVec   // session (plans built)
+	plannerMispred *obs.GaugeVec   // session (planned predictions that came false)
 	shadowCost     *obs.GaugeVec   // session, policy (counterfactual cost)
 	shadowRatio    *obs.GaugeVec   // session, policy (counterfactual cost over optimum)
 	shadowBest     *obs.GaugeVec   // session, policy (1 on the minimum-cost policy)
@@ -292,7 +297,7 @@ var routeDocs = map[string]string{
 	"/v1/spec":     "GET this route list",
 	"/readyz":      "GET readiness: degraded while any SLO alert is firing",
 	"/metrics":     "GET Prometheus text-format metrics (HTTP, engine, per-session, SLO); Accept: application/openmetrics-text selects OpenMetrics 1.0 with trace exemplars",
-	"/metricz":     "DEPRECATED alias of /metrics: GET per-route served counters as JSON; prefer /metrics",
+	"/metricz":     "RETIRED (410 Gone since 1.8.0): the JSON alias of /metrics; scrape /metrics instead",
 }
 
 // New builds the service with all routes mounted.
@@ -336,7 +341,7 @@ func New(opts ...Option) *Server {
 		"HTTP request latency in seconds, by route.", nil, "route")
 	s.engineEvents = s.reg.CounterVec("dc_engine_events_total",
 		"Engine decision events across all live sessions, by kind.", "kind")
-	for k := obs.KindRequest; k <= obs.KindEpochReset; k++ {
+	for k := obs.KindRequest; k <= obs.KindMispredict; k++ {
 		s.engineEventK = append(s.engineEventK, s.engineEvents.With(k.String()))
 	}
 	s.decisionSec = s.reg.Histogram("dc_engine_decision_seconds",
@@ -375,6 +380,19 @@ func New(opts ...Option) *Server {
 		"Idle-item engine evictions forced by a pool's MaxItems bound.", "pool")
 	s.poolTenantWRat = s.reg.GaugeVec("dc_pool_tenant_windowed_ratio",
 		"Competitive ratio of one tenant of a pool over the rolling SLO window.", "pool", "tenant")
+	s.plannerHitRat = s.reg.GaugeVec("dc_planner_predicted_hit_ratio",
+		"Fraction of a hybrid session's planned predictions that came true (1 before any resolved).",
+		"session")
+	s.plannerDepth = s.reg.GaugeVec("dc_planner_horizon_depth",
+		"Depth of a hybrid session's active rolling-horizon plan (0 while falling back to SC).",
+		"session")
+	s.plannerConf = s.reg.GaugeVec("dc_planner_confidence",
+		"Rolling prediction accuracy of a hybrid session's Markov predictor (the confidence gate input).",
+		"session")
+	s.plannerPlans = s.reg.GaugeVec("dc_planner_plans",
+		"Rolling-horizon plans a hybrid session has built.", "session")
+	s.plannerMispred = s.reg.GaugeVec("dc_planner_mispredicts",
+		"Planned predictions of a hybrid session that came false (each clears the plan).", "session")
 	s.shadowCost = s.reg.GaugeVec("dc_shadow_cost",
 		"Counterfactual cost a shadow policy would have accumulated on a session's live traffic.",
 		"session", "policy")
@@ -544,12 +562,13 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	s.reg.WritePrometheus(w)
 }
 
-// handleMetricz keeps the original JSON shape — route -> served count —
-// as an alias over the same counters /metrics exports.
+// handleMetricz is the tombstone of the retired JSON alias: deprecated
+// in 1.4, removed in 1.8. The route stays mounted so old scrapers get a
+// structured 410 envelope pointing at /metrics instead of a confusing
+// 404.
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
-	out := map[string]int64{}
-	s.routeHits.Each(func(labels []string, v int64) { out[labels[0]] = v })
-	writeJSON(w, http.StatusOK, out)
+	s.httpError(w, r, http.StatusGone,
+		fmt.Errorf("/metricz was retired in 1.8.0; scrape /metrics (Prometheus text format)"))
 }
 
 // --- DTOs ---

@@ -415,18 +415,14 @@ func TestSpecAndMetrics(t *testing.T) {
 		}
 	}
 
+	// The former JSON alias is retired: mounted, but a 410 tombstone.
 	resp2, err := http.Get(ts.URL + "/metricz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var counters map[string]int64
-	json.NewDecoder(resp2.Body).Decode(&counters)
 	resp2.Body.Close()
-	if counters["/v1/optimize"] != 2 {
-		t.Errorf("optimize counter = %d, want 2", counters["/v1/optimize"])
-	}
-	if counters["/v1/spec"] != 1 {
-		t.Errorf("spec counter = %d, want 1", counters["/v1/spec"])
+	if resp2.StatusCode != http.StatusGone {
+		t.Errorf("/metricz status = %d, want 410 Gone", resp2.StatusCode)
 	}
 }
 

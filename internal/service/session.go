@@ -57,26 +57,31 @@ type SessionCreateRequest struct {
 	M      int            `json:"m"`
 	Origin model.ServerID `json:"origin"`
 	Model  CostModelDTO   `json:"model"`
-	Policy string         `json:"policy,omitempty"` // sc | ttl | migrate | replicate
-	Window float64        `json:"window,omitempty"`
-	Epoch  int            `json:"epoch,omitempty"`
+	// Policy is a PolicySpec string: "sc", "ttl:window=0.5", "sc:epoch=16",
+	// "migrate", "replicate" or "hybrid:horizon=8,order=2". Window and
+	// Epoch below apply when the spec does not carry its own.
+	Policy string  `json:"policy,omitempty"`
+	Window float64 `json:"window,omitempty"`
+	Epoch  int     `json:"epoch,omitempty"`
 	// Shadows lists counterfactual policies to evaluate in lockstep with
 	// live serving ("sc:window=1.5", "ttl:window=0.5", "sc:epoch=16",
 	// "migrate", "replicate"); standings at GET {id}/shadow.
 	Shadows []string `json:"shadows,omitempty"`
 }
 
-// SessionState reports a session's standing.
+// SessionState reports a session's standing. Planner is present only on
+// hybrid sessions.
 type SessionState struct {
-	ID         string  `json:"id"`
-	Policy     string  `json:"policy"`
-	N          int     `json:"n"`
-	Hits       int     `json:"hits"`
-	Transfers  int     `json:"transfers"`
-	LiveCopies int     `json:"liveCopies"`
-	Cost       float64 `json:"cost"`
-	Optimal    float64 `json:"optimal"`
-	Ratio      float64 `json:"ratio"`
+	ID         string                  `json:"id"`
+	Policy     string                  `json:"policy"`
+	N          int                     `json:"n"`
+	Hits       int                     `json:"hits"`
+	Transfers  int                     `json:"transfers"`
+	LiveCopies int                     `json:"liveCopies"`
+	Cost       float64                 `json:"cost"`
+	Optimal    float64                 `json:"optimal"`
+	Ratio      float64                 `json:"ratio"`
+	Planner    *datacache.PlannerStats `json:"planner,omitempty"`
 }
 
 // SessionTraceResponse is the GET {id}/trace reply: the bounded ring of
@@ -162,7 +167,7 @@ type ReadyResponse struct {
 }
 
 func sessionState(id string, sess *datacache.Session) SessionState {
-	return SessionState{
+	st := SessionState{
 		ID:         id,
 		Policy:     sess.Policy(),
 		N:          sess.N(),
@@ -173,6 +178,10 @@ func sessionState(id string, sess *datacache.Session) SessionState {
 		Optimal:    sess.OptimalCost(),
 		Ratio:      sess.Ratio(),
 	}
+	if ps, ok := sess.PlannerStats(); ok {
+		st.Planner = &ps
+	}
+	return st
 }
 
 // engineObserver feeds every decision event of one session into the
@@ -277,6 +286,17 @@ func (s *Server) publishSessionGauges(id string, e *sessionEntry) {
 		}
 	}
 
+	if st, ok := sess.PlannerStats(); ok {
+		s.plannerHitRat.With(id).Set(st.PredictedHitRatio)
+		s.plannerDepth.With(id).Set(float64(st.PlanDepth))
+		s.plannerConf.With(id).Set(st.Confidence)
+		s.plannerPlans.With(id).Set(float64(st.Plans))
+		s.plannerMispred.With(id).Set(float64(st.Mispredicts))
+		if a, ok := sess.PlannerAlert(); ok {
+			s.alertState.With(id, a.Rule.Name).Set(float64(a.State))
+		}
+	}
+
 	// Shadow standings: the cheap O(M)-per-policy CostLive feed, never the
 	// exact schedule-priced query (that one is O(n) and route-only).
 	if names := sess.ShadowNames(); len(names) > 0 {
@@ -334,6 +354,11 @@ func (s *Server) dropSessionGauges(id string, e *sessionEntry) {
 	s.sessionOpt.Delete(id)
 	s.sessionRatio.Delete(id)
 	s.sessionLive.Delete(id)
+	s.plannerHitRat.Delete(id)
+	s.plannerDepth.Delete(id)
+	s.plannerConf.Delete(id)
+	s.plannerPlans.Delete(id)
+	s.plannerMispred.Delete(id)
 	_ = e.lk.lock(context.Background()) // never fails: the context cannot be canceled
 	servers := make([]string, 0, len(e.servers))
 	for srv := range e.servers {
@@ -410,6 +435,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		// and WARN-log plumbing, and is retired with them on close.
 		entry.alerts = append(entry.alerts, a.Rule.Name)
 		sess.SetShadowTransitionHook(s.alertHook(id))
+	}
+	if a, ok := sess.PlannerAlert(); ok {
+		// Likewise planner_worse_than_sc on hybrid sessions.
+		entry.alerts = append(entry.alerts, a.Rule.Name)
+		sess.SetPlannerTransitionHook(s.alertHook(id))
 	}
 	s.sessions.put(id, entry)
 	s.sessionsOpen.Add(1)

@@ -279,3 +279,44 @@ func TestSessionConcurrentHammer(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestHybridSessionEndpoint drives a hybrid live session over HTTP: the
+// spec parses at create, the state document carries the planner stats
+// block once the planner engages, and a malformed hybrid spec is a 400
+// at create time, not a 500 at first serve.
+func TestHybridSessionEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var st SessionState
+	resp := post(t, ts.URL+"/v1/session", SessionCreateRequest{
+		M: 4, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 2},
+		Policy: "hybrid:horizon=6,order=2",
+	}, &st)
+	if resp.StatusCode != http.StatusCreated || st.Policy != "hybrid" {
+		t.Fatalf("create: status %d, state %+v", resp.StatusCode, st)
+	}
+	if st.Planner == nil {
+		t.Fatal("create state has no planner block")
+	}
+	if st.Planner.Horizon != 6 || st.Planner.Order != 2 {
+		t.Fatalf("planner block = %+v, want horizon=6 order=2", st.Planner)
+	}
+	for i := 0; i < 120; i++ {
+		post(t, ts.URL+"/v1/session/"+st.ID+"/request",
+			StreamAppendRequest{Server: model.ServerID(1 + i%4), Time: float64(i + 1)}, nil)
+	}
+	getJSON(t, ts.URL+"/v1/session/"+st.ID, &st)
+	if st.Planner == nil || st.Planner.Plans == 0 {
+		t.Fatalf("planner never engaged over HTTP: %+v", st.Planner)
+	}
+	if st.Planner.PredictedHitRatio < 0.9 {
+		t.Errorf("predicted-hit ratio %v < 0.9 on a deterministic cycle", st.Planner.PredictedHitRatio)
+	}
+
+	resp = post(t, ts.URL+"/v1/session", SessionCreateRequest{
+		M: 4, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 2},
+		Policy: "sc:horizon=4",
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad hybrid spec: status %d, want 400", resp.StatusCode)
+	}
+}

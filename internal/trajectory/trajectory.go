@@ -215,19 +215,27 @@ func NewPredictor(k int) *Predictor {
 // Train ingests a visit history.
 func (p *Predictor) Train(visits []model.ServerID) {
 	for i, v := range visits {
-		p.global[v]++
-		for order := 1; order <= p.K; order++ {
-			if i < order {
-				break
-			}
-			ctx := contextKey(visits[i-order : i])
-			m := p.counts[order-1][ctx]
-			if m == nil {
-				m = map[model.ServerID]int{}
-				p.counts[order-1][ctx] = m
-			}
-			m[v]++
+		p.Observe(visits[:i], v)
+	}
+}
+
+// Observe ingests one visit incrementally: recent is the history observed
+// before v (only its last K entries are consulted). Train(visits) is
+// exactly equivalent to Observe(visits[:i], visits[i]) for each i in
+// order, so a live stream trains the same model a batch replay would.
+func (p *Predictor) Observe(recent []model.ServerID, v model.ServerID) {
+	p.global[v]++
+	for order := 1; order <= p.K; order++ {
+		if len(recent) < order {
+			break
 		}
+		ctx := contextKey(recent[len(recent)-order:])
+		m := p.counts[order-1][ctx]
+		if m == nil {
+			m = map[model.ServerID]int{}
+			p.counts[order-1][ctx] = m
+		}
+		m[v]++
 	}
 }
 

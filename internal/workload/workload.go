@@ -3,8 +3,9 @@
 // request times, and models one of the access patterns the paper's
 // evaluation story needs: uniform and Zipf-popularity traffic, Poisson and
 // bursty arrivals, sticky Markov hopping (spatial-temporal locality), a
-// periodic commuter route, and the adversarial anti-SC pattern used to
-// pressure the competitive bound.
+// periodic commuter route, the fully predictable cycle trajectory the
+// hybrid planner's predictor learns exactly, and the adversarial anti-SC
+// pattern used to pressure the competitive bound.
 package workload
 
 import (
@@ -164,6 +165,36 @@ func (c Commuter) Generate(rng *rand.Rand, n int) *model.Sequence {
 			seq.Requests = append(seq.Requests, model.Request{Server: sv, Time: t})
 		}
 		t += c.TravelGap + expGap(rng, c.StopGap)
+	}
+	return seq
+}
+
+// Cycle is the fully predictable trajectory: requests walk the servers
+// 1..M in order with a fixed gap — zero entropy, so an order-k Markov
+// predictor learns it exactly after one lap. It is the hybrid planner's
+// best case (the opposite pole from Adversarial): drive it to watch
+// dc_planner_predicted_hit_ratio approach 1.
+type Cycle struct {
+	M   int
+	Gap float64 // fixed inter-arrival gap (default 1)
+}
+
+// Name implements Generator.
+func (c Cycle) Name() string { return fmt.Sprintf("cycle(m=%d,gap=%g)", c.M, c.Gap) }
+
+// Generate implements Generator. The rng is unused: the trace is fully
+// deterministic by construction.
+func (c Cycle) Generate(rng *rand.Rand, n int) *model.Sequence {
+	gap := c.Gap
+	if gap <= 0 {
+		gap = 1
+	}
+	seq := &model.Sequence{M: c.M, Origin: 1}
+	for i := 0; i < n; i++ {
+		seq.Requests = append(seq.Requests, model.Request{
+			Server: model.ServerID(1 + i%c.M),
+			Time:   float64(i+1) * gap,
+		})
 	}
 	return seq
 }

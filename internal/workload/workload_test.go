@@ -16,6 +16,8 @@ func testGenerators() []Generator {
 		Bursty{M: 2, BurstLen: 1, WithinGap: 0.1, BetweenGap: 2},
 		MarkovHop{M: 1, Stay: 0, MeanGap: 1},
 		Adversarial{M: 0, Window: 2}, // m floored to 2
+		Cycle{M: 4, Gap: 0.5},
+		Cycle{M: 3}, // gap defaulted to 1
 	)
 	return gens
 }
@@ -262,6 +264,19 @@ func TestCommuterRouteClamped(t *testing.T) {
 		seq := g.Generate(rand.New(rand.NewSource(25)), 40)
 		if err := seq.Validate(); err != nil {
 			t.Fatalf("%s with m=2: %v", g.Name(), err)
+		}
+	}
+}
+
+// TestCycleIsFullyPredictable pins the property the hybrid planner's
+// smoke test relies on: the cycle trace is deterministic (seed-free) and
+// every request is the successor of the previous one modulo M.
+func TestCycleIsFullyPredictable(t *testing.T) {
+	seq := Cycle{M: 5, Gap: 2}.Generate(rand.New(rand.NewSource(1)), 100)
+	for i, r := range seq.Requests {
+		want := model.ServerID(1 + i%5)
+		if r.Server != want || r.Time != float64(i+1)*2 {
+			t.Fatalf("request %d = %+v, want server %d at t=%g", i, r, want, float64(i+1)*2)
 		}
 	}
 }

@@ -471,9 +471,7 @@ func (p *Pool) ServeBatch(ctx context.Context, reqs []PoolRequest) (*PoolBatchRe
 	if p.closed {
 		return nil, fmt.Errorf("datacache: pool is closed")
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	ctx = orBackground(ctx)
 	// Group by key, submission order preserved within each group and
 	// across group first-appearances.
 	type group struct{ idx []int }

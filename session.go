@@ -8,6 +8,7 @@ import (
 	"datacache/internal/model"
 	"datacache/internal/obs"
 	"datacache/internal/offline"
+	"datacache/internal/planner"
 	"datacache/internal/recorder"
 )
 
@@ -68,14 +69,20 @@ func Theorem3Rule() AlertRule { return obs.Theorem3Rule() }
 // SessionOptions selects and parameterizes the policy behind a Session.
 // The zero value (or a nil *SessionOptions) is the paper's canonical SC.
 type SessionOptions struct {
-	// Policy chooses the decision rules: "sc" (default), "ttl" (fixed
-	// retention window, requires Window > 0), "migrate" (single nomadic
-	// copy) or "replicate"/"keep" (replicate on first touch, never delete).
+	// Policy selects the live policy as a PolicySpec string: "sc"
+	// (default), "ttl" (fixed retention window, requires a window),
+	// "migrate" (single nomadic copy), "replicate"/"keep" (replicate on
+	// first touch, never delete) or "hybrid" (prediction-fed planner with
+	// SC fallback). Parameters may ride in the spec
+	// ("ttl:window=0.5", "sc:epoch=16", "hybrid:horizon=8,order=2") or in
+	// the fields below; spec-carried values win.
 	Policy string
 	// Window overrides the speculative window Δt = Lambda/Mu for "sc" and
-	// sets the retention window for "ttl".
+	// "hybrid", and sets the retention window for "ttl". Ignored when the
+	// Policy spec carries window=.
 	Window float64
 	// EpochTransfers enables SC's epoch restarts (0 disables them).
+	// Ignored when the Policy spec carries epoch=.
 	EpochTransfers int
 	// TraceCap, when positive, keeps a bounded ring of the most recent
 	// TraceCap decision events, readable via Trace. Zero disables the ring.
@@ -175,6 +182,10 @@ type Session struct {
 	shadowWindow int
 	shadowMargin float64
 
+	hybrid       *planner.Hybrid // nil unless the live policy is hybrid
+	plannerAlert *obs.Tracker    // nil unless hybrid with an sc shadow and a margin rule
+	scShadowIdx  int             // index of the "sc" shadow the planner alert compares against
+
 	rec       *recorder.Writer // nil unless SessionOptions.Recorder set
 	recStream uint32
 	recTrace  string // trace id stamped on the next serve record
@@ -188,25 +199,27 @@ func NewSession(m int, origin ServerID, cm CostModel, opts *SessionOptions) (*Se
 	if opts == nil {
 		opts = &SessionOptions{}
 	}
-	var d engine.Decider
-	policy := opts.Policy
-	switch policy {
-	case "", "sc":
-		policy = "sc"
-		d = &engine.SC{Window: opts.Window, EpochTransfers: opts.EpochTransfers}
-	case "ttl":
-		if opts.Window <= 0 {
-			return nil, fmt.Errorf("datacache: ttl policy requires Window > 0")
+	// The live policy is one PolicySpec: parse the spec string loosely,
+	// merge in the option-level parameters where the spec left them unset,
+	// and let the decider construction validate the result.
+	var sp PolicySpec
+	if opts.Policy != "" {
+		var err error
+		if sp, err = parsePolicySpec(opts.Policy); err != nil {
+			return nil, err
 		}
-		d = &engine.SC{Window: opts.Window}
-	case "migrate":
-		d = &engine.Migrate{}
-	case "replicate", "keep":
-		policy = "replicate"
-		d = &engine.Replicate{}
-	default:
-		return nil, fmt.Errorf("datacache: unknown session policy %q", opts.Policy)
 	}
+	if sp.Window == 0 {
+		sp.Window = opts.Window
+	}
+	if sp.EpochTransfers == 0 {
+		sp.EpochTransfers = opts.EpochTransfers
+	}
+	d, err := sp.decider()
+	if err != nil {
+		return nil, err
+	}
+	policy := sp.name()
 	if err := cm.Validate(); err != nil {
 		return nil, err
 	}
@@ -217,11 +230,25 @@ func NewSession(m int, origin ServerID, cm CostModel, opts *SessionOptions) (*Se
 		ringObs = ring
 	}
 	observer := obs.Multi(ringObs, opts.Observer)
-	if sc, ok := d.(*engine.SC); ok && observer != nil {
-		// Epoch restarts happen inside the decider, invisible to the
-		// stream's action ledger; surface them through the analysis hook.
-		sc.OnReset = func(t float64, keep model.ServerID) {
-			observer.Observe(obs.Event{At: t, Kind: obs.KindEpochReset, Server: int(keep)})
+	var hybrid *planner.Hybrid
+	switch dd := d.(type) {
+	case *engine.SC:
+		if observer != nil {
+			// Epoch restarts happen inside the decider, invisible to the
+			// stream's action ledger; surface them through the analysis hook.
+			dd.OnReset = func(t float64, keep model.ServerID) {
+				observer.Observe(obs.Event{At: t, Kind: obs.KindEpochReset, Server: int(keep)})
+			}
+		}
+	case *planner.Hybrid:
+		hybrid = dd
+		if observer != nil {
+			dd.OnReset = func(t float64, keep model.ServerID) {
+				observer.Observe(obs.Event{At: t, Kind: obs.KindEpochReset, Server: int(keep)})
+			}
+			dd.OnMispredict = func(t float64, predicted, actual model.ServerID) {
+				observer.Observe(obs.Event{At: t, Kind: obs.KindMispredict, Server: int(actual), From: int(predicted)})
+			}
 		}
 	}
 	stream, err := engine.NewStream(d, engine.State{M: m, Origin: origin, Model: cm})
@@ -241,9 +268,37 @@ func NewSession(m int, origin ServerID, cm CostModel, opts *SessionOptions) (*Se
 		}
 		slo = obs.NewSLO(opts.SLOWindow, rules...)
 	}
-	s := &Session{policy: policy, cm: cm, stream: stream, inc: inc, ring: ring, slo: slo}
+	s := &Session{policy: policy, cm: cm, stream: stream, inc: inc, ring: ring, slo: slo, hybrid: hybrid, scShadowIdx: -1}
+	if hybrid != nil {
+		// A hybrid live policy always runs its own SC fallback as a shadow
+		// — the built-in self-check that planning never loses to the pure
+		// online policy — unless the caller already declared one labeled
+		// "sc". The options are copied, not mutated.
+		hasSC := false
+		for _, shp := range opts.ShadowPolicies {
+			if shp.label() == "sc" {
+				hasSC = true
+			}
+		}
+		if !hasSC {
+			o := *opts
+			o.ShadowPolicies = append(append([]PolicySpec{}, opts.ShadowPolicies...),
+				PolicySpec{Window: sp.Window, EpochTransfers: sp.EpochTransfers, Label: "sc"})
+			opts = &o
+		}
+	}
 	if err := s.initShadows(m, origin, opts); err != nil {
 		return nil, err
+	}
+	if hybrid != nil && s.shadows != nil {
+		for i, name := range s.shadows.Names() {
+			if name == "sc" {
+				s.scShadowIdx = i
+			}
+		}
+		if s.scShadowIdx >= 0 && s.shadowMargin > 0 {
+			s.plannerAlert = obs.NewTracker(plannerRule(s.shadowMargin))
+		}
 	}
 	if opts.Recorder != nil && !opts.Recorder.Closed() {
 		s.rec = opts.Recorder
@@ -255,9 +310,11 @@ func NewSession(m int, origin ServerID, cm CostModel, opts *SessionOptions) (*Se
 			Origin:  int(origin),
 			Mu:      cm.Mu,
 			Lambda:  cm.Lambda,
-			Policy:  policy,
-			Window:  opts.Window,
-			Epoch:   opts.EpochTransfers,
+			// The full canonical spec, not the bare name, so replayed
+			// hybrid sessions rebuild identical horizon/order parameters.
+			Policy: sp.Spec(),
+			Window: opts.Window,
+			Epoch:  opts.EpochTransfers,
 		})
 	}
 	return s, nil
@@ -361,6 +418,7 @@ func (s *Session) ServeBatch(ctx context.Context, reqs []Request) (*ServeBatchRe
 	if s.closed {
 		return nil, fmt.Errorf("datacache: session is closed")
 	}
+	ctx = orBackground(ctx)
 	res := &ServeBatchResult{
 		Decisions:     make([]Decision, 0, len(reqs)),
 		FirstRejected: -1,
@@ -380,6 +438,16 @@ func (s *Session) ServeBatch(ctx context.Context, reqs []Request) (*ServeBatchRe
 	}
 	s.snapshotInto(res)
 	return res, nil
+}
+
+// orBackground normalizes a nil context to context.Background, so both
+// batch paths (Session.ServeBatch, Pool.ServeBatch) treat a nil ctx as
+// "never canceled" instead of panicking on ctx.Err.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // snapshotInto fills the post-batch cost/optimum/ratio readout.
@@ -425,6 +493,21 @@ func (s *Session) SLO() *SLO { return s.slo }
 
 // Policy returns the canonical name of the session's policy.
 func (s *Session) Policy() string { return s.policy }
+
+// PlannerStats is the hybrid planner's point-in-time readout: plan
+// counts and depth, predicted-vs-actual hit ratio, rolling confidence,
+// and whether the confidence gate is open.
+type PlannerStats = planner.Stats
+
+// PlannerStats returns the hybrid planner readout, or false when the
+// session's live policy is not hybrid. It shares the session's
+// synchronization: read it only while no Serve is in flight.
+func (s *Session) PlannerStats() (PlannerStats, bool) {
+	if s.hybrid == nil {
+		return PlannerStats{}, false
+	}
+	return s.hybrid.Stats(), true
+}
 
 // LiveCopies returns how many copies are currently alive.
 func (s *Session) LiveCopies() int { return s.stream.Live() }

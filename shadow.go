@@ -2,8 +2,6 @@ package datacache
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"datacache/internal/engine"
 	"datacache/internal/obs"
@@ -23,120 +21,10 @@ const DefaultShadowMargin = 0.25
 // against the live-over-best-shadow windowed cost ratio.
 const ShadowAlertRuleName = "shadow_beats_live"
 
-// ShadowPolicy names one counterfactual policy a Session evaluates in
-// lockstep with live serving. The zero Policy means "sc"; Window and
-// EpochTransfers parameterize it exactly like SessionOptions. Label
-// overrides the metric/report label, which otherwise is the canonical
-// Spec() rendering ("sc", "ttl:window=0.5", "sc:epoch=16", ...).
-type ShadowPolicy struct {
-	Policy         string
-	Window         float64
-	EpochTransfers int
-	Label          string
-}
-
-// Spec renders the canonical spec string, parseable by ParseShadowPolicy.
-func (sp ShadowPolicy) Spec() string {
-	switch sp.Policy {
-	case "", "sc":
-		s := "sc"
-		if sp.Window > 0 {
-			s += fmt.Sprintf(":window=%g", sp.Window)
-		}
-		if sp.EpochTransfers > 0 {
-			s += fmt.Sprintf(":epoch=%d", sp.EpochTransfers)
-		}
-		return s
-	case "ttl":
-		return fmt.Sprintf("ttl:window=%g", sp.Window)
-	default:
-		return sp.Policy
-	}
-}
-
-// label is the name the shadow's standings and metric series use.
-func (sp ShadowPolicy) label() string {
-	if sp.Label != "" {
-		return sp.Label
-	}
-	return sp.Spec()
-}
-
-// decider builds the engine decider the shadow runs — the same switch
-// NewSession applies to the live policy.
-func (sp ShadowPolicy) decider() (engine.Decider, error) {
-	switch sp.Policy {
-	case "", "sc":
-		return &engine.SC{Window: sp.Window, EpochTransfers: sp.EpochTransfers}, nil
-	case "ttl":
-		if sp.Window <= 0 {
-			return nil, fmt.Errorf("datacache: shadow ttl policy requires window > 0")
-		}
-		return &engine.SC{Window: sp.Window}, nil
-	case "migrate":
-		return &engine.Migrate{}, nil
-	case "replicate", "keep":
-		return &engine.Replicate{}, nil
-	default:
-		return nil, fmt.Errorf("datacache: unknown shadow policy %q", sp.Policy)
-	}
-}
-
-// ParseShadowPolicy parses one shadow spec of the form
-// "kind[:key=value...]": "sc", "sc:window=1.5", "sc:epoch=16",
-// "ttl:window=0.5", "migrate", "replicate".
-func ParseShadowPolicy(spec string) (ShadowPolicy, error) {
-	parts := strings.Split(spec, ":")
-	sp := ShadowPolicy{Policy: strings.TrimSpace(parts[0])}
-	if sp.Policy == "" {
-		return sp, fmt.Errorf("datacache: empty shadow policy spec %q", spec)
-	}
-	for _, kv := range parts[1:] {
-		key, val, ok := strings.Cut(kv, "=")
-		if !ok {
-			return sp, fmt.Errorf("datacache: shadow spec %q: %q is not key=value", spec, kv)
-		}
-		switch key {
-		case "window":
-			w, err := strconv.ParseFloat(val, 64)
-			if err != nil || w <= 0 {
-				return sp, fmt.Errorf("datacache: shadow spec %q: bad window %q", spec, val)
-			}
-			sp.Window = w
-		case "epoch":
-			e, err := strconv.Atoi(val)
-			if err != nil || e < 1 {
-				return sp, fmt.Errorf("datacache: shadow spec %q: bad epoch %q", spec, val)
-			}
-			sp.EpochTransfers = e
-		default:
-			return sp, fmt.Errorf("datacache: shadow spec %q: unknown key %q", spec, key)
-		}
-	}
-	// Validate the policy name and its parameters eagerly so a bad spec
-	// fails at parse time, not at session create.
-	if _, err := sp.decider(); err != nil {
-		return sp, err
-	}
-	return sp, nil
-}
-
-// WithShadowPolicies parses shadow specs into the ShadowPolicies option
-// — the one-liner for wiring counterfactual policies into a Session or a
-// Pool's session template:
-//
-//	opts.ShadowPolicies, err = datacache.WithShadowPolicies("ttl:window=1", "migrate")
-func WithShadowPolicies(specs ...string) ([]ShadowPolicy, error) {
-	out := make([]ShadowPolicy, 0, len(specs))
-	for _, spec := range specs {
-		sp, err := ParseShadowPolicy(spec)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, sp)
-	}
-	return out, nil
-}
+// PlannerAlertRuleName names the alert rule a hybrid session evaluates
+// against its built-in "sc" shadow: it breaches when planning makes the
+// live policy pay more than the pure online fallback would have.
+const PlannerAlertRuleName = "planner_worse_than_sc"
 
 // ShadowTotals is the cheap accumulator readout of one shadow policy;
 // see Session.ShadowTotals.
@@ -179,6 +67,20 @@ type ShadowReport struct {
 func shadowRule(margin float64) AlertRule {
 	return AlertRule{
 		Name:       ShadowAlertRuleName,
+		Threshold:  1 + margin,
+		Hysteresis: margin / 2,
+		For:        3,
+	}
+}
+
+// plannerRule builds the planner_worse_than_sc alert rule: the tracked
+// value is the hybrid live policy's windowed cost over its sc shadow's,
+// with the same threshold/hysteresis/streak shape as shadowRule — the
+// planner must not merely trail SC within noise, it must clearly lose
+// for three consecutive windows before the rule fires.
+func plannerRule(margin float64) AlertRule {
+	return AlertRule{
+		Name:       PlannerAlertRuleName,
 		Threshold:  1 + margin,
 		Hysteresis: margin / 2,
 		For:        3,
@@ -244,6 +146,11 @@ func (s *Session) observeShadows(server ServerID, t float64, d *Decision) {
 			s.shadowAlert.Observe(t, s.shadows.LiveWindowedCost()/best)
 		}
 	}
+	if s.plannerAlert != nil {
+		if sc := s.shadows.WindowedCost(s.scShadowIdx); sc > 0 {
+			s.plannerAlert.Observe(t, s.shadows.LiveWindowedCost()/sc)
+		}
+	}
 }
 
 // ShadowNames returns the shadow policy labels in evaluation order (bit
@@ -304,14 +211,38 @@ func (s *Session) SetShadowTransitionHook(h obs.TransitionHook) {
 	}
 }
 
-// Alerts merges the SLO rules' standings with the shadow_beats_live
-// standing, in that order. Nil when the session tracks neither.
+// PlannerAlert returns the planner_worse_than_sc rule's standing, or
+// false when the live policy is not hybrid or the margin rule is
+// disabled.
+func (s *Session) PlannerAlert() (Alert, bool) {
+	if s.plannerAlert == nil {
+		return Alert{}, false
+	}
+	return s.plannerAlert.Alert(), true
+}
+
+// SetPlannerTransitionHook installs h (nil detaches) to observe
+// planner_worse_than_sc state changes synchronously from Serve,
+// mirroring SetShadowTransitionHook. It is a no-op without the planner
+// alert.
+func (s *Session) SetPlannerTransitionHook(h obs.TransitionHook) {
+	if s.plannerAlert != nil {
+		s.plannerAlert.SetTransitionHook(h)
+	}
+}
+
+// Alerts merges the SLO rules' standings with the shadow_beats_live and
+// planner_worse_than_sc standings, in that order. Nil when the session
+// tracks none.
 func (s *Session) Alerts() []Alert {
 	var out []Alert
 	if s.slo != nil {
 		out = s.slo.Alerts()
 	}
 	if a, ok := s.ShadowAlert(); ok {
+		out = append(out, a)
+	}
+	if a, ok := s.PlannerAlert(); ok {
 		out = append(out, a)
 	}
 	return out
