@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"datacache/internal/recorder"
 	"datacache/internal/service"
@@ -185,11 +186,14 @@ func TestCLIDcloadSmoke(t *testing.T) {
 	srv := httptest.NewServer(service.New())
 	defer srv.Close()
 
-	reportFile := filepath.Join(t.TempDir(), "report.txt")
+	dir := t.TempDir()
+	reportFile := filepath.Join(dir, "report.txt")
+	jsonFile := filepath.Join(dir, "report.json")
 	out, _ := run(t, bins["dcload"], nil,
 		"-addr", srv.URL, "-n", "600", "-c", "2", "-batch", "32",
 		"-workload", "zipf", "-m", "8", "-seed", "1",
-		"-max-ratio", "3", "-out", reportFile, "-keep-sessions")
+		"-max-ratio", "3", "-out", reportFile, "-keep-sessions",
+		"-history-report", "-report-json", jsonFile)
 	for _, want := range []string{
 		"dcload report",
 		"workload      zipf(m=8,s=1.2)  batch=32",
@@ -199,10 +203,41 @@ func TestCLIDcloadSmoke(t *testing.T) {
 		"latency       mean",
 		"slowest traces (GET /v1/traces/{id}):",
 		"highest-regret traces (GET /v1/traces/{id}):",
+		"history (server-side trajectories",
+		`dc_session_windowed_ratio{session="`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dcload output missing %q:\n%s", want, out)
 		}
+	}
+	// The JSON report always carries the alerts block, and a steady zipf
+	// run must not trip the anomaly detector — zero firing transitions.
+	var jr struct {
+		Alerts []struct {
+			Rule string `json:"rule"`
+			To   string `json:"to"`
+		} `json:"alerts"`
+		History []struct {
+			Series string `json:"series"`
+		} `json:"history"`
+	}
+	raw, err := os.ReadFile(jsonFile)
+	if err != nil {
+		t.Fatalf("report json: %v", err)
+	}
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatalf("report json: %v", err)
+	}
+	if !strings.Contains(string(raw), `"alerts"`) {
+		t.Error("report json missing the alerts block")
+	}
+	for _, a := range jr.Alerts {
+		if a.Rule == "metric_anomaly" && a.To == "firing" {
+			t.Errorf("spurious metric_anomaly firing on a steady workload: %+v", jr.Alerts)
+		}
+	}
+	if len(jr.History) == 0 {
+		t.Error("report json missing history series despite -history-report")
 	}
 	// The reported trace ids must resolve on the server.
 	checked := 0
@@ -345,6 +380,15 @@ func TestCLIDctopFrame(t *testing.T) {
 			t.Errorf("frame missing %q:\n%s", want, out)
 		}
 	}
+	// The history-backed panels: the decision-latency p99 line (fed by
+	// the embedded tsdb's quantile series — the lazy sampling pass means
+	// even a one-shot frame has at least one point) and the alert
+	// transitions the server annotated onto the timeline.
+	for _, want := range []string{"decision p99", "recent transitions:", "-> firing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing history panel %q:\n%s", want, out)
+		}
+	}
 	// Both servers were touched by the ping-pong, so both rows render.
 	for _, row := range []string{"\n  1    ", "\n  2    "} {
 		if !strings.Contains(out, row) {
@@ -400,9 +444,15 @@ func TestCLIDctopFrame(t *testing.T) {
 		},
 	}, nil)
 
+	// The embedded server samples history lazily, at most once per
+	// interval (1s); wait one out so the next frame's query sees the
+	// pool's series.
+	time.Sleep(1100 * time.Millisecond)
+
 	out2, _ := run(t, bins["dctop"], nil, "-addr", srv.URL, "-once")
 	for _, want := range []string{
 		"pool " + poolState.ID,
+		"\n  /opt ", // pool cost-over-optimum history sparkline
 		"top items by cost:",
 		"top items by regret:",
 		"acme/video",

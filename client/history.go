@@ -1,0 +1,106 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"datacache/internal/obs/tsdb"
+	"datacache/internal/service"
+)
+
+// Aliases for the history wire types, so the contract has exactly one
+// definition (internal/obs/tsdb via internal/service).
+type (
+	// MetricsHistoryResponse is the GET /v1/metrics/history reply.
+	MetricsHistoryResponse = service.MetricsHistoryResponse
+	// HistorySeries is one series' windowed, aggregated history.
+	HistorySeries = tsdb.Series
+	// HistoryPoint is one aggregated bucket (t = bucket start, unix s).
+	HistoryPoint = tsdb.Point
+	// HistoryAnnotation is one alert transition on the timeline.
+	HistoryAnnotation = tsdb.Annotation
+)
+
+// HistoryQuery parameterizes Client.History. Series entries are family
+// names ("dc_session_windowed_ratio") matching every series of the
+// family, or exact keys (`dc_session_windowed_ratio{session="sn-1"}`)
+// matching one; SessionSeries/PoolSeries build the latter.
+type HistoryQuery struct {
+	Series []string      // required
+	Window time.Duration // default 5m (server side)
+	Step   time.Duration // bucket width; default window/60, floored at the sampling interval
+	Agg    string        // last|min|max|avg|rate|p50|p99; default avg
+	End    float64       // window end, unix seconds; 0 means server "now"
+	Limit  int           // max series returned; default 20
+	// NoAnnotations drops the alert-transition timeline from the reply.
+	NoAnnotations bool
+}
+
+// History queries the server's embedded metrics history store
+// (GET /v1/metrics/history): windowed aggregates over every selected
+// series plus the alert transitions that fall inside the window.
+func (c *Client) History(ctx context.Context, q HistoryQuery) (MetricsHistoryResponse, error) {
+	var out MetricsHistoryResponse
+	if len(q.Series) == 0 {
+		return out, fmt.Errorf("client: HistoryQuery.Series is required")
+	}
+	v := url.Values{}
+	v.Set("series", strings.Join(q.Series, ","))
+	if q.Window > 0 {
+		v.Set("window", q.Window.String())
+	}
+	if q.Step > 0 {
+		v.Set("step", q.Step.String())
+	}
+	if q.Agg != "" {
+		v.Set("agg", q.Agg)
+	}
+	if q.End != 0 {
+		v.Set("end", strconv.FormatFloat(q.End, 'g', -1, 64))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.NoAnnotations {
+		v.Set("annotations", "false")
+	}
+	err := c.get(ctx, "/v1/metrics/history?"+v.Encode(), &out)
+	return out, err
+}
+
+// SessionSeries is the exact history key of a per-session family, e.g.
+// SessionSeries("dc_session_windowed_ratio", "sn-1").
+func SessionSeries(family, id string) string {
+	return fmt.Sprintf(`%s{session="%s"}`, family, id)
+}
+
+// PoolSeries is the exact history key of a per-pool family.
+func PoolSeries(family, id string) string {
+	return fmt.Sprintf(`%s{pool="%s"}`, family, id)
+}
+
+// History fetches this session's windowed history for the named
+// per-session families (bare family names; the session label is added).
+func (s *Session) History(ctx context.Context, q HistoryQuery) (MetricsHistoryResponse, error) {
+	scoped := q
+	scoped.Series = make([]string, len(q.Series))
+	for i, fam := range q.Series {
+		scoped.Series[i] = SessionSeries(fam, s.ID)
+	}
+	return s.c.History(ctx, scoped)
+}
+
+// History fetches this pool's windowed history for the named per-pool
+// families (bare family names; the pool label is added).
+func (p *Pool) History(ctx context.Context, q HistoryQuery) (MetricsHistoryResponse, error) {
+	scoped := q
+	scoped.Series = make([]string, len(q.Series))
+	for i, fam := range q.Series {
+		scoped.Series[i] = PoolSeries(fam, p.ID)
+	}
+	return p.c.History(ctx, scoped)
+}

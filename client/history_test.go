@@ -1,0 +1,119 @@
+package client_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"datacache/client"
+	"datacache/internal/service"
+)
+
+// TestClientHistory exercises the typed history surface against a real
+// server: the lazy sampling pass means even a server with no background
+// sampler answers with at least one fresh point per live series.
+func TestClientHistory(t *testing.T) {
+	ts := httptest.NewServer(service.New())
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	cfg, _ := fig6Config()
+	sess, err := cl.CreateSession(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ServeBatch(ctx, fig6Requests()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Series is required client-side.
+	if _, err := cl.History(ctx, client.HistoryQuery{}); err == nil {
+		t.Fatal("History with no series should fail fast")
+	}
+
+	// Family-name selector: the open-sessions gauge has one series at 1.
+	resp, err := cl.History(ctx, client.HistoryQuery{
+		Series: []string{"dc_sessions_open"},
+		Window: time.Minute,
+		Agg:    "last",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Agg != "last" || len(resp.Series) != 1 {
+		t.Fatalf("history reply = %+v, want one dc_sessions_open series", resp)
+	}
+	if pts := resp.Series[0].Points; len(pts) == 0 || pts[len(pts)-1].V != 1 {
+		t.Fatalf("dc_sessions_open points = %+v, want last value 1", pts)
+	}
+
+	// Session-scoped helper: the exact per-session key comes back.
+	sresp, err := sess.History(ctx, client.HistoryQuery{
+		Series: []string{"dc_session_cost", "dc_session_windowed_ratio"},
+		Window: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sresp.Series) != 2 {
+		t.Fatalf("session history returned %d series, want 2: %+v", len(sresp.Series), sresp.Series)
+	}
+	wantKey := client.SessionSeries("dc_session_cost", sess.ID)
+	if sresp.Series[0].Key != wantKey {
+		t.Fatalf("series key = %s, want %s", sresp.Series[0].Key, wantKey)
+	}
+	if pts := sresp.Series[0].Points; len(pts) == 0 || pts[len(pts)-1].V <= 0 {
+		t.Fatalf("dc_session_cost points = %+v, want a positive cost", pts)
+	}
+
+	// A bad aggregation surfaces the server's typed error envelope.
+	if _, err := cl.History(ctx, client.HistoryQuery{
+		Series: []string{"dc_sessions_open"}, Agg: "p42",
+	}); err == nil {
+		t.Fatal("bad agg should round-trip as an error")
+	}
+
+	// NoAnnotations drops the timeline.
+	resp, err = cl.History(ctx, client.HistoryQuery{
+		Series: []string{"dc_sessions_open"}, NoAnnotations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Annotations != nil {
+		t.Fatalf("annotations present despite NoAnnotations: %+v", resp.Annotations)
+	}
+}
+
+// TestClientPoolHistory covers the pool-scoped helper.
+func TestClientPoolHistory(t *testing.T) {
+	ts := httptest.NewServer(service.New())
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	pool, err := cl.CreatePool(ctx, client.PoolConfig{M: 3, Origin: 1, Mu: 1, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Serve(ctx, "", "item-a", 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := pool.History(ctx, client.HistoryQuery{
+		Series: []string{"dc_pool_items"},
+		Window: time.Minute,
+		Agg:    "last",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Series) != 1 || resp.Series[0].Key != client.PoolSeries("dc_pool_items", pool.ID) {
+		t.Fatalf("pool history = %+v, want one dc_pool_items series", resp.Series)
+	}
+	if pts := resp.Series[0].Points; len(pts) == 0 || pts[len(pts)-1].V != 1 {
+		t.Fatalf("dc_pool_items points = %+v, want 1 live item", pts)
+	}
+}

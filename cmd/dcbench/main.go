@@ -21,12 +21,13 @@
 //	dcbench perf -json -baseline BENCH_pr6.json  # + regression gate
 //
 // perf times the serving hot loops — single-item session (plain, with
-// the flight recorder attached, and with shadow policies), multi-item
-// pool (unbounded, batched, bounded with eviction churn) and the
-// offline DP — and with -json emits the snapshot committed as
-// BENCH_pr<N>.json to track the perf trajectory across PRs. Every sweep
-// also records allocs/op per loop and asserts that the recorded serve
-// loop stays within 5% of the plain one. With -baseline it additionally
+// the flight recorder attached, with the metrics-history sampler live,
+// and with shadow policies), multi-item pool (unbounded, batched,
+// bounded with eviction churn) and the offline DP — and with -json
+// emits the snapshot committed as BENCH_pr<N>.json to track the perf
+// trajectory across PRs. Every sweep also records allocs/op per loop
+// and asserts that the recorded and sampled serve loops each stay
+// within 5% of the plain one. With -baseline it additionally
 // compares each loop's ns/op and allocs/op against the named committed
 // snapshot, prints the comparison table to stderr, and exits non-zero
 // when any shared hot loop regressed past the gate (+25% ns/op, +10%

@@ -7,10 +7,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"datacache"
 	"datacache/internal/model"
+	"datacache/internal/obs"
+	"datacache/internal/obs/tsdb"
 	"datacache/internal/recorder"
 )
 
@@ -100,8 +103,9 @@ func perfSweep(seed int64, n int) (*perfSnapshot, error) {
 		return timeLoopN(name, note, ops, 1, f)
 	}
 
-	// serveReps: the two loops feeding the recorder-overhead gate run
-	// best-of-3 so a single noisy repetition can't fake a >5% delta.
+	// serveReps: the loops feeding the recorder- and sampler-overhead
+	// gates run best-of-3 so a single noisy repetition can't fake a >5%
+	// delta.
 	const serveReps = 3
 
 	if err := timeLoopN("session/serve", fmt.Sprintf("single item, m=%d, zipf servers", m), n, serveReps, func() error {
@@ -143,6 +147,57 @@ func perfSweep(seed int64, n int) (*perfSnapshot, error) {
 			return err
 		}
 		return w.Close()
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := timeLoopN("session/serve_sampled", fmt.Sprintf("single item, m=%d, per-serve metrics + live tsdb sampler at 1ms", m), n, serveReps, func() error {
+		// The serving path as the service runs it under the metrics
+		// history: every serve updates a counter, a gauge and a latency
+		// histogram on a shared registry while a tsdb sampler walks that
+		// registry concurrently — sampled here at 1ms, three orders of
+		// magnitude hotter than the 1s production cadence, so the lock
+		// contention the gate bounds is actually exercised within the
+		// loop's short wall time.
+		reg := obs.NewRegistry()
+		servedC := reg.Counter("bench_requests_total", "requests served")
+		ratioG := reg.Gauge("bench_windowed_ratio", "running competitive ratio")
+		latH := reg.Histogram("bench_decision_seconds", "decision latency",
+			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2})
+		store := tsdb.New(reg, tsdb.Options{Interval: time.Millisecond})
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					store.Sample()
+				}
+			}
+		}()
+		defer func() { close(done); wg.Wait() }()
+		s, err := datacache.NewSession(m, 1, datacache.Unit, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range reqs {
+			t0 := time.Now()
+			dec, err := s.Serve(r.Server, r.Time)
+			if err != nil {
+				return err
+			}
+			servedC.Add(1)
+			ratioG.Set(dec.Ratio)
+			latH.Observe(time.Since(t0).Seconds())
+		}
+		_, err = s.Close()
+		return err
 	}); err != nil {
 		return nil, err
 	}
@@ -292,6 +347,33 @@ func checkRecorderOverhead(snap *perfSnapshot) error {
 	return nil
 }
 
+// samplerOverheadLimit bounds what the metrics-history sampler may cost
+// the single-item serve path: session/serve_sampled must stay within 5%
+// of session/serve ns/op, even with the sampler running 1000x hotter
+// than production. Checked on every sweep, like the recorder gate.
+const samplerOverheadLimit = 1.05
+
+// checkSamplerOverhead enforces samplerOverheadLimit on a fresh sweep.
+func checkSamplerOverhead(snap *perfSnapshot) error {
+	var plain, sampled float64
+	for _, r := range snap.Results {
+		switch r.Name {
+		case "session/serve":
+			plain = r.NsPerOp
+		case "session/serve_sampled":
+			sampled = r.NsPerOp
+		}
+	}
+	if plain == 0 || sampled == 0 {
+		return nil
+	}
+	if ratio := sampled / plain; ratio > samplerOverheadLimit {
+		return fmt.Errorf("sampler overhead %.1f%% exceeds %.0f%% (plain %.0f ns/op, sampled %.0f ns/op)",
+			(ratio-1)*100, (samplerOverheadLimit-1)*100, plain, sampled)
+	}
+	return nil
+}
+
 // runPerf executes the sweep and prints it as JSON (-json) or a table.
 // With a baseline snapshot path it additionally prints a comparison
 // table to stderr and fails on any >25% ns/op regression.
@@ -315,6 +397,9 @@ func runPerf(seed int64, n int, asJSON bool, baseline string) error {
 		fmt.Println(strings.Repeat("-", 60))
 	}
 	if err := checkRecorderOverhead(snap); err != nil {
+		return err
+	}
+	if err := checkSamplerOverhead(snap); err != nil {
 		return err
 	}
 	if baseline == "" {

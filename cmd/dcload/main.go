@@ -39,7 +39,15 @@
 // session's — or the pool's — flight recording is downloaded into <dir>
 // before closing, ready for "dcreplay -in <dir>" to verify bit-for-bit
 // and score against the hindsight optimum. -report-json <path> writes
-// the report as machine-readable JSON alongside the text form.
+// the report as machine-readable JSON alongside the text form, including
+// an "alerts" block with every alert transition (SLO rules and metric
+// anomalies) the server annotated during the run window.
+//
+// With -history-report the report also queries the server's embedded
+// metrics history (GET /v1/metrics/history) after the run and appends
+// the windowed-ratio, decision-p99 and shed-rate trajectories as
+// sparklines — the history store retains closed sessions' series for one
+// retention window, so this works without -keep-sessions.
 //
 // Exit status is non-zero when any request fails with a 5xx (or a
 // transport error), when -record was set and a download failed, or when
@@ -90,6 +98,7 @@ func main() {
 		shadows  = flag.String("shadows", "", "comma-separated shadow specs (implies -shadow); empty picks a default panel from -mu/-lambda")
 		maxRatio = flag.Float64("max-ratio", 0, "fail if any session's final ratio exceeds this (0 disables)")
 		keep     = flag.Bool("keep-sessions", false, "leave sessions open after the run (closing one retires its retained traces, so use this when the reported trace ids should stay queryable)")
+		histRep  = flag.Bool("history-report", false, "append server-side history trajectories (windowed ratio, decision p99, shed rate) to the report; works even after sessions close, while their history is retained")
 		record   = flag.String("record", "", "download every session's flight recording into this directory before closing (requires dcserved -record-dir; replay with dcreplay -in <dir>)")
 		out      = flag.String("out", "", "also write the report to this file")
 		repJSON  = flag.String("report-json", "", "also write the report as machine-readable JSON to this file")
@@ -142,7 +151,7 @@ func main() {
 			maxItems: *maxItems, m: *m, mu: *mu, lambda: *lambda, policy: *policy,
 			seed: *seed, qps: *qps, ndjson: *ndjson, keep: *keep,
 			maxRatio: *maxRatio, out: *out, repJSON: *repJSON,
-			record: *record, shadows: shadowSpecs,
+			record: *record, shadows: shadowSpecs, histReport: *histRep,
 		}))
 	}
 
@@ -181,6 +190,15 @@ func main() {
 	elapsed := time.Since(start)
 
 	rep := buildReport(gen.Name(), *batch, elapsed, results)
+	if *histRep || *repJSON != "" {
+		var ids []string
+		for _, r := range results {
+			if r.SessionID != "" {
+				ids = append(ids, r.SessionID)
+			}
+		}
+		rep.attachHistory(ctx, cl, ids, "", elapsed+30*time.Second, *histRep)
+	}
 	text := rep.String()
 	fmt.Print(text)
 	if *out != "" {
@@ -276,6 +294,7 @@ type traceSample struct {
 
 type workerResult struct {
 	Served     int
+	SessionID  string        // the worker's session (empty in pool mode)
 	Latencies  []float64     // seconds per round-trip (batch or single)
 	Traces     []traceSample // one per applied round-trip
 	Sheds      int           // 429 retries
@@ -307,6 +326,7 @@ func runWorker(ctx context.Context, cl *client.Client, cfg workerConfig) workerR
 		res.Transport++
 		return res
 	}
+	res.SessionID = sess.ID
 	if !cfg.keep {
 		defer sess.Close(ctx)
 	}
@@ -440,6 +460,7 @@ type poolModeConfig struct {
 	repJSON         string
 	record          string
 	shadows         []string
+	histReport      bool
 }
 
 // runPoolMode drives one shared multi-item pool from c tenant-workers and
@@ -518,6 +539,9 @@ func runPoolMode(ctx context.Context, cl *client.Client, gen workload.Generator,
 	}
 
 	rep := buildReport(gen.Name()+"/pool", cfg.batch, elapsed, results)
+	if cfg.histReport || cfg.repJSON != "" {
+		rep.attachHistory(ctx, cl, nil, pool.ID, elapsed+30*time.Second, cfg.histReport)
+	}
 	rep.Pool = &state
 	rep.Shadow = shadowRows
 	rep.RecordFiles = recordFiles
@@ -680,12 +704,43 @@ type report struct {
 	LatP999, LatMax float64
 	MaxSessionRatio float64
 	Ratios          []float64
-	Pool            *client.PoolState       // pool mode: final pool standings
-	Shadow          []client.ShadowStanding // counterfactual policy comparison
-	Slowest         []traceSample           // top 10 by round-trip latency
-	TopRegret       []traceSample           // top 10 by regret added
-	RecordFiles     []string                // downloaded flight recordings
+	Pool            *client.PoolState          // pool mode: final pool standings
+	Shadow          []client.ShadowStanding    // counterfactual policy comparison
+	Slowest         []traceSample              // top 10 by round-trip latency
+	TopRegret       []traceSample              // top 10 by regret added
+	RecordFiles     []string                   // downloaded flight recordings
+	History         []client.HistorySeries     // -history-report: server-side trajectories over the run window
+	Alerts          []client.HistoryAnnotation // every alert transition in the run window
 	FirstErr        error
+}
+
+// attachHistory queries the server's embedded metrics history over the
+// run window: the alert-transition timeline always lands in the report
+// (the JSON form's "alerts" block, which CI asserts is quiet on steady
+// workloads), and with -history-report the key series' trajectories are
+// kept too. The store retains closed sessions' series for one retention
+// window, so this works after the deferred closes. Errors degrade to an
+// empty section — a pre-history server still yields a full report.
+func (rep *report) attachHistory(ctx context.Context, cl *client.Client, sessions []string, pool string, window time.Duration, withSeries bool) {
+	sel := []string{"dc_engine_decision_seconds_p99"}
+	for _, id := range sessions {
+		sel = append(sel,
+			client.SessionSeries("dc_session_windowed_ratio", id),
+			client.SessionSeries("dc_session_batches_shed_total", id))
+	}
+	if pool != "" {
+		sel = append(sel, client.PoolSeries("dc_pool_cost_over_optimum", pool))
+	}
+	hist, err := cl.History(ctx, client.HistoryQuery{
+		Series: sel, Window: window, Agg: "avg", Limit: len(sel),
+	})
+	if err != nil {
+		return
+	}
+	rep.Alerts = hist.Annotations
+	if withSeries {
+		rep.History = hist.Series
+	}
 }
 
 // jsonReport is the machine-readable shape of -report-json: the same
@@ -709,7 +764,13 @@ type jsonReport struct {
 	Slowest    []traceSample           `json:"slowestTraces,omitempty"`
 	TopRegret  []traceSample           `json:"topRegretTraces,omitempty"`
 	Records    []string                `json:"recordings,omitempty"`
-	FirstError string                  `json:"firstError,omitempty"`
+	History    []client.HistorySeries  `json:"history,omitempty"`
+	// Alerts lists every alert transition (SLO rules and metric
+	// anomalies) the server annotated during the run window. Always
+	// present — an empty array means a quiet run, which is exactly what
+	// CI asserts for steady workloads.
+	Alerts     []client.HistoryAnnotation `json:"alerts"`
+	FirstError string                     `json:"firstError,omitempty"`
 }
 
 type jsonLatency struct {
@@ -740,6 +801,11 @@ func (rep *report) writeJSON(path string) error {
 		Slowest:    rep.Slowest,
 		TopRegret:  rep.TopRegret,
 		Records:    rep.RecordFiles,
+		History:    rep.History,
+		Alerts:     rep.Alerts,
+	}
+	if jr.Alerts == nil {
+		jr.Alerts = []client.HistoryAnnotation{}
 	}
 	if rep.Elapsed > 0 {
 		jr.ReqPerSec = float64(rep.Served) / rep.Elapsed.Seconds()
@@ -912,6 +978,26 @@ func (rep *report) String() string {
 		fmt.Fprintf(&b, "  highest-regret traces (GET /v1/traces/{id}):\n")
 		for _, ts := range rep.TopRegret {
 			fmt.Fprintf(&b, "    %s  regret %+.4f  %s\n", ts.TraceID, ts.Regret, ms(ts.Latency))
+		}
+	}
+	if len(rep.History) > 0 {
+		fmt.Fprintf(&b, "  history (server-side trajectories over the run window):\n")
+		for _, sr := range rep.History {
+			vals := make([]float64, len(sr.Points))
+			for i, p := range sr.Points {
+				vals[i] = p.V
+			}
+			fmt.Fprintf(&b, "    %-56s %s  last %.4g\n", sr.Key, stats.Sparkline(vals), vals[len(vals)-1])
+		}
+	}
+	if len(rep.Alerts) > 0 {
+		fmt.Fprintf(&b, "  alert transitions during the run:\n")
+		for _, a := range rep.Alerts {
+			line := fmt.Sprintf("    %-18s %s -> %s  value %.4g  scope %s", a.Rule, a.From, a.To, a.Value, a.Scope)
+			if a.TraceID != "" {
+				line += "  trace " + a.TraceID
+			}
+			b.WriteString(line + "\n")
 		}
 	}
 	if len(rep.RecordFiles) > 0 {

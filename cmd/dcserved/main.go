@@ -9,6 +9,7 @@
 //
 //	GET  /healthz                     liveness
 //	GET  /metrics                     Prometheus text-format metrics
+//	GET  /v1/metrics/history          windowed aggregates from the embedded metrics history (series, window, step, agg, end, limit)
 //	GET  /metricz                     retired (410 Gone since 1.8.0); scrape /metrics
 //	POST /v1/optimize                 {sequence, model, schedule?, vectors?} → optimum + bounds
 //	POST /v1/simulate                 {sequence, model, policy, window?, epoch?} → cost vs optimum
@@ -60,6 +61,7 @@ import (
 	"time"
 
 	"datacache/internal/obs"
+	"datacache/internal/obs/tsdb"
 	"datacache/internal/recorder"
 	"datacache/internal/service"
 )
@@ -86,6 +88,8 @@ func main() {
 		recSyncIv = flag.Duration("record-sync-interval", recorder.DefaultSyncInterval, "fsync cadence when -record-sync=interval")
 		recRotB   = flag.Int64("record-rotate-bytes", 64<<20, "rotate recording files beyond this size (0 disables)")
 		recRotAge = flag.Duration("record-rotate-age", 0, "rotate recording files older than this (0 disables)")
+		histIv    = flag.Duration("history-interval", time.Second, "metrics-history sampling cadence (0 disables the background sampler; queries then sample lazily)")
+		histStale = flag.Duration("history-stale", 0, "retire history series this long after their metric disappears (0 uses the 60s default)")
 		version   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -164,9 +168,20 @@ func main() {
 	if !*noRuntime {
 		opts = append(opts, service.WithRuntimeMetrics())
 	}
+	histOpts := tsdb.Options{StaleAfter: *histStale}
+	if *histIv > 0 {
+		histOpts.Interval = *histIv
+	}
+	opts = append(opts, service.WithHistoryOptions(histOpts))
+	handler := service.New(opts...)
+	if *histIv > 0 {
+		stop := handler.StartHistorySampler(*histIv)
+		defer stop()
+		logger.Info("metrics history sampling", "interval", *histIv)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.New(opts...),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	logger.Info("dcserved listening", "addr", *addr, "version", service.Version)

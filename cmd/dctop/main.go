@@ -1,7 +1,10 @@
 // Command dctop is a live terminal console for a running dcserved: it
-// polls /metrics, /v1/alerts and one session's SLO and trace endpoints,
-// and renders the windowed competitive ratio as a sparkline, the
-// per-server copy/cost map, the alert list and the most recent decision
+// polls /metrics, /v1/alerts, /v1/metrics/history and one session's SLO
+// and trace endpoints, and renders the windowed competitive ratio and
+// decision-latency p99 as sparklines over real server-side history (so
+// a fresh attach or a -once frame shows the past -history-window, not a
+// series starting from scratch), the per-server copy/cost map, the
+// alert list with recent transitions, and the most recent decision
 // events, refreshing in place.
 //
 // Usage:
@@ -45,6 +48,7 @@ func main() {
 		session  = flag.String("session", "", "session id to watch (default: first with a dc_session_cost series)")
 		pool     = flag.String("pool", "", "pool id for the top-items panel (default: first with a dc_pool_items series)")
 		interval = flag.Duration("interval", time.Second, "refresh interval")
+		histWin  = flag.Duration("history-window", 2*time.Minute, "server-side history window behind the sparklines")
 		once     = flag.Bool("once", false, "render a single frame without ANSI control sequences and exit")
 		version  = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -57,7 +61,7 @@ func main() {
 	cl := client.New(*addr, client.WithHTTPClient(&http.Client{Timeout: 5 * time.Second}))
 	ctx := context.Background()
 	if *once {
-		frame, err := renderFrame(ctx, cl, *session, *pool)
+		frame, err := renderFrame(ctx, cl, *session, *pool, *histWin)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dctop: %v\n", err)
 			os.Exit(1)
@@ -66,7 +70,7 @@ func main() {
 		return
 	}
 	for {
-		frame, err := renderFrame(ctx, cl, *session, *pool)
+		frame, err := renderFrame(ctx, cl, *session, *pool, *histWin)
 		// Home the cursor, redraw, and clear whatever an earlier (taller)
 		// frame left below — steadier than a full-screen wipe per tick.
 		fmt.Print("\x1b[H\x1b[2J")
@@ -80,7 +84,7 @@ func main() {
 }
 
 // renderFrame assembles one full console frame.
-func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (string, error) {
+func renderFrame(ctx context.Context, cl *client.Client, session, pool string, histWin time.Duration) (string, error) {
 	samples, err := cl.Metrics(ctx)
 	if err != nil {
 		return "", err
@@ -93,6 +97,11 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 	if pool == "" {
 		pool = pickPool(samples)
 	}
+
+	// One windowed-history round-trip feeds every sparkline in the frame,
+	// so a freshly attached (or -once) dctop shows real server-side
+	// history instead of starting a client-side series from scratch.
+	hist := fetchHistory(ctx, cl, session, pool, histWin)
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "dctop — datacache live console    server %s    %s\n",
@@ -108,8 +117,8 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 
 	if session == "" {
 		b.WriteString("\nno live session to watch (create one via POST /v1/session)\n")
-		writeAlerts(&b, alerts)
-		writeTopItems(&b, ctx, cl, pool)
+		writeAlerts(&b, alerts, hist.Annotations)
+		writeTopItems(&b, ctx, cl, pool, hist)
 		return b.String(), nil
 	}
 
@@ -122,8 +131,20 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 	fmt.Fprintf(&b, "\nsession %s    policy %s    n=%d\n", slo.ID, slo.Policy, slo.SLO.N)
 	fmt.Fprintf(&b, "ratio  windowed %.3f (window %d)    cumulative %.3f    ewma %.3f\n",
 		slo.SLO.WindowedRatio, slo.SLO.Window, slo.SLO.CumulativeRatio, slo.SLO.EWMA)
-	if spark := stats.Sparkline(slo.SLO.Series); spark != "" {
+	ratioHist := histValues(hist, client.SessionSeries("dc_session_windowed_ratio", session))
+	if len(ratioHist) == 0 {
+		// Servers without the history endpoint fall back to the SLO
+		// reply's request-indexed series.
+		ratioHist = slo.SLO.Series
+	}
+	if spark := stats.Sparkline(ratioHist); spark != "" {
 		fmt.Fprintf(&b, "  %s\n", spark)
+	}
+	if p99 := histValues(hist, "dc_engine_decision_seconds_p99"); len(p99) > 0 {
+		fmt.Fprintf(&b, "decision p99 %.3f ms  %s\n", p99[len(p99)-1]*1e3, stats.Sparkline(p99))
+	}
+	if shed := histValues(hist, client.SessionSeries("dc_session_batches_shed_total", session)); len(shed) > 0 {
+		fmt.Fprintf(&b, "shed rate/s  %.3f     %s\n", shed[len(shed)-1], stats.Sparkline(shed))
 	}
 
 	b.WriteString("\nservers:\n  srv  copy  caching     transfer    xfers  total\n")
@@ -139,8 +160,8 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 			sc.Server, copyMark, sc.Caching, sc.Transfer, sc.Transfers, sc.Cost())
 	}
 
-	writePlannerPanel(&b, ctx, sess)
-	writeAlerts(&b, alerts)
+	writePlannerPanel(&b, ctx, sess, hist)
+	writeAlerts(&b, alerts, hist.Annotations)
 	writeShadowLeaderboard(&b, ctx, sess)
 
 	if tr, err := sess.Trace(ctx); err == nil && len(tr.Events) > 0 {
@@ -173,14 +194,53 @@ func renderFrame(ctx context.Context, cl *client.Client, session, pool string) (
 		}
 	}
 
-	writeTopItems(&b, ctx, cl, pool)
+	writeTopItems(&b, ctx, cl, pool, hist)
 	return b.String(), nil
+}
+
+// fetchHistory pulls one windowed-history reply covering every series
+// the frame's sparklines read. Errors degrade to an empty reply — older
+// servers without the endpoint still render (with client-side series).
+func fetchHistory(ctx context.Context, cl *client.Client, session, pool string, win time.Duration) client.MetricsHistoryResponse {
+	sel := []string{"dc_engine_decision_seconds_p99"}
+	if session != "" {
+		sel = append(sel,
+			client.SessionSeries("dc_session_windowed_ratio", session),
+			client.SessionSeries("dc_session_batches_shed_total", session),
+			client.SessionSeries("dc_planner_mispredicts", session),
+			client.SessionSeries("dc_planner_confidence", session),
+		)
+	}
+	if pool != "" {
+		sel = append(sel, client.PoolSeries("dc_pool_cost_over_optimum", pool))
+	}
+	hist, err := cl.History(ctx, client.HistoryQuery{Series: sel, Window: win, Agg: "avg"})
+	if err != nil {
+		return client.MetricsHistoryResponse{}
+	}
+	return hist
+}
+
+// histValues extracts one series' point values, oldest first.
+func histValues(hist client.MetricsHistoryResponse, key string) []float64 {
+	for _, sr := range hist.Series {
+		if sr.Key != key {
+			continue
+		}
+		vals := make([]float64, len(sr.Points))
+		for i, p := range sr.Points {
+			vals[i] = p.V
+		}
+		return vals
+	}
+	return nil
 }
 
 // writePlannerPanel renders the hybrid planner's standing — gate state,
 // plan count and depth, predictor confidence, predicted-hit ratio and
-// mispredicts. No-op on sessions whose live policy runs no planner.
-func writePlannerPanel(b *strings.Builder, ctx context.Context, sess *client.Session) {
+// mispredicts, with confidence and mispredict-rate history when the
+// server retains it. No-op on sessions whose live policy runs no planner.
+func writePlannerPanel(b *strings.Builder, ctx context.Context, sess *client.Session, hist client.MetricsHistoryResponse) {
 	st, err := sess.State(ctx)
 	if err != nil || st.Planner == nil {
 		return
@@ -193,6 +253,13 @@ func writePlannerPanel(b *strings.Builder, ctx context.Context, sess *client.Ses
 	fmt.Fprintf(b, "\nplanner (hybrid horizon=%d order=%d):  gate %s\n", p.Horizon, p.Order, gate)
 	fmt.Fprintf(b, "  plans %-6d depth %-4d confidence %.3f  predicted-hit %.3f  mispredicts %d\n",
 		p.Plans, p.PlanDepth, p.Confidence, p.PredictedHitRatio, p.Mispredicts)
+	if conf := histValues(hist, client.SessionSeries("dc_planner_confidence", sess.ID)); len(conf) > 0 {
+		fmt.Fprintf(b, "  confidence %s", stats.Sparkline(conf))
+		if mis := histValues(hist, client.SessionSeries("dc_planner_mispredicts", sess.ID)); len(mis) > 0 {
+			fmt.Fprintf(b, "  mispredicts %s", stats.Sparkline(mis))
+		}
+		b.WriteString("\n")
+	}
 }
 
 // writeShadowLeaderboard renders the session's counterfactual policy
@@ -231,7 +298,7 @@ func writeShadowLeaderboard(b *strings.Builder, ctx context.Context, sess *clien
 // writeTopItems renders the pool's heaviest items — by cumulative cost
 // and by regret — alongside its tenant rollups. No-op when no pool is
 // live or the pool vanished between the scrape and the read.
-func writeTopItems(b *strings.Builder, ctx context.Context, cl *client.Client, pool string) {
+func writeTopItems(b *strings.Builder, ctx context.Context, cl *client.Client, pool string, hist client.MetricsHistoryResponse) {
 	if pool == "" {
 		return
 	}
@@ -242,6 +309,9 @@ func writeTopItems(b *strings.Builder, ctx context.Context, cl *client.Client, p
 	}
 	fmt.Fprintf(b, "\npool %s    items %d (live %d)    evictions %d    ratio %.3f\n",
 		pool, state.Items, state.LiveItems, state.Evictions, state.Ratio)
+	if ro := histValues(hist, client.PoolSeries("dc_pool_cost_over_optimum", pool)); len(ro) > 0 {
+		fmt.Fprintf(b, "  /opt %s\n", stats.Sparkline(ro))
+	}
 	if sr, err := h.Shadow(ctx); err == nil && len(sr.Standings) > 0 {
 		b.WriteString("pool policy leaderboard (counterfactual):\n")
 		for _, row := range sr.Standings {
@@ -321,18 +391,35 @@ func writeRecorderLine(b *strings.Builder, samples map[string]float64) {
 		mode, records, bytes/(1<<20), files, dropped)
 }
 
-func writeAlerts(b *strings.Builder, alerts client.AlertsResponse) {
+func writeAlerts(b *strings.Builder, alerts client.AlertsResponse, anns []client.HistoryAnnotation) {
 	b.WriteString("\nalerts:")
 	if len(alerts.Alerts) == 0 {
 		b.WriteString(" none\n")
+	} else {
+		fmt.Fprintf(b, " %d firing\n", alerts.Firing)
+		for _, a := range alerts.Alerts {
+			state, _ := json.Marshal(a.Alert.State)
+			fmt.Fprintf(b, "  %-9s %s %s  value %.3f  threshold %g  since t=%.4g\n",
+				strings.Trim(string(state), `"`), a.Session, a.Alert.Rule.Name,
+				a.Alert.Value, a.Alert.Rule.Threshold, a.Alert.Since)
+		}
+	}
+	if len(anns) == 0 {
 		return
 	}
-	fmt.Fprintf(b, " %d firing\n", alerts.Firing)
-	for _, a := range alerts.Alerts {
-		state, _ := json.Marshal(a.Alert.State)
-		fmt.Fprintf(b, "  %-9s %s %s  value %.3f  threshold %g  since t=%.4g\n",
-			strings.Trim(string(state), `"`), a.Session, a.Alert.Rule.Name,
-			a.Alert.Value, a.Alert.Rule.Threshold, a.Alert.Since)
+	// The timeline's most recent transitions (SLO rules and metric
+	// anomalies alike); a trace id names the guilty exemplar.
+	if len(anns) > 5 {
+		anns = anns[len(anns)-5:]
+	}
+	b.WriteString("recent transitions:\n")
+	for _, a := range anns {
+		line := fmt.Sprintf("  %s %s %s -> %s  value %.3f",
+			time.Unix(0, int64(a.At*1e9)).Format("15:04:05"), a.Rule, a.From, a.To, a.Value)
+		if a.TraceID != "" {
+			line += "  trace " + a.TraceID
+		}
+		b.WriteString(line + "\n")
 	}
 }
 

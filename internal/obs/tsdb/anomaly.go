@@ -1,0 +1,187 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+
+	"datacache/internal/obs"
+)
+
+// The anomaly layer scores watched series with EWMA+MAD change
+// detection: an EWMA tracks the series' level, a rolling window of
+// absolute residuals yields a median absolute deviation (MAD), and each
+// sample's anomaly score is its residual over K times the larger of the
+// MAD and a noise floor. Scores feed an obs.Tracker per (series, rule),
+// so anomalies walk the same pending→firing→resolved hysteresis state
+// machine as the Theorem-3 SLO rules: a score above 1 breaches, For
+// consecutive breaches fire, and the alert resolves once the score
+// falls below 1-Hysteresis (which happens naturally as the EWMA adapts
+// to a sustained new level — the detector flags *changes*, not states).
+
+// AnomalyRule designates one series (or a whole family) for change
+// detection. Zero fields select the defaults noted inline.
+type AnomalyRule struct {
+	// Name labels the alert; default "metric_anomaly".
+	Name string `json:"name"`
+	// Selector is an exact series key (contains '{') or a family name
+	// matching every series of that family — including the _p99-style
+	// series the sampler derives from histograms.
+	Selector string `json:"selector"`
+	// K scales the tolerated deviation; default 4.
+	K float64 `json:"k"`
+	// AbsFloor and RelFloor bound the noise floor from below: the
+	// effective floor is max(MAD, AbsFloor, RelFloor*|level|), so flat
+	// series (MAD 0) don't fire on microscopic wiggles. Defaults 0.01
+	// and 0.25.
+	AbsFloor float64 `json:"absFloor"`
+	RelFloor float64 `json:"relFloor"`
+	// Alpha is the EWMA smoothing factor; default 0.1.
+	Alpha float64 `json:"alpha"`
+	// Warmup is the number of samples observed before scoring begins;
+	// default 12.
+	Warmup int `json:"warmup"`
+	// For and Hysteresis parameterize the tracker rule: consecutive
+	// anomalous samples before firing (default 3) and the score margin
+	// below 1 required to resolve (default 0.5).
+	For        int     `json:"for"`
+	Hysteresis float64 `json:"hysteresis"`
+}
+
+func (r AnomalyRule) withDefaults() AnomalyRule {
+	if r.Name == "" {
+		r.Name = "metric_anomaly"
+	}
+	if r.K <= 0 {
+		r.K = 4
+	}
+	if r.AbsFloor <= 0 {
+		r.AbsFloor = 0.01
+	}
+	if r.RelFloor <= 0 {
+		r.RelFloor = 0.25
+	}
+	if r.Alpha <= 0 || r.Alpha > 1 {
+		r.Alpha = 0.1
+	}
+	if r.Warmup <= 0 {
+		r.Warmup = 12
+	}
+	if r.For <= 0 {
+		r.For = 3
+	}
+	if r.Hysteresis <= 0 {
+		r.Hysteresis = 0.5
+	}
+	return r
+}
+
+func (r *AnomalyRule) matches(key, name string) bool {
+	if r.Selector == "" {
+		return false
+	}
+	if key == r.Selector {
+		return true
+	}
+	return name == r.Selector && !containsBrace(r.Selector)
+}
+
+func containsBrace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '{' {
+			return true
+		}
+	}
+	return false
+}
+
+// madWindow is the residual window backing the MAD estimate: large
+// enough that a For-length excursion cannot drag the median, small
+// enough to follow genuine regime shifts within a minute at 1s cadence.
+const madWindow = 64
+
+// detector is one (series, rule) change detector.
+type detector struct {
+	rule    *AnomalyRule
+	tracker *obs.Tracker
+	ewma    float64
+	warm    int
+	devs    [madWindow]float64
+	devN    int
+	devHead int
+	scratch [madWindow]float64
+}
+
+func newDetector(rule *AnomalyRule) *detector {
+	return &detector{
+		rule: rule,
+		tracker: obs.NewTracker(obs.Rule{
+			Name:       rule.Name,
+			Threshold:  1,
+			Hysteresis: rule.Hysteresis,
+			For:        rule.For,
+		}),
+	}
+}
+
+// mad returns the median of the retained residuals (0 while empty).
+func (d *detector) mad() float64 {
+	if d.devN == 0 {
+		return 0
+	}
+	xs := d.scratch[:d.devN]
+	copy(xs, d.devs[:d.devN])
+	sort.Float64s(xs)
+	if d.devN%2 == 1 {
+		return xs[d.devN/2]
+	}
+	return (xs[d.devN/2-1] + xs[d.devN/2]) / 2
+}
+
+// observe scores one sample and advances the tracker; emit fires for
+// each state transition, synchronously.
+func (d *detector) observe(t, v float64, emit obs.TransitionHook) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if d.warm == 0 {
+		d.ewma = v
+	}
+	dev := math.Abs(v - d.ewma)
+	floor := d.mad()
+	if f := d.rule.AbsFloor; f > floor {
+		floor = f
+	}
+	if f := d.rule.RelFloor * math.Abs(d.ewma); f > floor {
+		floor = f
+	}
+	score := dev / (d.rule.K * floor)
+
+	if d.warm >= d.rule.Warmup {
+		d.tracker.SetTransitionHook(emit)
+		d.tracker.Observe(t, score)
+		d.tracker.SetTransitionHook(nil)
+	}
+
+	// Update state after scoring: the residual window sees this
+	// sample's deviation, the EWMA adapts toward the new value.
+	d.devs[d.devHead] = dev
+	d.devHead = (d.devHead + 1) % madWindow
+	if d.devN < madWindow {
+		d.devN++
+	}
+	d.ewma += d.rule.Alpha * (v - d.ewma)
+	d.warm++
+}
+
+// DefaultAnomalyRules watches the serving signals the paper's argument
+// turns on: the windowed competitive ratio, the decision-latency tail,
+// the shed rate, and the planner's mispredict count — each as a family
+// selector, so every session's series gets its own detector.
+func DefaultAnomalyRules() []AnomalyRule {
+	return []AnomalyRule{
+		{Selector: "dc_session_windowed_ratio"},
+		{Selector: "dc_engine_decision_seconds_p99"},
+		{Selector: "dc_session_batches_shed_total"},
+		{Selector: "dc_planner_mispredicts"},
+	}
+}

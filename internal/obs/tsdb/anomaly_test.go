@@ -1,0 +1,177 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"datacache/internal/obs"
+)
+
+// sampleSeries drives one gauge through a value sequence at 1s cadence,
+// returning the clock afterwards.
+func sampleSeries(s *Store, clk *fakeClock, g *obs.Gauge, vals []float64) {
+	for _, v := range vals {
+		clk.t++
+		g.Set(v)
+		s.Sample()
+	}
+}
+
+func steady(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestAnomalyLifecycle injects a level shift into a steady series and
+// watches the metric_anomaly alert walk pending → firing → resolved:
+// the spike's deviation breaches immediately, For consecutive breaches
+// fire, and the EWMA adapting to the sustained new level resolves the
+// alert without the value ever returning — the detector flags changes,
+// not states. The transitions must appear in order on both the hook
+// and the annotation timeline, and the firing window must be queryable
+// from the store's own history.
+func TestAnomalyLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.GaugeVec("ta_ratio", "", "session").With("sn-1")
+	s, clk := newTestStore(reg, Options{})
+	s.SetAnomalyRules([]AnomalyRule{{Selector: "ta_ratio", Warmup: 5}})
+	s.SetTraceLinker(func(series string) string { return "trace-top-regret" })
+
+	var hops []string
+	s.SetTransitionHook(func(series string, rule obs.Rule, from, to obs.AlertState, at, score float64) {
+		if series != `ta_ratio{session="sn-1"}` || rule.Name != "metric_anomaly" {
+			t.Errorf("unexpected transition %s/%s", series, rule.Name)
+		}
+		hops = append(hops, to.String())
+	})
+
+	sampleSeries(s, clk, g, steady(1.0, 10)) // warm, steady: no alerts
+	if len(hops) != 0 {
+		t.Fatalf("steady series produced transitions: %v", hops)
+	}
+	spikeStart := clk.t
+	sampleSeries(s, clk, g, steady(3.0, 20)) // sustained level shift
+
+	want := []string{"pending", "firing", "resolved"}
+	if len(hops) != 3 {
+		t.Fatalf("transitions = %v, want %v", hops, want)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", hops, want)
+		}
+	}
+
+	// The same walk is on the annotation timeline, with the firing
+	// transition linked to a trace exemplar.
+	anns := s.Annotations(0, 0)
+	if len(anns) != 3 {
+		t.Fatalf("annotations = %+v, want 3", anns)
+	}
+	var firingAt float64
+	for i, a := range anns {
+		if a.To.String() != want[i] || a.Rule != "metric_anomaly" {
+			t.Fatalf("annotation %d = %+v, want to=%s", i, a, want[i])
+		}
+		if a.To == obs.AlertFiring {
+			firingAt = a.At
+			if a.TraceID != "trace-top-regret" {
+				t.Fatalf("firing annotation not trace-linked: %+v", a)
+			}
+		}
+	}
+	if firingAt <= spikeStart {
+		t.Fatalf("firing at %v, want after spike start %v", firingAt, spikeStart)
+	}
+
+	// The guilty window is queryable from history: the series around
+	// the firing transition reads at the shifted level.
+	pts := queryOne(t, s, Query{
+		Selectors: []string{"ta_ratio"},
+		Start:     firingAt - 1, End: firingAt + 1, Step: 1, Agg: AggMax,
+	})
+	if len(pts) == 0 || pts[0].V != 3.0 {
+		t.Fatalf("firing window history = %+v, want the spiked level 3.0", pts)
+	}
+
+	// While firing the alert shows in the snapshot; after resolution it
+	// stays listed as resolved (scrape-after-the-fact semantics).
+	alerts := s.AnomalyAlerts()
+	if len(alerts) != 1 || alerts[0].Alert.State != obs.AlertResolved || alerts[0].Alert.Fired != 1 {
+		t.Fatalf("alert snapshot = %+v, want one resolved alert fired once", alerts)
+	}
+}
+
+// TestAnomalyFloorsSuppressNoise: microscopic wiggles on a flat series
+// (MAD 0) stay below the score threshold thanks to the noise floors.
+func TestAnomalyFloorsSuppressNoise(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("tn_v", "")
+	s, clk := newTestStore(reg, Options{})
+	s.SetAnomalyRules([]AnomalyRule{{Selector: "tn_v", Warmup: 5}})
+	fired := 0
+	s.SetTransitionHook(func(string, obs.Rule, obs.AlertState, obs.AlertState, float64, float64) { fired++ })
+	vals := make([]float64, 60)
+	for i := range vals {
+		vals[i] = 1.0 + 0.01*float64(i%2) // ±1% flutter around a flat level
+	}
+	sampleSeries(s, clk, g, vals)
+	if fired != 0 {
+		t.Fatalf("flat series with 1%% flutter produced %d transitions", fired)
+	}
+}
+
+// TestAnomalyDetectorRetires: detectors die with their series, and the
+// retire hook names the watching rules so the host can drop alert state
+// in lockstep.
+func TestAnomalyDetectorRetires(t *testing.T) {
+	reg := obs.NewRegistry()
+	vec := reg.GaugeVec("td_ratio", "", "session")
+	g := vec.With("sn-9")
+	s, clk := newTestStore(reg, Options{StaleAfter: 5 * time.Second})
+	s.SetAnomalyRules([]AnomalyRule{{Selector: "td_ratio"}})
+	var gotRules []string
+	s.SetRetireHook(func(key string, rules []string) {
+		if key == `td_ratio{session="sn-9"}` {
+			gotRules = rules
+		}
+	})
+	sampleSeries(s, clk, g, steady(1, 3))
+	vec.Delete("sn-9")
+	clk.t += 10
+	s.Sample()
+	if len(gotRules) != 1 || gotRules[0] != "metric_anomaly" {
+		t.Fatalf("retire hook rules = %v, want [metric_anomaly]", gotRules)
+	}
+	if alerts := s.AnomalyAlerts(); len(alerts) != 0 {
+		t.Fatalf("alerts survived series retirement: %+v", alerts)
+	}
+}
+
+// TestDefaultAnomalyRulesShape: the stock rule set watches the four
+// designated signals with sane defaults.
+func TestDefaultAnomalyRulesShape(t *testing.T) {
+	rules := DefaultAnomalyRules()
+	if len(rules) != 4 {
+		t.Fatalf("default rules = %d, want 4", len(rules))
+	}
+	seen := map[string]bool{}
+	for _, r := range rules {
+		seen[r.Selector] = true
+		d := r.withDefaults()
+		if d.Name != "metric_anomaly" || d.K != 4 || d.Warmup != 12 || d.For != 3 {
+			t.Fatalf("defaults for %q = %+v", r.Selector, d)
+		}
+	}
+	for _, sel := range []string{
+		"dc_session_windowed_ratio", "dc_engine_decision_seconds_p99",
+		"dc_session_batches_shed_total", "dc_planner_mispredicts",
+	} {
+		if !seen[sel] {
+			t.Fatalf("default rules missing %q (have %v)", sel, seen)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"datacache/internal/obs"
+)
+
+// Aggregations accepted by Query.Agg.
+const (
+	AggLast = "last"
+	AggMin  = "min"
+	AggMax  = "max"
+	AggAvg  = "avg"
+	AggRate = "rate"
+	AggP50  = "p50"
+	AggP99  = "p99"
+)
+
+// ValidAgg reports whether agg names a supported aggregation.
+func ValidAgg(agg string) bool {
+	switch agg {
+	case AggLast, AggMin, AggMax, AggAvg, AggRate, AggP50, AggP99:
+		return true
+	}
+	return false
+}
+
+// Query selects windowed history. Selectors are exact series keys
+// (contain '{') or bare family names matching every series of the
+// family; times are unix seconds.
+type Query struct {
+	Selectors  []string
+	Start, End float64
+	Step       float64 // bucket width in seconds; <=0 picks ~60 buckets
+	Agg        string  // default avg
+	Limit      int     // max series returned; default 20
+}
+
+// Point is one aggregated bucket. T is the bucket start.
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series is one series' windowed history.
+type Series struct {
+	Key    string  `json:"series"`
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// Annotation is one alert transition pinned to the wall-clock timeline:
+// anomaly transitions recorded by the sampler, plus whatever the host
+// service appends (SLO, shadow, planner alerts). At is unix seconds;
+// TraceID, when set, names a high-regret trace exemplar from the window
+// that caused the transition.
+type Annotation struct {
+	At      float64        `json:"at"`
+	Scope   string         `json:"scope"` // watched series key, or the host's session/pool id
+	Rule    string         `json:"rule"`
+	From    obs.AlertState `json:"from"`
+	To      obs.AlertState `json:"to"`
+	Value   float64        `json:"value"`
+	ModelAt float64        `json:"modelAt,omitempty"` // model time of the transition, for host alerts
+	TraceID string         `json:"traceId,omitempty"`
+}
+
+// Annotate appends one annotation to the bounded timeline. The host
+// service calls this from its alert transition hooks; the sampler calls
+// it for anomaly transitions. Annotations with At==0 are stamped with
+// the store clock.
+func (s *Store) Annotate(a Annotation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a.At == 0 {
+		a.At = unixSeconds(s.o.Now())
+	}
+	if len(s.anns) < s.o.MaxAnnotations {
+		s.anns = append(s.anns, a)
+		return
+	}
+	s.anns[s.annsHead] = a
+	s.annsHead = (s.annsHead + 1) % s.o.MaxAnnotations
+}
+
+// Annotations returns the retained transitions with Start <= At <= End
+// (End <= 0 means no upper bound), oldest first.
+func (s *Store) Annotations(start, end float64) []Annotation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Annotation, 0, len(s.anns))
+	for i := 0; i < len(s.anns); i++ {
+		a := s.anns[(s.annsHead+i)%len(s.anns)]
+		if a.At < start || (end > 0 && a.At > end) {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Query answers a windowed aggregate query. Series with no points in
+// the window are omitted; an unknown aggregation is an error.
+func (s *Store) Query(q Query) ([]Series, error) {
+	if q.Agg == "" {
+		q.Agg = AggAvg
+	}
+	if !ValidAgg(q.Agg) {
+		return nil, fmt.Errorf("tsdb: unknown agg %q", q.Agg)
+	}
+	if q.End <= q.Start {
+		return nil, fmt.Errorf("tsdb: empty window [%v, %v]", q.Start, q.End)
+	}
+	if q.Step <= 0 {
+		q.Step = (q.End - q.Start) / 60
+	}
+	if min := s.o.Interval.Seconds(); q.Step < min {
+		q.Step = min
+	}
+	if q.Limit <= 0 {
+		q.Limit = 20
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var keys []string
+	for key, m := range s.series {
+		for _, sel := range q.Selectors {
+			if sel == key || (!strings.Contains(sel, "{") && m.name == sel) {
+				keys = append(keys, key)
+				break
+			}
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) > q.Limit {
+		keys = keys[:q.Limit]
+	}
+
+	out := make([]Series, 0, len(keys))
+	for _, key := range keys {
+		m := s.series[key]
+		pts := aggregate(m, q)
+		if len(pts) == 0 {
+			continue
+		}
+		out = append(out, Series{Key: key, Kind: m.kind, Points: pts})
+	}
+	return out, nil
+}
+
+// aggregate buckets one series' points over [Start, End) at Step,
+// reading the finest tier that still covers Start. Called with s.mu
+// held.
+func aggregate(m *memSeries, q Query) []Point {
+	needValues := q.Agg == AggP50 || q.Agg == AggP99
+
+	nBuckets := int(math.Ceil((q.End - q.Start) / q.Step))
+	if nBuckets <= 0 || nBuckets > 1<<16 {
+		return nil
+	}
+	buckets := make([]aggPoint, nBuckets)
+	var values [][]float64
+	if needValues {
+		values = make([][]float64, nBuckets)
+	}
+
+	visit := func(p aggPoint) {
+		if p.t < q.Start || p.t >= q.End || p.n == 0 {
+			return
+		}
+		i := int((p.t - q.Start) / q.Step)
+		if i < 0 || i >= nBuckets {
+			return
+		}
+		b := &buckets[i]
+		if b.n == 0 {
+			t := b.t
+			*b = p
+			b.t = t
+		} else {
+			if p.min < b.min {
+				b.min = p.min
+			}
+			if p.max > b.max {
+				b.max = p.max
+			}
+			b.sum += p.sum
+			b.n += p.n
+			b.last = p.last
+			b.lastT = p.lastT
+		}
+		if needValues {
+			values[i] = append(values[i], p.last)
+		}
+	}
+
+	// Tier choice: the finest tier that still retains points from
+	// before Start; if none reaches that far back, the tier with the
+	// earliest data (ties favor the finest). In-progress downsample
+	// buckets count as the trailing partial bucket of their tier.
+	rawOld := m.raw.oldest()
+	midOld := tierOldest(&m.mid, &m.midCur)
+	topOld := tierOldest(&m.top, &m.topCur)
+	tier := 0
+	switch {
+	case rawOld <= q.Start: // NaN compares false, so empty tiers skip
+	case midOld <= q.Start:
+		tier = 1
+	case topOld <= q.Start:
+		tier = 2
+	default:
+		best := math.Inf(1)
+		for i, old := range [...]float64{rawOld, midOld, topOld} {
+			if !math.IsNaN(old) && old < best {
+				best, tier = old, i
+			}
+		}
+	}
+	switch tier {
+	case 0:
+		m.raw.each(visit)
+	case 1:
+		m.mid.each(visit)
+		visit(m.midCur)
+	case 2:
+		m.top.each(visit)
+		visit(m.topCur)
+	}
+
+	out := make([]Point, 0, nBuckets)
+	for i := range buckets {
+		b := &buckets[i]
+		if b.n == 0 {
+			continue
+		}
+		t := q.Start + float64(i)*q.Step
+		var v float64
+		switch q.Agg {
+		case AggLast:
+			v = b.last
+		case AggMin:
+			v = b.min
+		case AggMax:
+			v = b.max
+		case AggAvg:
+			v = b.sum / float64(b.n)
+		case AggRate:
+			if m.kind == KindRate {
+				// Rate-kind points already hold per-second rates.
+				v = b.sum / float64(b.n)
+			} else if b.lastT > b.firstT {
+				v = (b.last - b.first) / (b.lastT - b.firstT)
+			}
+		case AggP50:
+			v = percentile(values[i], 0.50)
+		case AggP99:
+			v = percentile(values[i], 0.99)
+		}
+		out = append(out, Point{T: t, V: v})
+	}
+	return out
+}
+
+// tierOldest is a downsampled tier's earliest retained sample time,
+// counting the in-progress bucket; NaN when the tier is empty.
+func tierOldest(tier *ring, cur *aggPoint) float64 {
+	if tier.n > 0 {
+		return tier.oldest()
+	}
+	if cur.n > 0 {
+		return cur.firstT
+	}
+	return math.NaN()
+}
+
+// percentile is the nearest-rank percentile of xs (not interpolated;
+// downsampled tiers retain bucket representatives, not raw samples, so
+// finer estimation would be false precision).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,514 @@
+// Package tsdb is a bounded in-process time-series store over an
+// obs.Registry: a sampler walks every registered series on an interval
+// (counters become instantaneous rates, gauges stay raw, histograms
+// expand into _count/_sum rates plus _p50/_p99 quantile gauges) and
+// appends into per-series ring buffers held at three resolutions — raw
+// samples, 10-second buckets, 1-minute buckets — so recent history is
+// fine-grained and older history cheap. Memory is fixed up front:
+// at most MaxSeries series, each bounded by the three ring capacities;
+// series that stop appearing in the registry (a closed session's
+// retired gauges) expire after StaleAfter, in lockstep with the gauge
+// retirement lifecycle. An anomaly layer (anomaly.go) scores designated
+// series with EWMA+MAD change detection and drives obs.Tracker alert
+// state machines; transitions land on the store's annotation timeline.
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"datacache/internal/obs"
+)
+
+// Series kinds. Counter-derived series store instantaneous rates (the
+// per-second increase between consecutive samples); gauge-derived series
+// store the sampled value itself.
+const (
+	KindGauge = "gauge"
+	KindRate  = "rate"
+)
+
+// Options bound and pace a Store. The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// Interval is the sampling cadence; SampleIfStale refuses to sample
+	// more often than this. Default 1s.
+	Interval time.Duration
+	// Ring capacities per tier. Defaults: 300 raw points (5m at 1s),
+	// 180 mid buckets (30m at 10s), 240 top buckets (4h at 1m). The
+	// per-series memory bound is the sum of the three, ~48 bytes per
+	// point; the store-wide bound is that times MaxSeries.
+	RawPoints, MidPoints, TopPoints int
+	// Downsample bucket widths. Defaults 10s and 1m.
+	MidStep, TopStep time.Duration
+	// MaxSeries caps distinct series; new series past the cap are
+	// dropped (counted in Stats.Dropped). Default 2048.
+	MaxSeries int
+	// StaleAfter retires a series absent from the registry for this
+	// long — the store's retention window. Default 60s.
+	StaleAfter time.Duration
+	// MaxAnnotations bounds the alert-transition timeline. Default 256.
+	MaxAnnotations int
+	// Now supplies the clock; tests inject a fake. Default time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.RawPoints <= 0 {
+		o.RawPoints = 300
+	}
+	if o.MidPoints <= 0 {
+		o.MidPoints = 180
+	}
+	if o.TopPoints <= 0 {
+		o.TopPoints = 240
+	}
+	if o.MidStep <= 0 {
+		o.MidStep = 10 * time.Second
+	}
+	if o.TopStep <= 0 {
+		o.TopStep = time.Minute
+	}
+	if o.MaxSeries <= 0 {
+		o.MaxSeries = 2048
+	}
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 60 * time.Second
+	}
+	if o.MaxAnnotations <= 0 {
+		o.MaxAnnotations = 256
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// aggPoint is one retained point: a raw sample (n=1) or a downsampled
+// bucket folding n samples.
+type aggPoint struct {
+	t                   float64 // sample time, or bucket start
+	min, max, sum, last float64
+	first, firstT       float64
+	lastT               float64
+	n                   int32
+}
+
+func newAggPoint(t, v float64) aggPoint {
+	return aggPoint{t: t, min: v, max: v, sum: v, last: v, first: v, firstT: t, lastT: t, n: 1}
+}
+
+func (p *aggPoint) fold(t, v float64) {
+	if p.n == 0 {
+		*p = newAggPoint(p.t, v)
+		p.firstT, p.lastT = t, t
+		return
+	}
+	if v < p.min {
+		p.min = v
+	}
+	if v > p.max {
+		p.max = v
+	}
+	p.sum += v
+	p.last = v
+	p.lastT = t
+	p.n++
+}
+
+// ring is a fixed-capacity circular buffer of aggPoints; the backing
+// slice grows on demand up to cap so short-lived series stay small.
+type ring struct {
+	buf  []aggPoint
+	head int // index of the oldest element
+	n    int
+	max  int
+}
+
+func (r *ring) push(p aggPoint) {
+	if r.n < r.max {
+		if len(r.buf) < r.max {
+			r.buf = append(r.buf, p)
+		} else {
+			r.buf[(r.head+r.n)%r.max] = p
+		}
+		r.n++
+		return
+	}
+	r.buf[r.head] = p
+	r.head = (r.head + 1) % r.max
+}
+
+// each visits points oldest to newest.
+func (r *ring) each(fn func(aggPoint)) {
+	for i := 0; i < r.n; i++ {
+		fn(r.buf[(r.head+i)%len(r.buf)])
+	}
+}
+
+// oldest returns the first retained point's earliest sample time (for
+// downsampled buckets, the first sample folded in — the bucket-start
+// floor can predate any actual data), or NaN when empty.
+func (r *ring) oldest() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.buf[r.head].firstT
+}
+
+// memSeries is one retained series with its three tiers and, when an
+// anomaly rule watches it, the attached detectors.
+type memSeries struct {
+	key      string
+	name     string
+	kind     string
+	lastSeen float64
+
+	// Counter state: previous cumulative value, for rate conversion.
+	havePrev     bool
+	prevV, prevT float64
+
+	raw, mid, top  ring
+	midCur, topCur aggPoint // in-progress buckets; n==0 when empty
+
+	dets []*detector
+}
+
+func (m *memSeries) append(o *Options, t, v float64) {
+	m.raw.push(newAggPoint(t, v))
+	m.foldTier(&m.mid, &m.midCur, o.MidStep.Seconds(), t, v)
+	m.foldTier(&m.top, &m.topCur, o.TopStep.Seconds(), t, v)
+}
+
+func (m *memSeries) foldTier(tier *ring, cur *aggPoint, step, t, v float64) {
+	start := math.Floor(t/step) * step
+	if cur.n > 0 && cur.t != start {
+		tier.push(*cur)
+		*cur = aggPoint{}
+	}
+	if cur.n == 0 {
+		cur.t = start
+	}
+	cur.fold(t, v)
+}
+
+// Stats is a point-in-time store summary.
+type Stats struct {
+	Series  int   // live series
+	Dropped int64 // series refused because MaxSeries was reached
+	Samples int64 // completed sampling passes
+}
+
+// TransitionHook observes one anomaly alert transition (series is the
+// watched series key). Hooks run after the sampling pass releases the
+// store lock and may call back into the store.
+type TransitionHook func(series string, rule obs.Rule, from, to obs.AlertState, at, score float64)
+
+// RetireHook observes series retirement; rules lists the anomaly rule
+// names that were watching the series (empty for unwatched series), so
+// callers can retire the matching alert state in lockstep.
+type RetireHook func(series string, rules []string)
+
+// TraceLinker supplies a trace id to attach to a firing annotation —
+// the service wires it to the tracer's top-regret exemplar.
+type TraceLinker func(series string) string
+
+// Store samples a registry into tiered ring buffers and answers
+// windowed queries. All methods are safe for concurrent use.
+type Store struct {
+	reg *obs.Registry
+	o   Options
+
+	mu         sync.Mutex
+	series     map[string]*memSeries
+	lastSample float64 // unix seconds of the last completed pass
+	stats      Stats
+
+	anns     []Annotation
+	annsHead int
+
+	rules        []AnomalyRule
+	onTransition TransitionHook
+	onRetire     RetireHook
+	linkTrace    TraceLinker
+}
+
+// New returns an empty store over reg.
+func New(reg *obs.Registry, o Options) *Store {
+	return &Store{
+		reg:    reg,
+		o:      o.withDefaults(),
+		series: map[string]*memSeries{},
+		// -Inf, not 0: "never sampled" must read stale even under fake
+		// clocks that start at the epoch.
+		lastSample: math.Inf(-1),
+	}
+}
+
+// Interval reports the configured sampling cadence.
+func (s *Store) Interval() time.Duration { return s.o.Interval }
+
+// NowUnix is the store clock's current time in unix seconds; query
+// handlers use it so windows stay consistent under injected clocks.
+func (s *Store) NowUnix() float64 { return unixSeconds(s.o.Now()) }
+
+// SetAnomalyRules replaces the anomaly rule set. Existing detectors for
+// removed rules are dropped on the next sampling pass.
+func (s *Store) SetAnomalyRules(rules []AnomalyRule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = make([]AnomalyRule, len(rules))
+	for i, r := range rules {
+		s.rules[i] = r.withDefaults()
+	}
+}
+
+// SetTransitionHook installs the anomaly transition observer.
+func (s *Store) SetTransitionHook(h TransitionHook) {
+	s.mu.Lock()
+	s.onTransition = h
+	s.mu.Unlock()
+}
+
+// SetRetireHook installs the series retirement observer.
+func (s *Store) SetRetireHook(h RetireHook) {
+	s.mu.Lock()
+	s.onRetire = h
+	s.mu.Unlock()
+}
+
+// SetTraceLinker installs the firing-annotation exemplar source.
+func (s *Store) SetTraceLinker(l TraceLinker) {
+	s.mu.Lock()
+	s.linkTrace = l
+	s.mu.Unlock()
+}
+
+// SeriesKeys lists every retained series key, sorted — the history
+// equivalent of scraping /metrics for live series.
+func (s *Store) SeriesKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.series))
+	for key := range s.series {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats snapshots store occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Series = len(s.series)
+	return st
+}
+
+// Sample runs one sampling pass at the store clock's current time.
+func (s *Store) Sample() { s.sampleAt(s.o.Now()) }
+
+// SampleIfStale samples only if the last pass is at least one Interval
+// old, reporting whether a pass ran. This is the lazy path behind the
+// history endpoint: embedded servers with no background sampler still
+// serve fresh points to one-shot queries.
+func (s *Store) SampleIfStale() bool {
+	now := s.o.Now()
+	s.mu.Lock()
+	stale := unixSeconds(now)-s.lastSample >= s.o.Interval.Seconds()
+	s.mu.Unlock()
+	if stale {
+		s.sampleAt(now)
+	}
+	return stale
+}
+
+func unixSeconds(t time.Time) float64 {
+	return float64(t.UnixNano()) / 1e9
+}
+
+type firedTransition struct {
+	series string
+	rule   obs.Rule
+	from   obs.AlertState
+	to     obs.AlertState
+	at     float64
+	score  float64
+}
+
+func (s *Store) sampleAt(now time.Time) {
+	t := unixSeconds(now)
+
+	// Gather outside the store lock: collectors may be arbitrarily slow
+	// and must never block concurrent queries.
+	var pts []obs.MetricPoint
+	s.reg.Gather(func(p obs.MetricPoint) { pts = append(pts, p) })
+
+	var fired []firedTransition
+	var retired [][2]interface{} // key, []string rule names
+	var firingKeys []string
+
+	s.mu.Lock()
+	for _, p := range pts {
+		switch p.Kind {
+		case "counter":
+			s.ingest(&fired, t, p.Key(), p.Name, KindRate, p.Value, true)
+		case "gauge":
+			s.ingest(&fired, t, p.Key(), p.Name, KindGauge, p.Value, false)
+		case "histogram":
+			s.ingest(&fired, t, obs.SeriesKey(p.Name+"_count", p.LabelNames, p.LabelValues),
+				p.Name+"_count", KindRate, float64(p.Count), true)
+			s.ingest(&fired, t, obs.SeriesKey(p.Name+"_sum", p.LabelNames, p.LabelValues),
+				p.Name+"_sum", KindRate, p.Sum, true)
+			s.ingest(&fired, t, obs.SeriesKey(p.Name+"_p50", p.LabelNames, p.LabelValues),
+				p.Name+"_p50", KindGauge, p.P50, false)
+			s.ingest(&fired, t, obs.SeriesKey(p.Name+"_p99", p.LabelNames, p.LabelValues),
+				p.Name+"_p99", KindGauge, p.P99, false)
+		}
+	}
+
+	// Retire series the registry no longer carries, one retention
+	// window after their last appearance.
+	cutoff := t - s.o.StaleAfter.Seconds()
+	for key, m := range s.series {
+		if m.lastSeen >= cutoff {
+			continue
+		}
+		var ruleNames []string
+		for _, d := range m.dets {
+			ruleNames = append(ruleNames, d.rule.Name)
+		}
+		delete(s.series, key)
+		retired = append(retired, [2]interface{}{key, ruleNames})
+	}
+
+	s.lastSample = t
+	s.stats.Samples++
+
+	// Annotate transitions on the timeline while still under the lock
+	// (the timeline is ours); trace linking for firing transitions is
+	// resolved through the installed linker.
+	link := s.linkTrace
+	for i := range fired {
+		f := &fired[i]
+		if f.to == obs.AlertFiring {
+			firingKeys = append(firingKeys, f.series)
+		}
+	}
+	traceIDs := map[string]string{}
+	onTransition := s.onTransition
+	onRetire := s.onRetire
+	s.mu.Unlock()
+
+	// Resolve exemplars and fire hooks outside the lock: both reach
+	// into foreign subsystems (tracer, metric registry, logs).
+	if link != nil {
+		for _, key := range firingKeys {
+			if _, ok := traceIDs[key]; !ok {
+				traceIDs[key] = link(key)
+			}
+		}
+	}
+	for _, f := range fired {
+		s.Annotate(Annotation{
+			At: f.at, Scope: f.series, Rule: f.rule.Name,
+			From: f.from, To: f.to, Value: f.score,
+			TraceID: traceIDs[f.series],
+		})
+		if onTransition != nil {
+			onTransition(f.series, f.rule, f.from, f.to, f.at, f.score)
+		}
+	}
+	if onRetire != nil {
+		for _, r := range retired {
+			onRetire(r[0].(string), r[1].([]string))
+		}
+	}
+}
+
+// ingest appends one sampled value to a series, creating it (and its
+// anomaly detectors) on first sight. Counter-kind series convert the
+// cumulative value to a rate against the previous pass; the first pass
+// only primes the baseline. Called with s.mu held.
+func (s *Store) ingest(fired *[]firedTransition, t float64, key, name, kind string, v float64, cumulative bool) {
+	m, ok := s.series[key]
+	if !ok {
+		if len(s.series) >= s.o.MaxSeries {
+			s.stats.Dropped++
+			return
+		}
+		m = &memSeries{
+			key: key, name: name, kind: kind,
+			raw: ring{max: s.o.RawPoints},
+			mid: ring{max: s.o.MidPoints},
+			top: ring{max: s.o.TopPoints},
+		}
+		for i := range s.rules {
+			r := &s.rules[i]
+			if r.matches(key, name) {
+				m.dets = append(m.dets, newDetector(r))
+			}
+		}
+		s.series[key] = m
+	}
+	m.lastSeen = t
+
+	if cumulative {
+		if !m.havePrev || v < m.prevV || t <= m.prevT {
+			// First sight, counter reset, or clock replay: prime and wait
+			// for the next pass.
+			m.havePrev, m.prevV, m.prevT = true, v, t
+			return
+		}
+		rate := (v - m.prevV) / (t - m.prevT)
+		m.prevV, m.prevT = v, t
+		v = rate
+	}
+	if math.IsNaN(v) {
+		return // empty-histogram quantiles; nothing to retain
+	}
+	m.append(&s.o, t, v)
+	for _, d := range m.dets {
+		d.observe(t, v, func(rule obs.Rule, from, to obs.AlertState, at, score float64) {
+			*fired = append(*fired, firedTransition{
+				series: key, rule: rule, from: from, to: to, at: at, score: score,
+			})
+		})
+	}
+}
+
+// AnomalyAlert is one watched series' current alert standing.
+type AnomalyAlert struct {
+	Series string    `json:"series"`
+	Alert  obs.Alert `json:"alert"`
+}
+
+// AnomalyAlerts snapshots every detector's state, sorted by series key
+// then rule name, skipping detectors that are still inactive.
+func (s *Store) AnomalyAlerts() []AnomalyAlert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []AnomalyAlert
+	for _, m := range s.series {
+		for _, d := range m.dets {
+			a := d.tracker.Alert()
+			if a.State == obs.AlertInactive {
+				continue
+			}
+			out = append(out, AnomalyAlert{Series: m.key, Alert: a})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Series != out[j].Series {
+			return out[i].Series < out[j].Series
+		}
+		return out[i].Alert.Rule.Name < out[j].Alert.Rule.Name
+	})
+	return out
+}

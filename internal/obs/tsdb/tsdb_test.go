@@ -1,0 +1,344 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"datacache/internal/obs"
+)
+
+// fakeClock drives a Store deterministically; tests advance .t by hand.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() time.Time { return time.Unix(0, int64(c.t*1e9)) }
+
+func newTestStore(reg *obs.Registry, o Options) (*Store, *fakeClock) {
+	clk := &fakeClock{}
+	o.Now = clk.now
+	return New(reg, o), clk
+}
+
+func queryOne(t *testing.T, s *Store, q Query) []Point {
+	t.Helper()
+	res, err := s.Query(q)
+	if err != nil {
+		t.Fatalf("Query(%+v): %v", q, err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("Query(%+v) returned %d series, want 1: %+v", q, len(res), res)
+	}
+	return res[0].Points
+}
+
+// TestGaugeAggregates pins every aggregation against a hand-computed
+// three-sample gauge series: 1 at t=1, 3 at t=2, 5 at t=3.
+func TestGaugeAggregates(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("tg_v", "")
+	s, clk := newTestStore(reg, Options{})
+	for i, v := range []float64{1, 3, 5} {
+		clk.t = float64(i + 1)
+		g.Set(v)
+		s.Sample()
+	}
+	base := Query{Selectors: []string{"tg_v"}, Start: 0.5, End: 3.5, Step: 3}
+	for _, tc := range []struct {
+		agg  string
+		want float64
+	}{
+		{AggAvg, 3},
+		{AggMin, 1},
+		{AggMax, 5},
+		{AggLast, 5},
+		{AggRate, 2}, // (5-1)/(3-1): value delta over time delta
+		{AggP50, 3},
+		{AggP99, 5},
+	} {
+		q := base
+		q.Agg = tc.agg
+		pts := queryOne(t, s, q)
+		if len(pts) != 1 || math.Abs(pts[0].V-tc.want) > 1e-9 {
+			t.Errorf("agg %s = %+v, want single point %v", tc.agg, pts, tc.want)
+		}
+		if len(pts) == 1 && pts[0].T != 0.5 {
+			t.Errorf("agg %s bucket start = %v, want 0.5", tc.agg, pts[0].T)
+		}
+	}
+}
+
+// TestCounterRates pins counter-as-rate sampling: the first pass primes
+// the baseline, then increments of 10, 20 and 0 over unit gaps store
+// rates 10, 20, 0.
+func TestCounterRates(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("tc_total", "")
+	s, clk := newTestStore(reg, Options{})
+	clk.t = 0
+	s.Sample() // primes at value 0, stores nothing
+	for _, step := range []struct {
+		add  int64
+		want float64
+	}{{10, 10}, {20, 20}, {0, 0}} {
+		clk.t++
+		c.Add(step.add)
+		s.Sample()
+	}
+	base := Query{Selectors: []string{"tc_total"}, Start: 0.5, End: 3.5, Step: 3}
+	for _, tc := range []struct {
+		agg  string
+		want float64
+	}{
+		{AggAvg, 10},
+		{AggRate, 10},
+		{AggMax, 20},
+		{AggLast, 0},
+	} {
+		q := base
+		q.Agg = tc.agg
+		pts := queryOne(t, s, q)
+		if len(pts) != 1 || math.Abs(pts[0].V-tc.want) > 1e-9 {
+			t.Errorf("agg %s = %+v, want single point %v", tc.agg, pts, tc.want)
+		}
+	}
+	// Per-sample resolution: three buckets holding the three rates.
+	q := Query{Selectors: []string{"tc_total"}, Start: 0.5, End: 3.5, Step: 1, Agg: AggLast}
+	pts := queryOne(t, s, q)
+	if len(pts) != 3 || pts[0].V != 10 || pts[1].V != 20 || pts[2].V != 0 {
+		t.Fatalf("per-sample rates = %+v, want 10/20/0", pts)
+	}
+}
+
+// TestCounterReset: a counter going backwards (process restart) primes a
+// new baseline instead of storing a negative rate.
+func TestCounterReset(t *testing.T) {
+	reg := obs.NewRegistry()
+	vec := reg.CounterVec("tr_total", "", "id")
+	c := vec.With("a")
+	s, clk := newTestStore(reg, Options{})
+	clk.t = 1
+	c.Add(100)
+	s.Sample()
+	clk.t = 2
+	c.Add(50)
+	s.Sample() // rate 50
+	vec.Delete("a")
+	c2 := vec.With("a") // fresh counter: cumulative drops 150 -> 5
+	c2.Add(5)
+	clk.t = 3
+	s.Sample() // reset detected, primes
+	clk.t = 4
+	c2.Add(5)
+	s.Sample() // rate 5
+	pts := queryOne(t, s, Query{
+		Selectors: []string{"tr_total"}, Start: 0, End: 5, Step: 1, Agg: AggLast,
+	})
+	if len(pts) != 2 || pts[0].V != 50 || pts[1].V != 5 {
+		t.Fatalf("rates across reset = %+v, want 50 then 5", pts)
+	}
+}
+
+// TestHistogramDerivedSeries pins the four derived series for a
+// histogram holding the integers 1..100: count rate 100/s, sum rate
+// 5050/s, p50 = 50, p99 = 99.
+func TestHistogramDerivedSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("th_lat", "", []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	s, clk := newTestStore(reg, Options{})
+	clk.t = 0
+	s.Sample() // primes count/sum at 0; p50/p99 are NaN and skipped
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	clk.t = 1
+	s.Sample()
+	for _, tc := range []struct {
+		sel  string
+		want float64
+	}{
+		{"th_lat_count", 100},
+		{"th_lat_sum", 5050},
+		{"th_lat_p50", 50},
+		{"th_lat_p99", 99},
+	} {
+		pts := queryOne(t, s, Query{
+			Selectors: []string{tc.sel}, Start: 0.5, End: 1.5, Step: 1, Agg: AggLast,
+		})
+		if len(pts) != 1 || math.Abs(pts[0].V-tc.want) > 1e-9 {
+			t.Errorf("%s = %+v, want %v", tc.sel, pts, tc.want)
+		}
+	}
+}
+
+// TestDownsampleTiers drops the raw ring to 5 points and walks a gauge
+// through 30 seconds: queries reaching past raw coverage read the
+// 10-second tier, whose bucket averages are pinned by hand.
+func TestDownsampleTiers(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("td_v", "")
+	s, clk := newTestStore(reg, Options{RawPoints: 5})
+	for i := 0; i < 30; i++ {
+		clk.t = float64(i)
+		g.Set(float64(i))
+		s.Sample()
+	}
+	// Raw retains t=25..29 only, so a [0,30) query falls to the mid
+	// tier: buckets [0,10) avg 4.5, [10,20) avg 14.5, [20,30) avg 24.5
+	// (the last still in-progress).
+	pts := queryOne(t, s, Query{
+		Selectors: []string{"td_v"}, Start: 0, End: 30, Step: 10, Agg: AggAvg,
+	})
+	want := []Point{{0, 4.5}, {10, 14.5}, {20, 24.5}}
+	if len(pts) != len(want) {
+		t.Fatalf("mid-tier points = %+v, want %+v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("mid-tier bucket %d = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+	// A recent window stays on the raw tier at full resolution.
+	pts = queryOne(t, s, Query{
+		Selectors: []string{"td_v"}, Start: 26, End: 30, Step: 1, Agg: AggLast,
+	})
+	if len(pts) != 4 || pts[0].V != 26 || pts[3].V != 29 {
+		t.Fatalf("raw-tier points = %+v, want 26..29", pts)
+	}
+}
+
+// TestFamilySelector: a bare family name matches every series of the
+// family, sorted by key, and respects Limit.
+func TestFamilySelector(t *testing.T) {
+	reg := obs.NewRegistry()
+	vec := reg.GaugeVec("tf_v", "", "id")
+	s, clk := newTestStore(reg, Options{})
+	vec.With("b").Set(2)
+	vec.With("a").Set(1)
+	clk.t = 1
+	s.Sample()
+	res, err := s.Query(Query{Selectors: []string{"tf_v"}, Start: 0, End: 2, Step: 1, Agg: AggLast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Key != `tf_v{id="a"}` || res[1].Key != `tf_v{id="b"}` {
+		t.Fatalf("family query = %+v", res)
+	}
+	res, err = s.Query(Query{Selectors: []string{`tf_v{id="b"}`}, Start: 0, End: 2, Step: 1, Agg: AggLast})
+	if err != nil || len(res) != 1 || res[0].Key != `tf_v{id="b"}` {
+		t.Fatalf("exact-key query = %+v (%v)", res, err)
+	}
+	res, err = s.Query(Query{Selectors: []string{"tf_v"}, Start: 0, End: 2, Step: 1, Agg: AggLast, Limit: 1})
+	if err != nil || len(res) != 1 {
+		t.Fatalf("limited query = %+v (%v)", res, err)
+	}
+}
+
+// TestStaleRetirement: a series whose registry source disappears stops
+// being sampled and is expired within one retention window, with the
+// retire hook told about it.
+func TestStaleRetirement(t *testing.T) {
+	reg := obs.NewRegistry()
+	vec := reg.GaugeVec("ts_v", "", "session")
+	s, clk := newTestStore(reg, Options{StaleAfter: 5 * time.Second})
+	var retired []string
+	s.SetRetireHook(func(key string, rules []string) { retired = append(retired, key) })
+
+	vec.With("sn-1").Set(1)
+	clk.t = 1
+	s.Sample()
+	if st := s.Stats(); st.Series != 1 {
+		t.Fatalf("series after sample = %d, want 1", st.Series)
+	}
+	vec.Delete("sn-1") // the session closes; its gauges retire
+	clk.t = 3
+	s.Sample() // within the window: history survives the close
+	if pts := queryOne(t, s, Query{
+		Selectors: []string{"ts_v"}, Start: 0, End: 4, Step: 1, Agg: AggLast,
+	}); len(pts) != 1 {
+		t.Fatalf("post-close history = %+v, want the pre-close point", pts)
+	}
+	clk.t = 7 // > lastSeen(1) + StaleAfter(5)
+	s.Sample()
+	if st := s.Stats(); st.Series != 0 {
+		t.Fatalf("series after retention window = %d, want 0", st.Series)
+	}
+	res, err := s.Query(Query{Selectors: []string{"ts_v"}, Start: 0, End: 8, Step: 1, Agg: AggLast})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("expired series still queryable: %+v (%v)", res, err)
+	}
+	if len(retired) != 1 || retired[0] != `ts_v{session="sn-1"}` {
+		t.Fatalf("retire hook saw %v", retired)
+	}
+}
+
+// TestMaxSeriesCap: series past the cap are dropped and counted, not
+// silently grown.
+func TestMaxSeriesCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	vec := reg.GaugeVec("tm_v", "", "id")
+	s, clk := newTestStore(reg, Options{MaxSeries: 2})
+	vec.With("a").Set(1)
+	vec.With("b").Set(2)
+	vec.With("c").Set(3)
+	clk.t = 1
+	s.Sample()
+	st := s.Stats()
+	if st.Series != 2 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 2 series / 1 dropped", st)
+	}
+}
+
+// TestSampleIfStale respects the interval, including on the first pass.
+func TestSampleIfStale(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("ti_v", "").Set(1)
+	s, clk := newTestStore(reg, Options{Interval: time.Second})
+	clk.t = 0
+	if !s.SampleIfStale() {
+		t.Fatal("first SampleIfStale did not sample")
+	}
+	clk.t = 0.5
+	if s.SampleIfStale() {
+		t.Fatal("SampleIfStale sampled within the interval")
+	}
+	clk.t = 1.5
+	if !s.SampleIfStale() {
+		t.Fatal("SampleIfStale refused a stale sample")
+	}
+	if st := s.Stats(); st.Samples != 2 {
+		t.Fatalf("passes = %d, want 2", st.Samples)
+	}
+}
+
+// TestRingWraps exercises the fixed-capacity ring directly.
+func TestRingWraps(t *testing.T) {
+	r := ring{max: 3}
+	for i := 1; i <= 5; i++ {
+		r.push(newAggPoint(float64(i), float64(i)))
+	}
+	var got []float64
+	r.each(func(p aggPoint) { got = append(got, p.t) })
+	if len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("ring contents = %v, want [3 4 5]", got)
+	}
+	if r.oldest() != 3 {
+		t.Fatalf("oldest = %v, want 3", r.oldest())
+	}
+}
+
+// TestAnnotationsWindowAndBound: the timeline is windowed and bounded.
+func TestAnnotationsWindowAndBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, _ := newTestStore(reg, Options{MaxAnnotations: 3})
+	for i := 1; i <= 5; i++ {
+		s.Annotate(Annotation{At: float64(i), Rule: "r", Scope: "x"})
+	}
+	all := s.Annotations(0, 0)
+	if len(all) != 3 || all[0].At != 3 || all[2].At != 5 {
+		t.Fatalf("bounded annotations = %+v, want At 3..5", all)
+	}
+	win := s.Annotations(4, 4.5)
+	if len(win) != 1 || win[0].At != 4 {
+		t.Fatalf("windowed annotations = %+v, want just At=4", win)
+	}
+}

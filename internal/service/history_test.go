@@ -1,0 +1,385 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"datacache"
+	"datacache/internal/model"
+	"datacache/internal/obs/tsdb"
+)
+
+// histClock is an injectable wall clock for the history store. A mutex
+// guards t because the lazy sampling pass runs on HTTP handler
+// goroutines while tests advance the clock from their own.
+type histClock struct {
+	mu sync.Mutex
+	t  float64
+}
+
+func (c *histClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Unix(0, int64(c.t*1e9))
+}
+
+func (c *histClock) advance(d float64) {
+	c.mu.Lock()
+	c.t += d
+	c.mu.Unlock()
+}
+
+func (c *histClock) at() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// TestMetricsHistoryEndpoint pins the /v1/metrics/history contract
+// against a deterministic clock: explicit sampling passes at known
+// times, then windowed queries for a gauge, a per-session gauge, a
+// histogram-derived quantile gauge, and a counter-derived rate series.
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	clk := &histClock{t: 1}
+	s := New(WithSLOWindow(16), WithHistoryOptions(tsdb.Options{Now: clk.now}))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var state SessionState
+	post(t, srv.URL+"/v1/session", SessionCreateRequest{
+		M: 2, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 2}, Policy: "migrate",
+	}, &state)
+	for i := 0; i < 8; i++ {
+		post(t, srv.URL+"/v1/session/"+state.ID+"/request",
+			StreamAppendRequest{Server: model.ServerID(1 + i%2), Time: float64(i + 1)}, nil)
+	}
+
+	// Four sampling passes at t = 2, 3, 4, 5.
+	for i := 0; i < 4; i++ {
+		clk.advance(1)
+		s.SampleMetricsNow()
+	}
+
+	query := func(params string) MetricsHistoryResponse {
+		t.Helper()
+		var resp MetricsHistoryResponse
+		getJSON(t, srv.URL+"/v1/metrics/history?"+params, &resp)
+		return resp
+	}
+	end := clk.at() + 1 // 6; the window [end-10, end) covers every pass
+
+	// One open session, sampled four times: four points, each exactly 1.
+	resp := query(fmt.Sprintf("series=dc_sessions_open&window=10s&step=1s&agg=last&end=%g", end))
+	if resp.Agg != "last" || resp.Step != 1 || resp.Interval != 1 {
+		t.Fatalf("response envelope = %+v, want agg=last step=1 interval=1", resp)
+	}
+	if len(resp.Series) != 1 {
+		t.Fatalf("got %d series for dc_sessions_open, want 1", len(resp.Series))
+	}
+	got := resp.Series[0]
+	if got.Key != "dc_sessions_open" || got.Kind != tsdb.KindGauge {
+		t.Fatalf("series = %s kind %s, want dc_sessions_open gauge", got.Key, got.Kind)
+	}
+	if len(got.Points) != 4 {
+		t.Fatalf("dc_sessions_open has %d points, want 4 (one per pass): %+v", len(got.Points), got.Points)
+	}
+	for i, p := range got.Points {
+		if p.V != 1 {
+			t.Errorf("point %d = %+v, want v=1", i, p)
+		}
+		if wantT := 2.0 + float64(i); p.T != wantT {
+			t.Errorf("point %d starts at t=%v, want %v (1s buckets aligned to the pass times)", i, p.T, wantT)
+		}
+	}
+
+	// The per-session windowed ratio resolves by family name and carries
+	// the session label; the single-server unit-gap workload keeps it ~1.
+	resp = query(fmt.Sprintf("series=dc_session_windowed_ratio&window=10s&agg=max&end=%g", end))
+	if len(resp.Series) != 1 {
+		t.Fatalf("got %d series for dc_session_windowed_ratio, want 1", len(resp.Series))
+	}
+	wantKey := fmt.Sprintf(`dc_session_windowed_ratio{session="%s"}`, state.ID)
+	if resp.Series[0].Key != wantKey {
+		t.Fatalf("series key = %s, want %s", resp.Series[0].Key, wantKey)
+	}
+	for _, p := range resp.Series[0].Points {
+		if p.V <= 0 || p.V > 3 {
+			t.Errorf("windowed ratio point %+v out of the plausible band (0, 3]", p)
+		}
+	}
+
+	// Decision latency arrives as a histogram; the store derives a p99
+	// gauge from its buckets (satellite 1's Quantile at work end to end).
+	resp = query(fmt.Sprintf("series=dc_engine_decision_seconds_p99&window=10s&agg=last&end=%g", end))
+	if len(resp.Series) != 1 || resp.Series[0].Kind != tsdb.KindGauge {
+		t.Fatalf("decision p99 series = %+v, want one gauge series", resp.Series)
+	}
+	for _, p := range resp.Series[0].Points {
+		if p.V < 0 {
+			t.Errorf("decision p99 point %+v negative", p)
+		}
+	}
+
+	// Counters surface as rate series; with no requests between passes
+	// the rate is exactly 0 after the priming sample.
+	resp = query(fmt.Sprintf("series=dc_http_requests_total&window=10s&step=1s&agg=rate&end=%g", end))
+	if len(resp.Series) == 0 {
+		t.Fatal("no rate series for dc_http_requests_total")
+	}
+	for _, sr := range resp.Series {
+		if sr.Kind != tsdb.KindRate {
+			t.Errorf("series %s kind = %s, want rate", sr.Key, sr.Kind)
+		}
+		if len(sr.Points) != 3 {
+			t.Errorf("series %s has %d points, want 3 (first pass primes the rate)", sr.Key, len(sr.Points))
+		}
+		for _, p := range sr.Points {
+			if p.V != 0 {
+				t.Errorf("series %s point %+v, want rate 0 between idle passes", sr.Key, p)
+			}
+		}
+	}
+
+	// Multiple selectors and a limit compose.
+	resp = query(fmt.Sprintf("series=dc_sessions_open,dc_session_windowed_ratio&window=10s&end=%g&limit=1", end))
+	if len(resp.Series) != 1 {
+		t.Fatalf("limit=1 returned %d series", len(resp.Series))
+	}
+
+	// Error paths: the handler must reject, not guess.
+	for _, bad := range []string{
+		"window=10s",                       // missing series
+		"series=dc_sessions_open&agg=p42",  // unknown aggregation
+		"series=dc_sessions_open&window=x", // unparseable window
+		"series=dc_sessions_open&step=-1s", // negative step
+		"series=dc_sessions_open&limit=0",  // non-positive limit
+	} {
+		r, err := http.Get(srv.URL + "/v1/metrics/history?" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET ?%s: status %d, want 400", bad, r.StatusCode)
+		}
+	}
+}
+
+// TestMetricsHistoryLazySampling checks the embedded-server path: no
+// background sampler runs, yet the first history query still returns a
+// fresh point because the handler samples when the last pass is stale.
+func TestMetricsHistoryLazySampling(t *testing.T) {
+	clk := &histClock{t: 1}
+	s := New(WithSLOWindow(8), WithHistoryOptions(tsdb.Options{Now: clk.now}))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var state SessionState
+	post(t, srv.URL+"/v1/session", SessionCreateRequest{
+		M: 2, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 1},
+	}, &state)
+
+	var resp MetricsHistoryResponse
+	getJSON(t, srv.URL+"/v1/metrics/history?series=dc_sessions_open&window=5s&end=2", &resp)
+	if len(resp.Series) != 1 || len(resp.Series[0].Points) == 0 {
+		t.Fatalf("lazy sampling produced no history: %+v", resp.Series)
+	}
+	if v := resp.Series[0].Points[0].V; v != 1 {
+		t.Fatalf("dc_sessions_open = %v, want 1", v)
+	}
+}
+
+// TestMetricAnomalyLifecycleHTTP is the acceptance walk: a steady
+// workload warms the detector on the session's windowed ratio, an
+// injected ping-pong spike drives the metric_anomaly alert through
+// pending -> firing -> resolved, every surface (alert-state gauge,
+// /v1/alerts, /readyz, annotations with a trace exemplar) reports it,
+// the firing window is queryable from history, and after the session
+// closes the watched series and its alert rows expire within one
+// retention window.
+func TestMetricAnomalyLifecycleHTTP(t *testing.T) {
+	clk := &histClock{t: 1}
+	s := New(WithSLOWindow(16),
+		WithHistoryOptions(tsdb.Options{Now: clk.now, StaleAfter: 30 * time.Second}),
+		WithAnomalyRules([]tsdb.AnomalyRule{{Selector: "dc_session_windowed_ratio", Warmup: 4}}))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var state SessionState
+	post(t, srv.URL+"/v1/session", SessionCreateRequest{
+		M: 2, Origin: 1, Model: CostModelDTO{Mu: 1, Lambda: 2}, Policy: "migrate",
+	}, &state)
+	id := state.ID
+	watched := fmt.Sprintf(`dc_session_windowed_ratio{session="%s"}`, id)
+	serve := func(server model.ServerID, at float64) {
+		post(t, srv.URL+"/v1/session/"+id+"/request",
+			StreamAppendRequest{Server: server, Time: at}, nil)
+	}
+	sample := func(n int) {
+		for i := 0; i < n; i++ {
+			clk.advance(1)
+			s.SampleMetricsNow()
+		}
+	}
+
+	// Steady state: one server, unit gaps, ratio pinned at ~1. Eight
+	// passes warm the EWMA+MAD detector well past its warmup.
+	now := 0.0
+	for i := 0; i < 32; i++ {
+		now += 1
+		serve(1, now)
+	}
+	sample(8)
+	var alerts AlertsResponse
+	getJSON(t, srv.URL+"/v1/alerts", &alerts)
+	for _, a := range alerts.Alerts {
+		if a.Alert.Rule.Name == "metric_anomaly" && a.Alert.State != datacache.AlertInactive {
+			t.Fatalf("metric_anomaly %v on a steady workload, want inactive", a.Alert.State)
+		}
+	}
+
+	// Injected spike: ping-pong with tiny gaps blows the windowed ratio
+	// far past its steady level. Three passes observe three consecutive
+	// breaches: pending on the first, firing on the third.
+	for i := 0; i < 24; i++ {
+		now += 0.01
+		serve(model.ServerID(1+i%2), now)
+	}
+	sample(3)
+	firingAt := clk.at()
+
+	getJSON(t, srv.URL+"/v1/alerts", &alerts)
+	anomaly := false
+	for _, a := range alerts.Alerts {
+		if a.Session == watched && a.Alert.Rule.Name == "metric_anomaly" {
+			anomaly = true
+			if a.Alert.State != datacache.AlertFiring {
+				t.Fatalf("metric_anomaly = %v after spike, want firing", a.Alert.State)
+			}
+		}
+	}
+	if !anomaly {
+		t.Fatalf("no metric_anomaly standing for %s in /v1/alerts: %+v", watched, alerts.Alerts)
+	}
+	// Two firing alerts degrade readiness: the SLO theorem3 rule (the
+	// ping-pong also blew the windowed bound) and the anomaly.
+	var ready ReadyResponse
+	getJSON(t, srv.URL+"/readyz", &ready)
+	if ready.Status != "degraded" || ready.FiringAlerts != 2 {
+		t.Fatalf("readyz during anomaly = %+v, want degraded with 2 firing", ready)
+	}
+	// The alert-state gauge rides the same rails as the SLO rules, keyed
+	// by the watched series (its quotes escaped in the exposition).
+	sc := scrape(t, srv.URL)
+	stateRow := fmt.Sprintf(`dc_alert_state{session="%s",alert="metric_anomaly"}`,
+		strings.ReplaceAll(watched, `"`, `\"`))
+	if v := sc.mustSample(t, stateRow); v != 2 {
+		t.Errorf("anomaly alert-state gauge = %v, want 2 (firing)", v)
+	}
+
+	// The ratio holds its spiked level while nothing serves, so the EWMA
+	// adapts and the alert resolves: a change detector flags transitions,
+	// not sustained states.
+	sample(20)
+	getJSON(t, srv.URL+"/v1/alerts", &alerts)
+	for _, a := range alerts.Alerts {
+		if a.Session == watched && a.Alert.State != datacache.AlertResolved {
+			t.Fatalf("metric_anomaly = %v after adaptation, want resolved", a.Alert.State)
+		}
+	}
+	// The anomaly no longer counts against readiness; only the SLO
+	// alert (still firing — nothing served a calm tail) remains.
+	getJSON(t, srv.URL+"/readyz", &ready)
+	if ready.FiringAlerts != 1 {
+		t.Fatalf("readyz after resolution = %+v, want only the SLO alert firing", ready)
+	}
+
+	// Annotations tell the full story in order, the firing one linking a
+	// trace exemplar; the SLO alert's own transitions landed on the same
+	// timeline.
+	var resp MetricsHistoryResponse
+	getJSON(t, srv.URL+fmt.Sprintf("/v1/metrics/history?series=dc_session_windowed_ratio&window=60s&agg=max&end=%g", clk.at()), &resp)
+	var trans []tsdb.Annotation
+	theorem3 := false
+	for _, a := range resp.Annotations {
+		if a.Rule == "metric_anomaly" && a.Scope == watched {
+			trans = append(trans, a)
+		}
+		if a.Rule == "theorem3_ratio" && a.Scope == id {
+			theorem3 = true
+		}
+	}
+	if len(trans) != 3 {
+		t.Fatalf("anomaly annotations = %+v, want exactly pending, firing, resolved", trans)
+	}
+	for i, want := range []datacache.AlertState{datacache.AlertPending, datacache.AlertFiring, datacache.AlertResolved} {
+		if trans[i].To != want {
+			t.Errorf("annotation %d -> %v, want %v", i, trans[i].To, want)
+		}
+	}
+	if trans[1].TraceID == "" {
+		t.Error("firing annotation carries no trace exemplar")
+	}
+	if !theorem3 {
+		t.Error("SLO theorem3_ratio transitions missing from the annotation timeline")
+	}
+
+	// The firing window itself is queryable: history around the firing
+	// annotation shows the spiked ratio.
+	getJSON(t, srv.URL+fmt.Sprintf(
+		"/v1/metrics/history?series=dc_session_windowed_ratio&window=6s&agg=max&end=%g", firingAt+1), &resp)
+	if len(resp.Series) != 1 || len(resp.Series[0].Points) == 0 {
+		t.Fatalf("firing window query returned no points: %+v", resp.Series)
+	}
+	peak := 0.0
+	for _, p := range resp.Series[0].Points {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	if peak <= 3 {
+		t.Errorf("peak ratio in the firing window = %v, want > 3", peak)
+	}
+
+	// Close the session: history outlives it by at most one retention
+	// window, then the watched series, its detector standing, and its
+	// alert-state row all retire together.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/session/"+id, nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	sample(1)
+	hasWatched := func() bool {
+		for _, key := range s.History().SeriesKeys() {
+			if key == watched {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasWatched() {
+		t.Fatal("history dropped the series immediately on close; want one retention window")
+	}
+	clk.advance(31)
+	s.SampleMetricsNow()
+	if hasWatched() {
+		t.Error("watched series survived close past the retention window")
+	}
+	sc = scrape(t, srv.URL)
+	if _, ok := sc.samples[stateRow]; ok {
+		t.Error("anomaly alert-state row survived series retirement")
+	}
+	getJSON(t, srv.URL+"/v1/alerts", &alerts)
+	for _, a := range alerts.Alerts {
+		if a.Session == watched {
+			t.Errorf("retired anomaly still standing in /v1/alerts: %+v", a)
+		}
+	}
+}

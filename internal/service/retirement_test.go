@@ -6,8 +6,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"datacache/internal/model"
+	"datacache/internal/obs/tsdb"
 )
 
 // retirementCase describes one resource whose metric series must appear
@@ -165,11 +167,33 @@ func TestSeriesRetirementSweep(t *testing.T) {
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			srv := httptest.NewServer(New(WithSLOWindow(8)))
+			clk := &histClock{t: 1}
+			s := New(WithSLOWindow(8), WithHistoryOptions(tsdb.Options{
+				Now: clk.now, StaleAfter: 5 * time.Second,
+			}))
+			srv := httptest.NewServer(s)
 			defer srv.Close()
 
 			id := tc.create(t, srv.URL)
 			label := fmt.Sprintf(`%s="%s"`, tc.kind, id)
+
+			// One sampling pass captures every live series into the
+			// history store; the tsdb lifecycle must track the gauge
+			// lifecycle below.
+			clk.advance(1)
+			s.SampleMetricsNow()
+			histKeys := func() []string {
+				var got []string
+				for _, key := range s.History().SeriesKeys() {
+					if strings.Contains(key, label) {
+						got = append(got, key)
+					}
+				}
+				return got
+			}
+			if len(histKeys()) == 0 {
+				t.Errorf("history store holds no series for the live %s", tc.kind)
+			}
 
 			sc := scrape(t, srv.URL)
 			present := map[string]bool{}
@@ -202,6 +226,21 @@ func TestSeriesRetirementSweep(t *testing.T) {
 				if strings.Contains(series, label) {
 					t.Errorf("series %s survived %s close", series, tc.kind)
 				}
+			}
+
+			// The scrape series vanish immediately; their history lingers
+			// for post-mortems but must expire within one retention
+			// window of the close — and sampling must have stopped, so
+			// the next pass past StaleAfter sweeps every key.
+			clk.advance(1)
+			s.SampleMetricsNow()
+			if len(histKeys()) == 0 {
+				t.Errorf("history expired immediately on %s close; want one StaleAfter window of retention", tc.kind)
+			}
+			clk.advance(6)
+			s.SampleMetricsNow()
+			if keys := histKeys(); len(keys) != 0 {
+				t.Errorf("history series %v survived %s close past the retention window", keys, tc.kind)
 			}
 		})
 	}

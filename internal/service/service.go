@@ -50,6 +50,7 @@ import (
 	"datacache/internal/model"
 	"datacache/internal/multi"
 	"datacache/internal/obs"
+	"datacache/internal/obs/tsdb"
 	"datacache/internal/offline"
 	"datacache/internal/online"
 	"datacache/internal/recorder"
@@ -57,7 +58,7 @@ import (
 )
 
 // Version identifies the service build in /healthz and /v1/spec.
-const Version = "1.8.0"
+const Version = "1.9.0"
 
 // DefaultTraceCap bounds each session's decision-event ring unless
 // WithTraceCap overrides it.
@@ -154,6 +155,14 @@ type Server struct {
 	recRotations *obs.GaugeVec // mode
 	recFiles     *obs.GaugeVec // mode
 	recRetired   atomic.Bool   // recorder series dropped after close
+
+	// Embedded metrics history (history.go): the tsdb store sampling
+	// every registered series, its bounds, and the anomaly rule set
+	// (nil + !anomalySet selects tsdb.DefaultAnomalyRules).
+	history      *tsdb.Store
+	historyOpts  tsdb.Options
+	anomalyRules []tsdb.AnomalyRule
+	anomalySet   bool
 
 	// The session and stream tables are lock-striped (registry.go): ids
 	// hash onto numShards shards, each behind its own RWMutex, so
@@ -275,29 +284,45 @@ func WithRecorder(w *recorder.Writer) Option {
 	return func(s *Server) { s.recorder = w }
 }
 
+// WithHistoryOptions overrides the embedded metrics-history store's
+// bounds and cadence (ring capacities, retention window, sampling
+// interval; zero fields keep the tsdb defaults). Tests shrink the
+// retention window; cmd/dcserved wires its -history-* flags through.
+func WithHistoryOptions(o tsdb.Options) Option {
+	return func(s *Server) { s.historyOpts = o }
+}
+
+// WithAnomalyRules replaces the anomaly rule set the history store
+// evaluates (default tsdb.DefaultAnomalyRules; an explicit empty slice
+// disables anomaly detection).
+func WithAnomalyRules(rules []tsdb.AnomalyRule) Option {
+	return func(s *Server) { s.anomalyRules = rules; s.anomalySet = true }
+}
+
 // routeDocs describes every route for /v1/spec.
 var routeDocs = map[string]string{
-	"/healthz":     "GET liveness and version",
-	"/v1/optimize": "POST {sequence, model, schedule?, vectors?} -> optimum, bounds, single-copy cost",
-	"/v1/explain":  "POST {sequence, model} -> per-request service decisions",
-	"/v1/render":   "POST {sequence, model, width?} -> text space-time diagram",
-	"/v1/simulate": "POST {sequence, model, policy, window?, epoch?} -> online cost vs optimum",
-	"/v1/generate": "POST {workload, m, n, seed, gap?} -> synthetic sequence",
-	"/v1/plan":     "POST {m, model, events, online?} -> per-item catalog plan",
-	"/v1/policies": "GET policy names",
-	"/v1/stream":   "POST {m, origin, model} -> incremental planning stream",
-	"/v1/stream/":  "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
-	"/v1/session":  "POST {m, origin, model, policy?, window?, epoch?, shadows?} -> live policy-serving session (201 + Location)",
-	"/v1/session/": "POST {id}/request, POST {id}/requests (bulk: JSON {requests:[{server,t}]} or NDJSON lines; partial apply + firstRejected), GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, GET {id}/shadow (counterfactual policy standings), GET {id}/record?mode=binary|ndjson (download the session's flight recording; 404 without -record-dir), DELETE {id} (close; returns final state + schedule)",
-	"/v1/pool":     "POST {m, origin, model, policy?, window?, epoch?, maxItems?, shadows?} -> multi-item multi-tenant serving pool (201 + Location)",
-	"/v1/pool/":    "POST {id}/request ({tenant?, item, server, t}), POST {id}/requests (bulk, grouped by item under one lock; per-item partial apply), GET {id} (stats + tenant rollups), GET {id}/items?by=cost|regret&limit=k, GET {id}/shadow (pool-wide counterfactual policy standings), GET {id}/record?mode=binary|ndjson (download the pool's flight recording; 404 without -record-dir), DELETE {id} (close; retains final stats)",
-	"/v1/alerts":   "GET every live session's SLO alerts (pending, firing, resolved)",
-	"/v1/traces":   "GET retained traces, regret-descending; filters: session, min_regret, min_duration, error, limit",
-	"/v1/traces/":  "GET {id} -> every span of one retained trace",
-	"/v1/spec":     "GET this route list",
-	"/readyz":      "GET readiness: degraded while any SLO alert is firing",
-	"/metrics":     "GET Prometheus text-format metrics (HTTP, engine, per-session, SLO); Accept: application/openmetrics-text selects OpenMetrics 1.0 with trace exemplars",
-	"/metricz":     "RETIRED (410 Gone since 1.8.0): the JSON alias of /metrics; scrape /metrics instead",
+	"/healthz":            "GET liveness and version",
+	"/v1/optimize":        "POST {sequence, model, schedule?, vectors?} -> optimum, bounds, single-copy cost",
+	"/v1/explain":         "POST {sequence, model} -> per-request service decisions",
+	"/v1/render":          "POST {sequence, model, width?} -> text space-time diagram",
+	"/v1/simulate":        "POST {sequence, model, policy, window?, epoch?} -> online cost vs optimum",
+	"/v1/generate":        "POST {workload, m, n, seed, gap?} -> synthetic sequence",
+	"/v1/plan":            "POST {m, model, events, online?} -> per-item catalog plan",
+	"/v1/policies":        "GET policy names",
+	"/v1/stream":          "POST {m, origin, model} -> incremental planning stream",
+	"/v1/stream/":         "POST {id}/append, GET {id}, GET {id}/schedule, DELETE {id}",
+	"/v1/session":         "POST {m, origin, model, policy?, window?, epoch?, shadows?} -> live policy-serving session (201 + Location)",
+	"/v1/session/":        "POST {id}/request, POST {id}/requests (bulk: JSON {requests:[{server,t}]} or NDJSON lines; partial apply + firstRejected), GET {id}, GET {id}/schedule, GET {id}/trace, GET {id}/slo, GET {id}/shadow (counterfactual policy standings), GET {id}/record?mode=binary|ndjson (download the session's flight recording; 404 without -record-dir), DELETE {id} (close; returns final state + schedule)",
+	"/v1/pool":            "POST {m, origin, model, policy?, window?, epoch?, maxItems?, shadows?} -> multi-item multi-tenant serving pool (201 + Location)",
+	"/v1/pool/":           "POST {id}/request ({tenant?, item, server, t}), POST {id}/requests (bulk, grouped by item under one lock; per-item partial apply), GET {id} (stats + tenant rollups), GET {id}/items?by=cost|regret&limit=k, GET {id}/shadow (pool-wide counterfactual policy standings), GET {id}/record?mode=binary|ndjson (download the pool's flight recording; 404 without -record-dir), DELETE {id} (close; retains final stats)",
+	"/v1/alerts":          "GET every live session's SLO alerts plus metric_anomaly standings from the history store (pending, firing, resolved)",
+	"/v1/traces":          "GET retained traces, regret-descending; filters: session, min_regret, min_duration, error, limit",
+	"/v1/traces/":         "GET {id} -> every span of one retained trace",
+	"/v1/metrics/history": "GET windowed metric history from the embedded tsdb: series=<family or exact key>[,..], window=, step=, agg=last|min|max|avg|rate|p50|p99, end=, limit=, annotations=; replies with aggregated points plus alert-transition annotations",
+	"/v1/spec":            "GET this route list",
+	"/readyz":             "GET readiness: degraded while any SLO alert is firing",
+	"/metrics":            "GET Prometheus text-format metrics (HTTP, engine, per-session, SLO); Accept: application/openmetrics-text selects OpenMetrics 1.0 with trace exemplars",
+	"/metricz":            "RETIRED (410 Gone since 1.8.0): the JSON alias of /metrics; scrape /metrics instead",
 }
 
 // New builds the service with all routes mounted.
@@ -463,6 +488,8 @@ func New(opts ...Option) *Server {
 		})
 	}
 
+	s.initHistory()
+
 	s.mount("/healthz", s.handleHealth)
 	s.mount("/v1/optimize", s.handleOptimize)
 	s.mount("/v1/explain", s.handleExplain)
@@ -480,6 +507,7 @@ func New(opts ...Option) *Server {
 	s.mount("/v1/alerts", s.handleAlerts)
 	s.mount("/v1/traces", s.handleTraces)
 	s.mount("/v1/traces/", s.handleTraceByID)
+	s.mount("/v1/metrics/history", s.handleMetricsHistory)
 	s.mount("/v1/spec", s.handleSpec)
 	s.mount("/readyz", s.handleReady)
 	s.mount("/metrics", s.handlePrometheus)

@@ -14,6 +14,7 @@ import (
 	"datacache"
 	"datacache/internal/model"
 	"datacache/internal/obs"
+	"datacache/internal/obs/tsdb"
 )
 
 // The /v1/session routes expose datacache.Session over HTTP: create a
@@ -459,6 +460,20 @@ func (s *Server) alertHook(id string) obs.TransitionHook {
 	return func(rule datacache.AlertRule, from, to datacache.AlertState, at, value float64) {
 		s.alertState.With(id, rule.Name).Set(float64(to))
 		s.alertTrans.With(rule.Name, to.String()).Inc()
+		// Pin the transition onto the history timeline (wall-clock
+		// stamped by the store), linking a firing alert to the
+		// session's highest-regret retained trace as the exemplar a
+		// responder should open first.
+		ann := tsdb.Annotation{
+			Scope: id, Rule: rule.Name, From: from, To: to,
+			Value: value, ModelAt: at,
+		}
+		if to == datacache.AlertFiring {
+			if ts := s.tracer.Traces(obs.TraceQuery{Session: id, Limit: 1}); len(ts) > 0 {
+				ann.TraceID = ts[0].TraceID
+			}
+		}
+		s.history.Annotate(ann)
 		s.log.LogAttrs(context.Background(), slog.LevelWarn, "slo alert transition",
 			slog.String("session", id),
 			slog.String("alert", rule.Name),
@@ -689,6 +704,14 @@ func (s *Server) collectAlerts() ([]SessionAlert, int) {
 			out = append(out, SessionAlert{Session: id, Alert: a})
 		}
 	})
+	// Metric anomalies from the history store ride the same listing;
+	// their Session field carries the watched series key.
+	for _, a := range s.history.AnomalyAlerts() {
+		if a.Alert.State == datacache.AlertFiring {
+			firing++
+		}
+		out = append(out, SessionAlert{Session: a.Series, Alert: a.Alert})
+	}
 	// Firing first, then pending, then resolved; stable within a state.
 	rank := map[datacache.AlertState]int{
 		datacache.AlertFiring:   0,
